@@ -1,0 +1,61 @@
+//! Table 2 — per-snapshot TE calculation time.
+//!
+//! Benchmarks the time to compute one TE configuration for a new demand
+//! matrix with (a) a trained FIGRET model (one forward pass), (b) the plain
+//! min-MLU LP ("LP" column) and (c) desensitization-based TE ("Des TE"
+//! column), on GEANT and on the (reduced) ToR-level DB fabric.  The speedup of
+//! FIGRET over the LP-based schemes is the quantity Table 2 reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use figret::{FigretConfig, FigretModel};
+use figret_bench::bench_setup;
+use figret_solvers::{
+    desensitization_config, omniscient_config, DesensitizationSettings, SolverEngine,
+};
+use figret_traffic::{per_pair_variance_range, WindowDataset};
+
+fn solver_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_solver_time");
+    group.sample_size(10);
+
+    for topology in [figret_topology::Topology::Geant, figret_topology::Topology::MetaDbTor] {
+        let scenario = bench_setup(topology, 120);
+        let window = 8;
+        let variances = per_pair_variance_range(&scenario.trace, scenario.split.train.clone());
+        let dataset =
+            WindowDataset::from_trace(&scenario.trace, window, scenario.split.train.clone());
+        let mut model = FigretModel::new(
+            &scenario.paths,
+            &variances,
+            FigretConfig { history_window: window, epochs: 2, ..FigretConfig::fast_test() },
+        );
+        model.train(&dataset);
+        let t = scenario.trace.len() - 1;
+        let history: Vec<_> =
+            (t - window..t).map(|h| scenario.trace.matrix(h).clone()).collect();
+        let demand = scenario.trace.matrix(t).clone();
+
+        group.bench_with_input(BenchmarkId::new("figret_forward", scenario.name.clone()), &(), |b, _| {
+            b.iter(|| model.predict(&scenario.paths, &history))
+        });
+        group.bench_with_input(BenchmarkId::new("lp_min_mlu", scenario.name.clone()), &(), |b, _| {
+            b.iter(|| omniscient_config(&scenario.paths, &demand, SolverEngine::Auto).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("des_te", scenario.name.clone()), &(), |b, _| {
+            b.iter(|| {
+                desensitization_config(
+                    &scenario.paths,
+                    &history,
+                    &DesensitizationSettings::default(),
+                    SolverEngine::Auto,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, solver_time);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Micro-benchmarks of the TE substrate primitives used by every experiment:
+//! Yen path pre-computation (§5.1), MLU evaluation (Function 1) and failure
+//! rerouting (§4.5).  These bound the cost of the evaluation harness itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use figret_bench::bench_setup;
+use figret_te::{max_link_utilization, reroute_around_failures, PathSet, TeConfig};
+use figret_topology::{random_link_failures, Topology, TopologySpec};
+
+fn te_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("te_primitives");
+    group.sample_size(10);
+
+    let geant = TopologySpec::full_scale(Topology::Geant).build();
+    group.bench_function("yen_3_shortest_paths_geant", |b| {
+        b.iter(|| PathSet::k_shortest(&geant, 3))
+    });
+
+    let scenario = bench_setup(Topology::Geant, 40);
+    let config = TeConfig::uniform(&scenario.paths);
+    let demand = scenario.trace.matrix(scenario.trace.len() - 1).clone();
+    group.bench_function("mlu_evaluation_geant", |b| {
+        b.iter(|| max_link_utilization(&scenario.paths, &config, &demand))
+    });
+
+    let failure = random_link_failures(&scenario.graph, 2, 9).expect("GEANT survives 2 failures");
+    group.bench_function("failure_rerouting_geant", |b| {
+        b.iter(|| reroute_around_failures(&scenario.paths, &config, &failure))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, te_primitives);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 2 — precomputation (training) time.
+//!
+//! Benchmarks one FIGRET training epoch and one TEAL-like training epoch on
+//! the PoD-level fabric, the quantities behind the "Precomp. time" columns of
+//! Table 2 (FIGRET vs. TEAL).  Full training multiplies the per-epoch cost by
+//! the configured epoch count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use figret::{FigretConfig, FigretModel, TealLikeModel};
+use figret_bench::bench_setup;
+use figret_topology::Topology;
+use figret_traffic::{per_pair_variance_range, WindowDataset};
+
+fn training_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_training_time");
+    group.sample_size(10);
+
+    let scenario = bench_setup(Topology::MetaDbPod, 120);
+    let window = 8;
+    let variances = per_pair_variance_range(&scenario.trace, scenario.split.train.clone());
+    let dataset = WindowDataset::from_trace(&scenario.trace, window, scenario.split.train.clone());
+    let one_epoch =
+        FigretConfig { history_window: window, epochs: 1, ..FigretConfig::fast_test() };
+
+    group.bench_function("figret_one_epoch_pod_db", |b| {
+        b.iter(|| {
+            let mut model = FigretModel::new(&scenario.paths, &variances, one_epoch.clone());
+            model.train(&dataset)
+        })
+    });
+    group.bench_function("teal_like_one_epoch_pod_db", |b| {
+        b.iter(|| {
+            let mut model = TealLikeModel::new(&scenario.paths, one_epoch.clone());
+            model.train(&dataset)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, training_time);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! # figret-bench
+//!
+//! Shared setup helpers for the Criterion benchmarks that regenerate the
+//! timing results of Table 2 (see `benches/`).
+
+#![warn(missing_docs)]
+
+pub use figret_eval::{Scenario, ScenarioOptions};
+pub use figret_topology::Topology;
+
+/// Builds the reduced-scale scenario used by the benchmarks for a topology,
+/// with a short trace so setup stays cheap.
+pub fn bench_setup(topology: Topology, snapshots: usize) -> Scenario {
+    Scenario::build(
+        topology,
+        &ScenarioOptions { num_snapshots: snapshots, ..Default::default() },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_setup_builds_a_scenario() {
+        let s = bench_setup(Topology::MetaDbPod, 20);
+        assert_eq!(s.trace.len(), 20);
+        assert!(s.paths.num_paths() > 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The FIGRET model: a history-window MLP trained with the burst-aware loss.
+//!
+//! FIGRET maps the flattened history window `{D_{t-H}, …, D_{t-1}}` to split
+//! ratios `R_t` (§4.3 / §4.4 of the paper).  Training minimizes
+//!
+//! ```text
+//! L(R_t, D_t) = M(R_t, D_t) + α · Σ_sd σ²_sd · Sᵐᵃˣ_sd(R_t)
+//! ```
+//!
+//! where `σ²_sd` is the per-pair demand variance measured on the training
+//! prefix and normalized to `[0, 1]` (the paper normalizes the variances when
+//! analysing them; the normalization also keeps the two loss terms on
+//! comparable scales).  Setting `α = 0` recovers DOTE.
+
+use figret_nn::{Adam, AdamConfig, Graph, Mlp, MlpConfig, Optimizer, OutputActivation, Tensor};
+use figret_te::{DiffTe, MluAggregation, PathSet, TeConfig};
+use figret_traffic::{DemandMatrix, WindowDataset};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::FigretConfig;
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Mean total loss over the epoch.
+    pub mean_loss: f64,
+    /// Mean MLU term over the epoch.
+    pub mean_mlu: f64,
+    /// Mean robustness penalty (already weighted by α).
+    pub mean_penalty: f64,
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingReport {
+    /// One entry per epoch.
+    pub epochs: Vec<EpochStats>,
+    /// Wall-clock training time in seconds.
+    pub wall_seconds: f64,
+    /// Number of samples per epoch.
+    pub samples_per_epoch: usize,
+}
+
+impl TrainingReport {
+    /// Loss of the final epoch (`None` if no epochs ran).
+    pub fn final_loss(&self) -> Option<f64> {
+        self.epochs.last().map(|e| e.mean_loss)
+    }
+}
+
+/// A trained (or trainable) FIGRET model bound to a specific path set.
+pub struct FigretModel {
+    config: FigretConfig,
+    graph: Graph,
+    mlp: Mlp,
+    diff: DiffTe,
+    num_pairs: usize,
+    /// Normalized per-pair variance weights used by the robustness term.
+    variance_weights: Vec<f64>,
+    /// Scale applied to input features so they are O(1).
+    feature_scale: f64,
+}
+
+impl std::fmt::Debug for FigretModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FigretModel")
+            .field("config", &self.config)
+            .field("num_pairs", &self.num_pairs)
+            .field("feature_scale", &self.feature_scale)
+            .finish()
+    }
+}
+
+impl FigretModel {
+    /// Creates an untrained model for the given path set.
+    ///
+    /// `variances` are the per-SD-pair demand variances over the training
+    /// prefix (Equation 8); they are normalized internally.  Pass all zeros
+    /// (or use [`FigretConfig::dote`]) for the DOTE baseline.
+    pub fn new(paths: &PathSet, variances: &[f64], config: FigretConfig) -> FigretModel {
+        assert_eq!(variances.len(), paths.num_pairs(), "one variance per SD pair is required");
+        let num_pairs = paths.num_pairs();
+        let input_dim = config.history_window * num_pairs;
+        let mut graph = Graph::new();
+        let mlp = Mlp::new(
+            &mut graph,
+            MlpConfig {
+                input_dim,
+                hidden: config.hidden.clone(),
+                output_dim: paths.num_paths(),
+                output_activation: OutputActivation::Sigmoid,
+                seed: config.seed,
+            },
+        );
+        graph.seal();
+        let diff = DiffTe::new(paths);
+        let max_var = variances.iter().cloned().fold(0.0, f64::max);
+        let variance_weights: Vec<f64> = if max_var > 0.0 {
+            variances.iter().map(|v| v / max_var).collect()
+        } else {
+            vec![0.0; num_pairs]
+        };
+        FigretModel {
+            config,
+            graph,
+            mlp,
+            diff,
+            num_pairs,
+            variance_weights,
+            feature_scale: 1.0,
+        }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &FigretConfig {
+        &self.config
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.mlp.num_parameters(&self.graph)
+    }
+
+    fn features_from_history(&self, history: &[DemandMatrix]) -> Vec<f64> {
+        assert_eq!(
+            history.len(),
+            self.config.history_window,
+            "history must contain exactly H demand matrices"
+        );
+        let mut features = Vec::with_capacity(self.config.history_window * self.num_pairs);
+        for m in history {
+            features.extend(m.flatten_pairs());
+        }
+        for f in &mut features {
+            *f /= self.feature_scale;
+        }
+        features
+    }
+
+    /// Trains the model on a window dataset (as produced by
+    /// [`WindowDataset::from_trace`] over the training split).
+    pub fn train(&mut self, dataset: &WindowDataset) -> TrainingReport {
+        assert!(!dataset.is_empty(), "the training dataset is empty");
+        assert_eq!(
+            dataset.window, self.config.history_window,
+            "dataset window must match the configured history window"
+        );
+        let start = std::time::Instant::now();
+        // Feature scale: the largest demand seen in training, so inputs are O(1).
+        let max_demand = dataset
+            .samples
+            .iter()
+            .flat_map(|s| s.history.iter().map(|m| m.max_entry()))
+            .fold(0.0f64, f64::max);
+        self.feature_scale = if max_demand > 0.0 { max_demand } else { 1.0 };
+
+        let mut adam = Adam::new(
+            &self.graph,
+            self.mlp.parameters(),
+            AdamConfig { learning_rate: self.config.learning_rate, ..Default::default() },
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x7a11_5eed);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let mut report = TrainingReport { samples_per_epoch: dataset.len(), ..Default::default() };
+
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut sum_loss = 0.0;
+            let mut sum_mlu = 0.0;
+            let mut sum_penalty = 0.0;
+            for &idx in &order {
+                let sample = &dataset.samples[idx];
+                let features = self.features_from_history(&sample.history);
+                let target = sample.target.flatten_pairs();
+
+                self.graph.reset();
+                let input = self.graph.input(Tensor::row(&features));
+                let raw = self.mlp.forward(&mut self.graph, input);
+                let ratios = self.diff.normalize(&mut self.graph, raw);
+                let mlu = self.diff.mlu(&mut self.graph, ratios, &target, MluAggregation::Max);
+                let loss = if self.config.robustness_weight > 0.0 {
+                    let penalty =
+                        self.diff.sensitivity_penalty(&mut self.graph, ratios, &self.variance_weights);
+                    let weighted = self.graph.scale(penalty, self.config.robustness_weight);
+                    sum_penalty += self.graph.value(weighted).as_scalar();
+                    self.graph.add(mlu, weighted)
+                } else {
+                    mlu
+                };
+                sum_mlu += self.graph.value(mlu).as_scalar();
+                sum_loss += self.graph.value(loss).as_scalar();
+                self.graph.backward(loss);
+                adam.step(&mut self.graph);
+            }
+            let n = dataset.len() as f64;
+            report.epochs.push(EpochStats {
+                mean_loss: sum_loss / n,
+                mean_mlu: sum_mlu / n,
+                mean_penalty: sum_penalty / n,
+            });
+        }
+        report.wall_seconds = start.elapsed().as_secs_f64();
+        report
+    }
+
+    /// Computes the TE configuration for the next snapshot from a history
+    /// window of `H` demand matrices (most recent last).
+    pub fn predict(&mut self, paths: &PathSet, history: &[DemandMatrix]) -> TeConfig {
+        let features = self.features_from_history(history);
+        self.graph.reset();
+        let input = self.graph.input(Tensor::row(&features));
+        let raw = self.mlp.forward(&mut self.graph, input);
+        let ratios = self.diff.normalize(&mut self.graph, raw);
+        TeConfig::from_raw(paths, self.graph.value(ratios).data())
+    }
+}
+
+/// A TEAL-like baseline: the same architecture, but it receives only the most
+/// recent demand matrix and is trained to optimize the MLU of *that same*
+/// matrix (an amortized per-demand optimizer).  At evaluation time the
+/// configuration computed from `D_{t-1}` is applied to `D_t`, exactly as the
+/// paper does ("we apply the TE solution computed from the traffic demand of
+/// the preceding time snapshot to the next time snapshot", §5.1).  See
+/// DESIGN.md §5 for the substitution rationale (no GNN/RL).
+pub struct TealLikeModel {
+    inner: FigretModel,
+}
+
+impl std::fmt::Debug for TealLikeModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TealLikeModel").field("inner", &self.inner).finish()
+    }
+}
+
+impl TealLikeModel {
+    /// Creates an untrained TEAL-like model.
+    pub fn new(paths: &PathSet, config: FigretConfig) -> TealLikeModel {
+        let cfg = FigretConfig {
+            history_window: 1,
+            robustness_weight: 0.0,
+            ..config
+        };
+        TealLikeModel { inner: FigretModel::new(paths, &vec![0.0; paths.num_pairs()], cfg) }
+    }
+
+    /// Trains the model to minimize the MLU of the snapshot it receives.
+    pub fn train(&mut self, dataset: &WindowDataset) -> TrainingReport {
+        // Re-target every sample: the "history" is the target snapshot itself.
+        let mut same_snapshot = dataset.clone();
+        same_snapshot.window = 1;
+        for s in &mut same_snapshot.samples {
+            s.history = vec![s.target.clone()];
+        }
+        self.inner.train(&same_snapshot)
+    }
+
+    /// Computes a configuration for the *given* demand matrix (apply it to the
+    /// following snapshot to reproduce the paper's evaluation protocol).
+    pub fn predict(&mut self, paths: &PathSet, demand: &DemandMatrix) -> TeConfig {
+        self.inner.predict(paths, std::slice::from_ref(demand))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figret_te::max_link_utilization;
+    use figret_topology::{Topology, TopologySpec};
+    use figret_traffic::datacenter::{pod_trace, PodTrafficConfig};
+    use figret_traffic::{per_pair_variance_range, TrainTestSplit};
+
+    fn setup() -> (PathSet, figret_traffic::TrafficTrace) {
+        let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
+        let ps = PathSet::k_shortest(&g, 3);
+        let trace = pod_trace(&g, &PodTrafficConfig { num_snapshots: 120, ..Default::default() });
+        (ps, trace)
+    }
+
+    #[test]
+    fn training_reduces_the_loss() {
+        let (ps, trace) = setup();
+        let split = TrainTestSplit::chronological(trace.len(), 0.75);
+        let variances = per_pair_variance_range(&trace, split.train.clone());
+        let config = FigretConfig { epochs: 6, ..FigretConfig::fast_test() };
+        let dataset = WindowDataset::from_trace(&trace, config.history_window, split.train.clone());
+        let mut model = FigretModel::new(&ps, &variances, config);
+        assert!(model.num_parameters() > 0);
+        let report = model.train(&dataset);
+        assert_eq!(report.epochs.len(), 6);
+        let first = report.epochs.first().unwrap().mean_loss;
+        let last = report.final_loss().unwrap();
+        assert!(last < first, "training must reduce the loss ({first} -> {last})");
+        assert!(report.wall_seconds > 0.0);
+        assert_eq!(report.samples_per_epoch, dataset.len());
+    }
+
+    #[test]
+    fn trained_model_beats_uniform_splitting() {
+        let (ps, trace) = setup();
+        let split = TrainTestSplit::chronological(trace.len(), 0.75);
+        let variances = per_pair_variance_range(&trace, split.train.clone());
+        let config = FigretConfig::fast_test();
+        let h = config.history_window;
+        let train = WindowDataset::from_trace(&trace, h, split.train.clone());
+        let test = WindowDataset::from_trace(&trace, h, split.test.clone());
+        let mut model = FigretModel::new(&ps, &variances, config);
+        model.train(&train);
+        let uniform = TeConfig::uniform(&ps);
+        let mut model_total = 0.0;
+        let mut uniform_total = 0.0;
+        for sample in &test.samples {
+            let cfg = model.predict(&ps, &sample.history);
+            assert!(cfg.is_valid(&ps));
+            model_total += max_link_utilization(&ps, &cfg, &sample.target);
+            uniform_total += max_link_utilization(&ps, &uniform, &sample.target);
+        }
+        assert!(
+            model_total < uniform_total,
+            "trained FIGRET ({model_total:.3}) should beat uniform splitting ({uniform_total:.3})"
+        );
+    }
+
+    #[test]
+    fn dote_is_figret_without_penalty() {
+        let (ps, trace) = setup();
+        let split = TrainTestSplit::chronological(trace.len(), 0.75);
+        let variances = per_pair_variance_range(&trace, split.train.clone());
+        let config = FigretConfig { robustness_weight: 0.0, epochs: 2, ..FigretConfig::fast_test() };
+        let dataset = WindowDataset::from_trace(&trace, config.history_window, split.train.clone());
+        let mut dote = FigretModel::new(&ps, &variances, config);
+        let report = dote.train(&dataset);
+        for e in &report.epochs {
+            assert_eq!(e.mean_penalty, 0.0, "DOTE must not accumulate a robustness penalty");
+            assert!((e.mean_loss - e.mean_mlu).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figret_penalizes_sensitive_configs_more_than_dote() {
+        let (ps, trace) = setup();
+        let split = TrainTestSplit::chronological(trace.len(), 0.75);
+        let variances = per_pair_variance_range(&trace, split.train.clone());
+        let figret_cfg = FigretConfig { robustness_weight: 2.0, epochs: 3, ..FigretConfig::fast_test() };
+        let h = figret_cfg.history_window;
+        let dataset = WindowDataset::from_trace(&trace, h, split.train.clone());
+        let mut figret = FigretModel::new(&ps, &variances, figret_cfg);
+        let report = figret.train(&dataset);
+        // The penalty term must be active (non-zero) for FIGRET.
+        assert!(report.epochs.iter().any(|e| e.mean_penalty > 0.0));
+    }
+
+    #[test]
+    fn teal_like_model_trains_and_predicts() {
+        let (ps, trace) = setup();
+        let split = TrainTestSplit::chronological(trace.len(), 0.75);
+        let config = FigretConfig { epochs: 3, ..FigretConfig::fast_test() };
+        let dataset = WindowDataset::from_trace(&trace, config.history_window, split.train.clone());
+        let mut teal = TealLikeModel::new(&ps, config);
+        let report = teal.train(&dataset);
+        assert!(!report.epochs.is_empty());
+        let cfg = teal.predict(&ps, trace.matrix(trace.len() - 2));
+        assert!(cfg.is_valid(&ps));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly H demand matrices")]
+    fn predict_checks_history_length() {
+        let (ps, trace) = setup();
+        let mut model = FigretModel::new(&ps, &vec![0.0; ps.num_pairs()], FigretConfig::fast_test());
+        let _ = model.predict(&ps, &trace.matrices()[..2]);
+    }
+}

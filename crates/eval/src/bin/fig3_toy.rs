@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 of the paper (the three-node illustrative example).
+fn main() {
+    figret_eval::experiments::fig3_toy();
+}

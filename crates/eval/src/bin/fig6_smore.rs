@@ -1,0 +1,8 @@
+//! Regenerates the "fig6_smore" table/figure of the paper.  Common flags:
+//! `--fast`, `--full-scale`, `--snapshots N`, `--window N`, `--max-eval N`.
+use figret_eval::experiments::{fig6_smore, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    fig6_smore(&options);
+}

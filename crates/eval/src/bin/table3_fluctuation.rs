@@ -1,0 +1,8 @@
+//! Regenerates the "table3_fluctuation" table/figure of the paper.  Common flags:
+//! `--fast`, `--full-scale`, `--snapshots N`, `--window N`, `--max-eval N`.
+use figret_eval::experiments::{table3_fluctuation, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    table3_fluctuation(&options);
+}

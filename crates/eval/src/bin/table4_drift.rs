@@ -1,0 +1,8 @@
+//! Regenerates the "table4_drift" table/figure of the paper.  Common flags:
+//! `--fast`, `--full-scale`, `--snapshots N`, `--window N`, `--max-eval N`.
+use figret_eval::experiments::{table4_drift, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    table4_drift(&options);
+}

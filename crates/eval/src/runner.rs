@@ -1,0 +1,429 @@
+//! Scheme runners: evaluate every TE scheme over the test split of a scenario
+//! and collect per-snapshot MLUs plus timing, the raw material of every table
+//! and figure.
+
+use std::time::Instant;
+
+use figret::{FigretConfig, FigretModel, TealLikeModel};
+use figret_solvers::{
+    cope_config, desensitization_config, fault_aware_desensitization_config,
+    heuristic_fine_grained_config, omniscient_config, prediction_config, CopeSettings,
+    CuttingPlaneSettings, DesensitizationSettings, HeuristicBound, HoseModel, MluProblem,
+    Predictor, SolverEngine,
+};
+use figret_te::{
+    available_paths, max_link_utilization, normalize_by, reroute_around_failures, SchemeQuality,
+    TeConfig,
+};
+use figret_topology::FailureScenario;
+use figret_traffic::{per_pair_variance_range, DemandMatrix, WindowDataset};
+
+use crate::scenario::Scenario;
+
+/// The TE schemes of the paper's evaluation (§5.1).
+#[derive(Debug, Clone)]
+pub enum Scheme {
+    /// FIGRET (the paper's contribution).
+    Figret(FigretConfig),
+    /// DOTE: FIGRET's architecture without the robustness term.
+    Dote(FigretConfig),
+    /// TEAL-like amortized per-demand optimizer.
+    TealLike(FigretConfig),
+    /// Desensitization-based TE (Google Jupiter hedging).
+    Desensitization(DesensitizationSettings),
+    /// Fault-aware Desensitization-based TE (knows future failures).
+    FaultAwareDesensitization(DesensitizationSettings),
+    /// Demand-prediction-based TE.
+    Prediction(Predictor),
+    /// Demand-oblivious TE over a hose uncertainty set.
+    Oblivious,
+    /// COPE over a hose uncertainty set.
+    Cope,
+    /// Appendix C heuristic fine-grained desensitization.
+    HeuristicFineGrained(HeuristicBound),
+}
+
+impl Scheme {
+    /// Display name used in tables and figures.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Figret(_) => "FIGRET".to_string(),
+            Scheme::Dote(_) => "DOTE".to_string(),
+            Scheme::TealLike(_) => "TEAL-like".to_string(),
+            Scheme::Desensitization(_) => "Des TE".to_string(),
+            Scheme::FaultAwareDesensitization(_) => "FA Des TE".to_string(),
+            Scheme::Prediction(_) => "Pred TE".to_string(),
+            Scheme::Oblivious => "Oblivious".to_string(),
+            Scheme::Cope => "COPE".to_string(),
+            Scheme::HeuristicFineGrained(_) => "Heuristic FG".to_string(),
+        }
+    }
+
+    /// The default comparison set of Figure 5 for small topologies.
+    pub fn default_suite(fast: bool) -> Vec<Scheme> {
+        let learn = if fast { FigretConfig::fast_test() } else { FigretConfig::default() };
+        vec![
+            Scheme::Figret(learn.clone()),
+            Scheme::Dote(FigretConfig { robustness_weight: 0.0, ..learn.clone() }),
+            Scheme::Desensitization(DesensitizationSettings::default()),
+            Scheme::Prediction(Predictor::LastSnapshot),
+            Scheme::TealLike(learn),
+        ]
+    }
+}
+
+/// Evaluation options shared by all runners.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// History window `H` used for learning-based schemes and for the peak /
+    /// prediction windows of the LP-based schemes.
+    pub window: usize,
+    /// Evaluate at most this many test snapshots (uniformly subsampled); keeps
+    /// the LP-heavy schemes tractable on larger topologies.
+    pub max_eval_snapshots: Option<usize>,
+    /// Engine used by LP-based schemes.
+    pub engine: SolverEngine,
+    /// Optional link-failure scenario (Figures 7, 14, 15): configurations are
+    /// rerouted around the failed links before evaluation.
+    pub failure: Option<FailureScenario>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { window: 12, max_eval_snapshots: Some(60), engine: SolverEngine::Auto, failure: None }
+    }
+}
+
+impl EvalOptions {
+    /// The snapshot indices actually evaluated for a scenario.
+    pub fn eval_indices(&self, scenario: &Scenario) -> Vec<usize> {
+        let all = scenario.test_indices(self.window);
+        match self.max_eval_snapshots {
+            Some(limit) if all.len() > limit && limit > 0 => {
+                let stride = all.len() as f64 / limit as f64;
+                (0..limit).map(|i| all[(i as f64 * stride) as usize]).collect()
+            }
+            _ => all,
+        }
+    }
+}
+
+/// The result of running one scheme over one scenario.
+#[derive(Debug, Clone)]
+pub struct SchemeRun {
+    /// Scheme display name.
+    pub scheme: String,
+    /// Snapshot indices evaluated.
+    pub indices: Vec<usize>,
+    /// Absolute MLU per evaluated snapshot.
+    pub mlus: Vec<f64>,
+    /// One-off precomputation time (training / cutting plane), seconds.
+    pub precompute_seconds: f64,
+    /// Mean per-snapshot solution time (NN forward pass or LP solve), seconds.
+    pub mean_solve_seconds: f64,
+}
+
+impl SchemeRun {
+    /// Normalizes the MLUs by a baseline series (usually the omniscient one)
+    /// and summarizes them.
+    pub fn quality(&self, baseline: &[f64]) -> SchemeQuality {
+        let normalized = normalize_by(&self.mlus, baseline);
+        SchemeQuality::from_normalized(&self.scheme, &normalized)
+    }
+}
+
+fn history_window(scenario: &Scenario, t: usize, window: usize) -> Vec<DemandMatrix> {
+    (t - window..t).map(|h| scenario.trace.matrix(h).clone()).collect()
+}
+
+fn apply_failure(
+    scenario: &Scenario,
+    config: &TeConfig,
+    failure: &Option<FailureScenario>,
+) -> TeConfig {
+    match failure {
+        Some(f) => reroute_around_failures(&scenario.paths, config, f),
+        None => config.clone(),
+    }
+}
+
+/// The omniscient (oracle) MLU series over the evaluated snapshots.  With a
+/// failure scenario, the oracle also knows the failures and optimizes only
+/// over the surviving paths.
+pub fn omniscient_series(scenario: &Scenario, options: &EvalOptions) -> Vec<f64> {
+    let indices = options.eval_indices(scenario);
+    let mut out = Vec::with_capacity(indices.len());
+    for &t in &indices {
+        let demand = scenario.trace.matrix(t);
+        let config = match &options.failure {
+            None => omniscient_config(&scenario.paths, demand, options.engine)
+                .expect("omniscient LP must be solvable"),
+            Some(f) => {
+                let problem = MluProblem::new(&scenario.paths, demand.flatten_pairs())
+                    .with_available(available_paths(&scenario.paths, f));
+                figret_solvers::solve_min_mlu(&problem, options.engine)
+                    .expect("fault-aware omniscient LP must be solvable")
+            }
+        };
+        out.push(max_link_utilization(&scenario.paths, &config, demand));
+    }
+    out
+}
+
+/// Runs a scheme over the evaluated snapshots of a scenario.
+pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -> SchemeRun {
+    let indices = options.eval_indices(scenario);
+    let window = options.window;
+    let mut mlus = Vec::with_capacity(indices.len());
+    let mut solve_seconds = 0.0;
+    let mut precompute_seconds = 0.0;
+    let train_variances = per_pair_variance_range(&scenario.trace, scenario.split.train.clone());
+
+    match scheme {
+        Scheme::Figret(cfg) | Scheme::Dote(cfg) => {
+            let mut cfg = cfg.clone();
+            cfg.history_window = window;
+            if matches!(scheme, Scheme::Dote(_)) {
+                cfg.robustness_weight = 0.0;
+            }
+            let dataset =
+                WindowDataset::from_trace(&scenario.trace, window, scenario.split.train.clone());
+            let mut model = FigretModel::new(&scenario.paths, &train_variances, cfg);
+            let start = Instant::now();
+            model.train(&dataset);
+            precompute_seconds = start.elapsed().as_secs_f64();
+            for &t in &indices {
+                let history = history_window(scenario, t, window);
+                let start = Instant::now();
+                let config = model.predict(&scenario.paths, &history);
+                solve_seconds += start.elapsed().as_secs_f64();
+                let config = apply_failure(scenario, &config, &options.failure);
+                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
+            }
+        }
+        Scheme::TealLike(cfg) => {
+            let mut cfg = cfg.clone();
+            cfg.history_window = window;
+            let dataset =
+                WindowDataset::from_trace(&scenario.trace, window, scenario.split.train.clone());
+            let mut model = TealLikeModel::new(&scenario.paths, cfg);
+            let start = Instant::now();
+            model.train(&dataset);
+            precompute_seconds = start.elapsed().as_secs_f64();
+            for &t in &indices {
+                let previous = scenario.trace.matrix(t - 1);
+                let start = Instant::now();
+                let config = model.predict(&scenario.paths, previous);
+                solve_seconds += start.elapsed().as_secs_f64();
+                let config = apply_failure(scenario, &config, &options.failure);
+                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
+            }
+        }
+        Scheme::Desensitization(settings) => {
+            for &t in &indices {
+                let history = history_window(scenario, t, window);
+                let start = Instant::now();
+                let config =
+                    desensitization_config(&scenario.paths, &history, settings, options.engine)
+                        .expect("Des TE must be solvable");
+                solve_seconds += start.elapsed().as_secs_f64();
+                let config = apply_failure(scenario, &config, &options.failure);
+                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
+            }
+        }
+        Scheme::FaultAwareDesensitization(settings) => {
+            let scenario_failure = options
+                .failure
+                .clone()
+                .unwrap_or_else(FailureScenario::none);
+            for &t in &indices {
+                let history = history_window(scenario, t, window);
+                let start = Instant::now();
+                let config = fault_aware_desensitization_config(
+                    &scenario.paths,
+                    &history,
+                    settings,
+                    &scenario_failure,
+                    options.engine,
+                )
+                .expect("FA Des TE must be solvable");
+                solve_seconds += start.elapsed().as_secs_f64();
+                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
+            }
+        }
+        Scheme::Prediction(predictor) => {
+            for &t in &indices {
+                let history = history_window(scenario, t, window);
+                let start = Instant::now();
+                let config =
+                    prediction_config(&scenario.paths, &history, *predictor, options.engine)
+                        .expect("prediction TE must be solvable");
+                solve_seconds += start.elapsed().as_secs_f64();
+                let config = apply_failure(scenario, &config, &options.failure);
+                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
+            }
+        }
+        Scheme::Oblivious | Scheme::Cope => {
+            let hose = HoseModel::fit(&scenario.trace, scenario.split.train.clone(), 1.0);
+            let start = Instant::now();
+            let config = if matches!(scheme, Scheme::Oblivious) {
+                oblivious_or_fallback(scenario, &hose)
+            } else {
+                let predicted: Vec<Vec<f64>> = scenario
+                    .split
+                    .train
+                    .clone()
+                    .rev()
+                    .take(5)
+                    .map(|t| scenario.trace.matrix(t).flatten_pairs())
+                    .collect();
+                cope_config(&scenario.paths, &predicted, &hose, CopeSettings::default())
+                    .map(|r| r.config)
+                    .unwrap_or_else(|_| TeConfig::uniform(&scenario.paths))
+            };
+            precompute_seconds = start.elapsed().as_secs_f64();
+            for &t in &indices {
+                let config = apply_failure(scenario, &config, &options.failure);
+                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
+            }
+        }
+        Scheme::HeuristicFineGrained(bound) => {
+            for &t in &indices {
+                let history = history_window(scenario, t, window);
+                let start = Instant::now();
+                let config = heuristic_fine_grained_config(
+                    &scenario.paths,
+                    &history,
+                    &train_variances,
+                    *bound,
+                    options.engine,
+                )
+                .expect("heuristic fine-grained TE must be solvable");
+                solve_seconds += start.elapsed().as_secs_f64();
+                let config = apply_failure(scenario, &config, &options.failure);
+                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
+            }
+        }
+    }
+
+    let mean_solve = if indices.is_empty() { 0.0 } else { solve_seconds / indices.len() as f64 };
+    SchemeRun {
+        scheme: scheme.name(),
+        indices,
+        mlus,
+        precompute_seconds,
+        mean_solve_seconds: mean_solve,
+    }
+}
+
+fn oblivious_or_fallback(scenario: &Scenario, hose: &HoseModel) -> TeConfig {
+    figret_solvers::oblivious_config(&scenario.paths, hose, CuttingPlaneSettings::default())
+        .map(|r| r.config)
+        .unwrap_or_else(|_| TeConfig::uniform(&scenario.paths))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioOptions;
+    use figret_topology::{random_link_failures, Topology};
+
+    fn small_scenario() -> Scenario {
+        Scenario::build(
+            Topology::MetaDbPod,
+            &ScenarioOptions { num_snapshots: 80, ..Default::default() },
+        )
+    }
+
+    fn fast_options() -> EvalOptions {
+        EvalOptions { window: 4, max_eval_snapshots: Some(8), ..Default::default() }
+    }
+
+    #[test]
+    fn omniscient_is_a_lower_bound_for_every_scheme() {
+        let scenario = small_scenario();
+        let options = fast_options();
+        let baseline = omniscient_series(&scenario, &options);
+        assert!(!baseline.is_empty());
+        for scheme in [
+            Scheme::Prediction(Predictor::LastSnapshot),
+            Scheme::Desensitization(DesensitizationSettings::default()),
+        ] {
+            let run = run_scheme(&scenario, &scheme, &options);
+            assert_eq!(run.mlus.len(), baseline.len());
+            for (m, b) in run.mlus.iter().zip(&baseline) {
+                assert!(m + 1e-6 >= *b, "{}: scheme MLU {m} below omniscient {b}", run.scheme);
+            }
+            let q = run.quality(&baseline);
+            assert!(q.normalized_mlu.min >= 1.0 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn learned_schemes_produce_finite_results() {
+        let scenario = small_scenario();
+        let options = fast_options();
+        let baseline = omniscient_series(&scenario, &options);
+        for scheme in [
+            Scheme::Figret(FigretConfig::fast_test()),
+            Scheme::Dote(FigretConfig::fast_test()),
+            Scheme::TealLike(FigretConfig::fast_test()),
+        ] {
+            let run = run_scheme(&scenario, &scheme, &options);
+            assert!(run.precompute_seconds > 0.0, "{} must report training time", run.scheme);
+            assert!(run.mlus.iter().all(|m| m.is_finite() && *m > 0.0));
+            let q = run.quality(&baseline);
+            assert!(q.normalized_mlu.mean >= 1.0 - 1e-6);
+            assert!(q.normalized_mlu.mean < 20.0, "{} unreasonably bad", run.scheme);
+        }
+    }
+
+    #[test]
+    fn oblivious_and_cope_precompute_static_configs() {
+        let scenario = small_scenario();
+        let options = fast_options();
+        for scheme in [Scheme::Oblivious, Scheme::Cope] {
+            let run = run_scheme(&scenario, &scheme, &options);
+            assert!(run.precompute_seconds > 0.0);
+            assert_eq!(run.mean_solve_seconds, 0.0, "static schemes have no per-snapshot solve");
+            assert!(run.mlus.iter().all(|m| m.is_finite()));
+        }
+    }
+
+    #[test]
+    fn failure_scenarios_are_applied() {
+        let scenario = small_scenario();
+        let failure = random_link_failures(&scenario.graph, 1, 11).unwrap();
+        let options = EvalOptions { failure: Some(failure), ..fast_options() };
+        let baseline = omniscient_series(&scenario, &options);
+        let pred = run_scheme(&scenario, &Scheme::Prediction(Predictor::LastSnapshot), &options);
+        let fa = run_scheme(
+            &scenario,
+            &Scheme::FaultAwareDesensitization(DesensitizationSettings::default()),
+            &options,
+        );
+        assert_eq!(pred.mlus.len(), baseline.len());
+        assert_eq!(fa.mlus.len(), baseline.len());
+        // Everything must stay at or above the fault-aware oracle.
+        for (m, b) in pred.mlus.iter().chain(fa.mlus.iter()).zip(baseline.iter().cycle()) {
+            assert!(m + 1e-6 >= *b);
+        }
+    }
+
+    #[test]
+    fn eval_indices_subsampling() {
+        let scenario = small_scenario();
+        let options = EvalOptions { window: 4, max_eval_snapshots: Some(5), ..Default::default() };
+        let idx = options.eval_indices(&scenario);
+        assert_eq!(idx.len(), 5);
+        let unlimited = EvalOptions { window: 4, max_eval_snapshots: None, ..Default::default() };
+        assert!(unlimited.eval_indices(&scenario).len() >= idx.len());
+    }
+
+    #[test]
+    fn scheme_names_are_stable() {
+        assert_eq!(Scheme::Oblivious.name(), "Oblivious");
+        assert_eq!(Scheme::Figret(FigretConfig::fast_test()).name(), "FIGRET");
+        assert_eq!(Scheme::default_suite(true).len(), 5);
+    }
+}

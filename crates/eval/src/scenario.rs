@@ -1,0 +1,192 @@
+//! Evaluation scenarios: a topology, its candidate paths and a traffic trace.
+//!
+//! One [`Scenario`] corresponds to one column of the paper's evaluation (e.g.
+//! "GEANT", "ToR DB", …): it bundles the graph built by `figret-topology`, the
+//! Yen 3-shortest-path set (§5.1), the synthetic trace whose characteristics
+//! match that network's traffic class, and the chronological train/test split.
+
+use figret_te::PathSet;
+use figret_topology::{Graph, RackeConfig, Scale, Topology, TopologySpec};
+use figret_traffic::datacenter::{pod_trace, tor_trace, ClusterFlavor, PodTrafficConfig, TorTrafficConfig};
+use figret_traffic::gravity::{gravity_trace, GravityConfig};
+use figret_traffic::pfabric::{pfabric_trace, PFabricConfig};
+use figret_traffic::wan::{wan_trace, WanTrafficConfig};
+use figret_traffic::{TrafficTrace, TrainTestSplit};
+
+/// Options controlling how scenarios are instantiated.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioOptions {
+    /// Build topologies at the paper's full Table 1 sizes instead of the
+    /// reduced defaults.
+    pub full_scale: bool,
+    /// Number of traffic snapshots to generate.
+    pub num_snapshots: usize,
+    /// Fraction of the trace used for training.
+    pub train_fraction: f64,
+    /// Seed forwarded to the generators.
+    pub seed: u64,
+}
+
+impl Default for ScenarioOptions {
+    fn default() -> Self {
+        ScenarioOptions { full_scale: false, num_snapshots: 400, train_fraction: 0.75, seed: 7 }
+    }
+}
+
+/// A fully instantiated evaluation scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which of the paper's networks this is.
+    pub topology: Topology,
+    /// Display name (Table 1 naming).
+    pub name: String,
+    /// The network graph.
+    pub graph: Graph,
+    /// Candidate paths (Yen 3-shortest by default).
+    pub paths: PathSet,
+    /// The traffic trace.
+    pub trace: TrafficTrace,
+    /// Chronological train/test split.
+    pub split: TrainTestSplit,
+}
+
+impl Scenario {
+    /// Builds the scenario for one of the paper's eight networks.
+    pub fn build(topology: Topology, options: &ScenarioOptions) -> Scenario {
+        let scale = if options.full_scale { Scale::Full } else { Scale::Reduced };
+        let graph = TopologySpec { topology, scale, seed: options.seed }.build();
+        let trace = build_trace(topology, &graph, options);
+        let paths = PathSet::k_shortest(&graph, 3);
+        let split = TrainTestSplit::chronological(trace.len(), options.train_fraction);
+        Scenario { topology, name: topology.name().to_string(), graph, paths, trace, split }
+    }
+
+    /// Rebuilds this scenario with SMORE's Räcke-style path selection instead
+    /// of the 3 shortest paths (Figure 6).
+    pub fn with_racke_paths(&self) -> Scenario {
+        let mut s = self.clone();
+        s.paths = PathSet::racke(&self.graph, &RackeConfig::default());
+        s.name = format!("{} (Racke paths)", self.name);
+        s
+    }
+
+    /// The test-range snapshot indices that have a full history window of
+    /// length `window` available.
+    pub fn test_indices(&self, window: usize) -> Vec<usize> {
+        self.split.test.clone().filter(|t| *t >= window).collect()
+    }
+
+    /// The scenarios of Figure 5 / Figure 4 (the paper's eight networks).
+    pub fn quality_suite(options: &ScenarioOptions) -> Vec<Scenario> {
+        Topology::all().iter().map(|t| Scenario::build(*t, options)).collect()
+    }
+
+    /// The three motivation scenarios of Figures 1 and 2 (GEANT, PoD DB, ToR DB).
+    pub fn motivation_suite(options: &ScenarioOptions) -> Vec<Scenario> {
+        [Topology::Geant, Topology::MetaDbPod, Topology::MetaDbTor]
+            .iter()
+            .map(|t| Scenario::build(*t, options))
+            .collect()
+    }
+}
+
+fn build_trace(topology: Topology, graph: &Graph, options: &ScenarioOptions) -> TrafficTrace {
+    let n = options.num_snapshots;
+    match topology {
+        Topology::Geant => wan_trace(
+            graph,
+            &WanTrafficConfig { num_snapshots: n, seed: options.seed ^ 1, ..Default::default() },
+        ),
+        Topology::UsCarrier | Topology::Cogentco => gravity_trace(
+            graph,
+            &GravityConfig { num_snapshots: n, seed: options.seed ^ 2, ..Default::default() },
+        ),
+        Topology::PFabric => pfabric_trace(&PFabricConfig {
+            num_tors: graph.num_nodes(),
+            num_snapshots: n,
+            seed: options.seed ^ 3,
+            ..Default::default()
+        }),
+        Topology::MetaDbPod => pod_trace(
+            graph,
+            &PodTrafficConfig {
+                num_snapshots: n,
+                flavor: ClusterFlavor::Db,
+                seed: options.seed ^ 4,
+                ..Default::default()
+            },
+        ),
+        Topology::MetaWebPod => pod_trace(
+            graph,
+            &PodTrafficConfig {
+                num_snapshots: n,
+                flavor: ClusterFlavor::Web,
+                seed: options.seed ^ 5,
+                ..Default::default()
+            },
+        ),
+        Topology::MetaDbTor => tor_trace(
+            graph,
+            &TorTrafficConfig {
+                num_snapshots: n,
+                flavor: ClusterFlavor::Db,
+                seed: options.seed ^ 6,
+                ..Default::default()
+            },
+        ),
+        Topology::MetaWebTor => tor_trace(
+            graph,
+            &TorTrafficConfig {
+                num_snapshots: n,
+                flavor: ClusterFlavor::Web,
+                seed: options.seed ^ 7,
+                ..Default::default()
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_topology_reduced() {
+        let options = ScenarioOptions { num_snapshots: 30, ..Default::default() };
+        for s in Scenario::quality_suite(&options) {
+            assert_eq!(s.trace.len(), 30);
+            assert_eq!(s.trace.num_nodes(), s.graph.num_nodes());
+            assert!(s.paths.num_paths() > 0);
+            assert_eq!(s.split.test.end, 30);
+            assert!(!s.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn racke_variant_changes_the_path_set() {
+        let options = ScenarioOptions { num_snapshots: 10, ..Default::default() };
+        let s = Scenario::build(Topology::Geant, &options);
+        let r = s.with_racke_paths();
+        assert_ne!(s.paths.num_paths(), 0);
+        assert!(r.name.contains("Racke"));
+        // Same pairs, possibly different paths.
+        assert_eq!(s.paths.num_pairs(), r.paths.num_pairs());
+    }
+
+    #[test]
+    fn test_indices_respect_window() {
+        let options = ScenarioOptions { num_snapshots: 40, ..Default::default() };
+        let s = Scenario::build(Topology::MetaDbPod, &options);
+        let idx = s.test_indices(12);
+        assert!(idx.iter().all(|t| *t >= 30 && *t < 40));
+        assert_eq!(idx.len(), 10);
+    }
+
+    #[test]
+    fn motivation_suite_has_three_networks() {
+        let options = ScenarioOptions { num_snapshots: 12, ..Default::default() };
+        let suite = Scenario::motivation_suite(&options);
+        assert_eq!(suite.len(), 3);
+        assert_eq!(suite[0].topology, Topology::Geant);
+    }
+}

@@ -1,0 +1,83 @@
+//! # figret-lp
+//!
+//! A self-contained dense two-phase simplex solver used by the LP-based TE
+//! baselines (omniscient, prediction-based, desensitization-based, oblivious
+//! and COPE).  The paper uses Gurobi; this crate is the offline substitute
+//! documented in DESIGN.md §5.
+//!
+//! # Example
+//!
+//! ```
+//! use figret_lp::{Direction, LinearProgram, Relation, solve};
+//!
+//! // min x + 2y   s.t. x + y >= 4, y <= 1
+//! let mut lp = LinearProgram::new(Direction::Minimize);
+//! let x = lp.add_variable(1.0);
+//! let y = lp.add_variable(2.0);
+//! lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::GreaterEq, 4.0);
+//! lp.add_constraint(vec![(y, 1.0)], Relation::LessEq, 1.0);
+//! let solution = solve(&lp).unwrap();
+//! assert!((solution.objective_value - 4.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use problem::{Constraint, Direction, LinearProgram, Relation};
+pub use simplex::solve;
+pub use solution::{LpError, Solution, SolveStats};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random bounded-feasible minimization problems: variables have an upper
+    /// bound row so the optimum always exists.
+    fn arbitrary_bounded_lp() -> impl Strategy<Value = LinearProgram> {
+        (1usize..5, 0usize..6).prop_flat_map(|(nvars, nrows)| {
+            (
+                proptest::collection::vec(-5.0f64..5.0, nvars),
+                proptest::collection::vec(
+                    (proptest::collection::vec(0.0f64..3.0, nvars), 1.0f64..20.0),
+                    nrows,
+                ),
+            )
+                .prop_map(move |(obj, rows)| {
+                    let mut lp = LinearProgram::new(Direction::Minimize);
+                    for c in &obj {
+                        lp.add_variable(*c);
+                    }
+                    // Upper bound every variable so minimization of negative
+                    // costs stays bounded.
+                    for v in 0..nvars {
+                        lp.add_constraint(vec![(v, 1.0)], Relation::LessEq, 10.0);
+                    }
+                    for (coeffs, rhs) in rows {
+                        let sparse: Vec<(usize, f64)> =
+                            coeffs.iter().enumerate().map(|(i, c)| (i, *c)).collect();
+                        lp.add_constraint(sparse, Relation::LessEq, rhs);
+                    }
+                    lp
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn solutions_are_feasible_and_not_worse_than_origin(lp in arbitrary_bounded_lp()) {
+            let sol = solve(&lp).expect("bounded feasible LP must solve");
+            prop_assert!(lp.is_feasible(&sol.values, 1e-6));
+            // The origin is always feasible here (all rows are <= with rhs > 0),
+            // so the optimum must not exceed the origin's objective (0).
+            prop_assert!(sol.objective_value <= 1e-6);
+            // Objective value must match the returned point.
+            prop_assert!((lp.objective_value(&sol.values) - sol.objective_value).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Solver results and errors.
+
+use std::fmt;
+
+/// Diagnostic counters reported by the solver.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveStats {
+    /// Number of simplex pivots performed (0 if not tracked).
+    pub iterations: usize,
+    /// Optimal value of the phase-1 objective (sum of artificials).
+    pub phase1_objective: f64,
+}
+
+/// An optimal solution of a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal values of the structural variables, in declaration order.
+    pub values: Vec<f64>,
+    /// Objective value at the optimum (in the original direction of the
+    /// program, i.e. not negated for maximization problems).
+    pub objective_value: f64,
+    /// Diagnostic counters.
+    pub stats: SolveStats,
+}
+
+/// Errors returned by the simplex solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The program has no variables.
+    Empty,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The pivot limit was exhausted before reaching optimality.
+    IterationLimit,
+    /// A numerical breakdown occurred (ill-conditioned pivot).
+    Numerical,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Empty => write!(f, "the linear program has no variables"),
+            LpError::Infeasible => write!(f, "the linear program is infeasible"),
+            LpError::Unbounded => write!(f, "the objective is unbounded"),
+            LpError::IterationLimit => write!(f, "the simplex iteration limit was exhausted"),
+            LpError::Numerical => write!(f, "numerical breakdown during pivoting"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::Unbounded.to_string().contains("unbounded"));
+        assert!(LpError::Empty.to_string().contains("no variables"));
+        assert!(LpError::IterationLimit.to_string().contains("iteration"));
+        assert!(LpError::Numerical.to_string().contains("breakdown"));
+    }
+
+    #[test]
+    fn stats_default_is_zero() {
+        let s = SolveStats::default();
+        assert_eq!(s.iterations, 0);
+        assert_eq!(s.phase1_objective, 0.0);
+    }
+}

@@ -1,0 +1,662 @@
+//! Reverse-mode automatic differentiation on a flat tape.
+//!
+//! The FIGRET loss (Equation 6/7/8 of the paper) differentiates the maximum
+//! link utilization and the sensitivity penalty with respect to the neural
+//! network's weights.  This module provides exactly the operations needed for
+//! that computation:
+//!
+//! * dense affine layers (`matmul`, `add_bias`), ReLU and sigmoid activations,
+//! * per-SD-pair normalization of split ratios (`segment_normalize`),
+//! * the linear path→edge aggregation of Function 1 (`sparse_matvec`),
+//! * element-wise products with constants, per-segment maxima, global maxima
+//!   and dot products for the loss terms.
+//!
+//! Nodes live on a tape ([`Graph`]); parameters are *persistent* nodes created
+//! before [`Graph::seal`], everything built afterwards is transient and
+//! discarded by [`Graph::reset`] between samples, so the parameter tensors are
+//! never re-cloned during training.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// A constant sparse matrix in CSR form, used for the path→edge aggregation.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSR matrix from per-row `(column, value)` lists.
+    pub fn from_rows(rows: usize, cols: usize, entries: &[Vec<(usize, f64)>]) -> SparseMatrix {
+        assert_eq!(entries.len(), rows, "one entry list per row is required");
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in entries {
+            for &(c, v) in row {
+                assert!(c < cols, "column index {c} out of range");
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        SparseMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `y = M x` for a dense vector `x` of length `cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length must equal the column count");
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[i] * x[self.col_idx[i]];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// `x += Mᵀ y` for a dense vector `y` of length `rows`.
+    pub fn add_transpose_matvec(&self, y: &[f64], x: &mut [f64]) {
+        assert_eq!(y.len(), self.rows);
+        assert_eq!(x.len(), self.cols);
+        for r in 0..self.rows {
+            let g = y[r];
+            if g == 0.0 {
+                continue;
+            }
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                x[self.col_idx[i]] += self.values[i] * g;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    MatMul(usize, usize),
+    Add(usize, usize),
+    AddBias(usize, usize),
+    Relu(usize),
+    Sigmoid(usize),
+    Scale(usize, f64),
+    AddScalar(usize),
+    MulConst(usize, Rc<Vec<f64>>),
+    SparseMatVec(usize, Rc<SparseMatrix>),
+    SegmentNormalize(usize, Rc<Vec<Range<usize>>>),
+    SegmentMax(usize, Rc<Vec<Range<usize>>>),
+    Max(usize),
+    Sum(usize),
+    DotConst(usize, Rc<Vec<f64>>),
+    LogSumExp(usize, f64),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Tensor,
+    grad: Tensor,
+    op: Op,
+}
+
+/// The autograd tape.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    persistent: usize,
+    sealed: bool,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Graph {
+        Graph { nodes: Vec::new(), persistent: 0, sealed: false }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.nodes.push(Node { value, grad, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Creates a persistent leaf (a trainable parameter).  Must be called
+    /// before [`Graph::seal`].
+    pub fn parameter(&mut self, value: Tensor) -> Var {
+        assert!(!self.sealed, "parameters must be created before seal()");
+        let v = self.push(value, Op::Leaf);
+        self.persistent = self.nodes.len();
+        v
+    }
+
+    /// Marks the end of the persistent (parameter) prefix.
+    pub fn seal(&mut self) {
+        self.sealed = true;
+    }
+
+    /// Removes every transient node and zeroes all gradients.  Parameters keep
+    /// their values.
+    pub fn reset(&mut self) {
+        self.nodes.truncate(self.persistent);
+        for n in &mut self.nodes {
+            n.grad.fill_zero();
+        }
+    }
+
+    /// Creates a transient leaf (an input).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// The value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of a node (valid after [`Graph::backward`]).
+    pub fn grad(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].grad
+    }
+
+    /// Overwrites the value of a (parameter) node in place.
+    pub fn set_value(&mut self, v: Var, value: Tensor) {
+        assert_eq!(self.nodes[v.0].value.shape(), value.shape(), "shape mismatch in set_value");
+        self.nodes[v.0].value = value;
+    }
+
+    /// Mutable access to a node value (used by optimizers for in-place updates).
+    pub fn value_mut(&mut self, v: Var) -> &mut Tensor {
+        &mut self.nodes[v.0].value
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- operations -------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(value, Op::MatMul(a.0, b.0))
+    }
+
+    /// Element-wise sum of two same-shaped nodes.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let mut value = self.nodes[a.0].value.clone();
+        value.add_assign(&self.nodes[b.0].value);
+        self.push(value, Op::Add(a.0, b.0))
+    }
+
+    /// Adds a `1×n` bias row to every row of an `m×n` node.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let bv = &self.nodes[bias.0].value;
+        assert_eq!(bv.rows(), 1, "bias must be a row vector");
+        assert_eq!(bv.cols(), xv.cols(), "bias width must match");
+        let mut value = xv.clone();
+        for r in 0..value.rows() {
+            for c in 0..value.cols() {
+                let v = value.get(r, c) + bv.get(0, c);
+                value.set(r, c, v);
+            }
+        }
+        self.push(value, Op::AddBias(x.0, bias.0))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let mut value = self.nodes[a.0].value.clone();
+        for v in value.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        self.push(value, Op::Relu(a.0))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let mut value = self.nodes[a.0].value.clone();
+        for v in value.data_mut() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+        self.push(value, Op::Sigmoid(a.0))
+    }
+
+    /// Multiplies every element by a scalar constant.
+    pub fn scale(&mut self, a: Var, k: f64) -> Var {
+        let mut value = self.nodes[a.0].value.clone();
+        for v in value.data_mut() {
+            *v *= k;
+        }
+        self.push(value, Op::Scale(a.0, k))
+    }
+
+    /// Adds a scalar constant to every element.
+    pub fn add_scalar(&mut self, a: Var, k: f64) -> Var {
+        let mut value = self.nodes[a.0].value.clone();
+        for v in value.data_mut() {
+            *v += k;
+        }
+        self.push(value, Op::AddScalar(a.0))
+    }
+
+    /// Element-wise product with a constant vector (flattened, must match the
+    /// node's element count).
+    pub fn mul_const(&mut self, a: Var, constant: Rc<Vec<f64>>) -> Var {
+        let mut value = self.nodes[a.0].value.clone();
+        assert_eq!(value.len(), constant.len(), "constant length must match");
+        for (v, c) in value.data_mut().iter_mut().zip(constant.iter()) {
+            *v *= c;
+        }
+        self.push(value, Op::MulConst(a.0, constant))
+    }
+
+    /// `y = M x` for a constant sparse matrix and a flattened node of length
+    /// `M.cols()`; the result is a `1×M.rows()` row vector.
+    pub fn sparse_matvec(&mut self, a: Var, matrix: Rc<SparseMatrix>) -> Var {
+        let x = self.nodes[a.0].value.data();
+        let y = matrix.matvec(x);
+        let value = Tensor::row(&y);
+        self.push(value, Op::SparseMatVec(a.0, matrix))
+    }
+
+    /// Normalizes each segment of a flattened node so it sums to 1
+    /// (`r_p = x_p / Σ_{q ∈ segment} x_q`).  Inputs must be non-negative; an
+    /// all-zero segment yields a uniform distribution over that segment.
+    pub fn segment_normalize(&mut self, a: Var, segments: Rc<Vec<Range<usize>>>) -> Var {
+        let x = self.nodes[a.0].value.data().to_vec();
+        let mut out = x.clone();
+        for seg in segments.iter() {
+            let sum: f64 = x[seg.clone()].iter().sum();
+            if sum > 0.0 {
+                for i in seg.clone() {
+                    out[i] = x[i] / sum;
+                }
+            } else {
+                let n = seg.len().max(1);
+                for i in seg.clone() {
+                    out[i] = 1.0 / n as f64;
+                }
+            }
+        }
+        let value = Tensor::row(&out);
+        self.push(value, Op::SegmentNormalize(a.0, segments))
+    }
+
+    /// Per-segment maximum of a flattened node; the result has one entry per
+    /// segment.  Empty segments yield 0.
+    pub fn segment_max(&mut self, a: Var, segments: Rc<Vec<Range<usize>>>) -> Var {
+        let x = self.nodes[a.0].value.data();
+        let out: Vec<f64> = segments
+            .iter()
+            .map(|seg| x[seg.clone()].iter().cloned().fold(0.0f64, f64::max))
+            .collect();
+        let value = Tensor::row(&out);
+        self.push(value, Op::SegmentMax(a.0, segments))
+    }
+
+    /// Maximum element (a `1×1` result).
+    pub fn max(&mut self, a: Var) -> Var {
+        let m = self.nodes[a.0].value.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        self.push(Tensor::scalar(m), Op::Max(a.0))
+    }
+
+    /// Sum of all elements (a `1×1` result).
+    pub fn sum(&mut self, a: Var) -> Var {
+        let s: f64 = self.nodes[a.0].value.data().iter().sum();
+        self.push(Tensor::scalar(s), Op::Sum(a.0))
+    }
+
+    /// Smooth maximum `T · ln Σ exp(x_i / T)` (a `1×1` result).
+    ///
+    /// Upper-bounds the true maximum and converges to it as the temperature
+    /// `T → 0`.  Used by the iterative MLU solver, where a smooth surrogate of
+    /// the max-link-utilization objective converges much faster than the
+    /// sub-gradient of the exact maximum.
+    pub fn logsumexp(&mut self, a: Var, temperature: f64) -> Var {
+        assert!(temperature > 0.0, "temperature must be positive");
+        let x = self.nodes[a.0].value.data();
+        let m = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = x.iter().map(|v| ((v - m) / temperature).exp()).sum();
+        let value = m + temperature * sum.ln();
+        self.push(Tensor::scalar(value), Op::LogSumExp(a.0, temperature))
+    }
+
+    /// Dot product with a constant vector (a `1×1` result).
+    pub fn dot_const(&mut self, a: Var, constant: Rc<Vec<f64>>) -> Var {
+        let x = self.nodes[a.0].value.data();
+        assert_eq!(x.len(), constant.len(), "constant length must match");
+        let s: f64 = x.iter().zip(constant.iter()).map(|(a, b)| a * b).sum();
+        self.push(Tensor::scalar(s), Op::DotConst(a.0, constant))
+    }
+
+    // ---- backward ---------------------------------------------------------
+
+    /// Back-propagates from `loss` (which must be `1×1`), accumulating
+    /// gradients into every node reachable from it.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be a scalar");
+        for n in &mut self.nodes {
+            n.grad.fill_zero();
+        }
+        self.nodes[loss.0].grad = Tensor::scalar(1.0);
+        for i in (0..=loss.0).rev() {
+            let op = self.nodes[i].op.clone();
+            let grad = self.nodes[i].grad.clone();
+            if grad.data().iter().all(|g| *g == 0.0) {
+                continue;
+            }
+            match op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let a_val = self.nodes[a].value.clone();
+                    let b_val = self.nodes[b].value.clone();
+                    let da = grad.matmul(&b_val.transpose());
+                    let db = a_val.transpose().matmul(&grad);
+                    self.nodes[a].grad.add_assign(&da);
+                    self.nodes[b].grad.add_assign(&db);
+                }
+                Op::Add(a, b) => {
+                    self.nodes[a].grad.add_assign(&grad);
+                    self.nodes[b].grad.add_assign(&grad);
+                }
+                Op::AddBias(x, bias) => {
+                    self.nodes[x].grad.add_assign(&grad);
+                    let cols = grad.cols();
+                    let mut bias_grad = Tensor::zeros(1, cols);
+                    for r in 0..grad.rows() {
+                        for c in 0..cols {
+                            let v = bias_grad.get(0, c) + grad.get(r, c);
+                            bias_grad.set(0, c, v);
+                        }
+                    }
+                    self.nodes[bias].grad.add_assign(&bias_grad);
+                }
+                Op::Relu(a) => {
+                    let mut da = grad.clone();
+                    for (g, v) in da.data_mut().iter_mut().zip(self.nodes[a].value.data()) {
+                        if *v <= 0.0 {
+                            *g = 0.0;
+                        }
+                    }
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::Sigmoid(a) => {
+                    let out = self.nodes[i].value.clone();
+                    let mut da = grad.clone();
+                    for (g, y) in da.data_mut().iter_mut().zip(out.data()) {
+                        *g *= y * (1.0 - y);
+                    }
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::Scale(a, k) => {
+                    self.nodes[a].grad.axpy(k, &grad);
+                }
+                Op::AddScalar(a) => {
+                    self.nodes[a].grad.add_assign(&grad);
+                }
+                Op::MulConst(a, c) => {
+                    let mut da = grad.clone();
+                    for (g, k) in da.data_mut().iter_mut().zip(c.iter()) {
+                        *g *= k;
+                    }
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::SparseMatVec(a, m) => {
+                    let mut da = vec![0.0; m.cols()];
+                    m.add_transpose_matvec(grad.data(), &mut da);
+                    let da = Tensor::from_vec(
+                        self.nodes[a].value.rows(),
+                        self.nodes[a].value.cols(),
+                        da,
+                    );
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::SegmentNormalize(a, segments) => {
+                    let x = self.nodes[a].value.data().to_vec();
+                    let mut da = vec![0.0; x.len()];
+                    for seg in segments.iter() {
+                        let sum: f64 = x[seg.clone()].iter().sum();
+                        if sum <= 0.0 {
+                            // Uniform output does not depend on the input.
+                            continue;
+                        }
+                        let gdotx: f64 =
+                            seg.clone().map(|i| grad.data()[i] * x[i]).sum::<f64>() / (sum * sum);
+                        for i in seg.clone() {
+                            da[i] += grad.data()[i] / sum - gdotx;
+                        }
+                    }
+                    let da = Tensor::from_vec(
+                        self.nodes[a].value.rows(),
+                        self.nodes[a].value.cols(),
+                        da,
+                    );
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::SegmentMax(a, segments) => {
+                    let x = self.nodes[a].value.data();
+                    let mut da = vec![0.0; x.len()];
+                    for (s, seg) in segments.iter().enumerate() {
+                        if seg.is_empty() {
+                            continue;
+                        }
+                        // Sub-gradient: route to the first argmax of the segment.
+                        let mut best = seg.start;
+                        for i in seg.clone() {
+                            if x[i] > x[best] {
+                                best = i;
+                            }
+                        }
+                        if x[best] > 0.0 || grad.data()[s] != 0.0 {
+                            da[best] += grad.data()[s];
+                        }
+                    }
+                    let da = Tensor::from_vec(
+                        self.nodes[a].value.rows(),
+                        self.nodes[a].value.cols(),
+                        da,
+                    );
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::Max(a) => {
+                    let x = self.nodes[a].value.data();
+                    let mut best = 0usize;
+                    for (j, v) in x.iter().enumerate() {
+                        if *v > x[best] {
+                            best = j;
+                        }
+                    }
+                    let mut da = Tensor::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
+                    da.data_mut()[best] = grad.as_scalar();
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::Sum(a) => {
+                    let g = grad.as_scalar();
+                    let da = Tensor::full(self.nodes[a].value.rows(), self.nodes[a].value.cols(), g);
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::DotConst(a, c) => {
+                    let g = grad.as_scalar();
+                    let mut da = Tensor::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
+                    for (d, k) in da.data_mut().iter_mut().zip(c.iter()) {
+                        *d = g * k;
+                    }
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::LogSumExp(a, temperature) => {
+                    let g = grad.as_scalar();
+                    let x = self.nodes[a].value.data();
+                    let m = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    let weights: Vec<f64> = x.iter().map(|v| ((v - m) / temperature).exp()).collect();
+                    let total: f64 = weights.iter().sum();
+                    let mut da = Tensor::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
+                    for (d, w) in da.data_mut().iter_mut().zip(&weights) {
+                        *d = g * w / total;
+                    }
+                    self.nodes[a].grad.add_assign(&da);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_matrix_matvec_and_transpose() {
+        // M = [[1, 0, 2], [0, 3, 0]]
+        let m = SparseMatrix::from_rows(2, 3, &[vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+        let mut x = vec![0.0; 3];
+        m.add_transpose_matvec(&[1.0, 2.0], &mut x);
+        assert_eq!(x, vec![1.0, 6.0, 2.0]);
+    }
+
+    #[test]
+    fn forward_values_are_correct() {
+        let mut g = Graph::new();
+        let w = g.parameter(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        g.seal();
+        let x = g.input(Tensor::row(&[1.0, 1.0]));
+        let y = g.matmul(x, w);
+        assert_eq!(g.value(y).data(), &[4.0, 6.0]);
+        let r = g.relu(y);
+        assert_eq!(g.value(r).data(), &[4.0, 6.0]);
+        let s = g.sum(r);
+        assert_eq!(g.value(s).as_scalar(), 10.0);
+        let m = g.max(y);
+        assert_eq!(g.value(m).as_scalar(), 6.0);
+        g.reset();
+        assert_eq!(g.len(), 1, "reset keeps only persistent parameters");
+    }
+
+    #[test]
+    fn backward_through_linear_layer() {
+        // loss = sum(relu(x W + b)) with positive pre-activations:
+        // dL/dW = x^T . 1, dL/db = 1, dL/dx = 1 . W^T.
+        let mut g = Graph::new();
+        let w = g.parameter(Tensor::from_vec(2, 2, vec![1.0, -2.0, 3.0, 4.0]));
+        let b = g.parameter(Tensor::row(&[10.0, 10.0]));
+        g.seal();
+        let x = g.input(Tensor::row(&[2.0, 5.0]));
+        let xw = g.matmul(x, w);
+        let z = g.add_bias(xw, b);
+        let a = g.relu(z);
+        let loss = g.sum(a);
+        g.backward(loss);
+        assert_eq!(g.grad(w).data(), &[2.0, 2.0, 5.0, 5.0]);
+        assert_eq!(g.grad(b).data(), &[1.0, 1.0]);
+        assert_eq!(g.grad(x).data(), &[-1.0, 7.0]);
+    }
+
+    #[test]
+    fn segment_normalize_sums_to_one_and_handles_zero() {
+        let mut g = Graph::new();
+        g.seal();
+        let x = g.input(Tensor::row(&[2.0, 6.0, 0.0, 0.0, 5.0]));
+        let segs = Rc::new(vec![0..2, 2..4, 4..5]);
+        let r = g.segment_normalize(x, segs);
+        let out = g.value(r).data().to_vec();
+        assert!((out[0] - 0.25).abs() < 1e-12);
+        assert!((out[1] - 0.75).abs() < 1e-12);
+        assert!((out[2] - 0.5).abs() < 1e-12);
+        assert!((out[3] - 0.5).abs() < 1e-12);
+        assert!((out[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_and_segment_max_route_gradients_to_argmax() {
+        let mut g = Graph::new();
+        g.seal();
+        let x = g.input(Tensor::row(&[1.0, 5.0, 3.0, 4.0]));
+        let segs = Rc::new(vec![0..2, 2..4]);
+        let sm = g.segment_max(x, segs);
+        assert_eq!(g.value(sm).data(), &[5.0, 4.0]);
+        let total = g.sum(sm);
+        g.backward(total);
+        assert_eq!(g.grad(x).data(), &[0.0, 1.0, 0.0, 1.0]);
+
+        g.reset();
+        let x = g.input(Tensor::row(&[1.0, 5.0, 3.0]));
+        let m = g.max(x);
+        g.backward(m);
+        assert_eq!(g.grad(x).data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn scalar_ops_and_dot() {
+        let mut g = Graph::new();
+        g.seal();
+        let x = g.input(Tensor::row(&[1.0, 2.0]));
+        let s = g.scale(x, 3.0);
+        assert_eq!(g.value(s).data(), &[3.0, 6.0]);
+        let t = g.add_scalar(s, 1.0);
+        assert_eq!(g.value(t).data(), &[4.0, 7.0]);
+        let d = g.dot_const(t, Rc::new(vec![1.0, 2.0]));
+        assert_eq!(g.value(d).as_scalar(), 18.0);
+        g.backward(d);
+        assert_eq!(g.grad(x).data(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn logsumexp_bounds_max_and_has_softmax_gradient() {
+        let mut g = Graph::new();
+        g.seal();
+        let x = g.input(Tensor::row(&[1.0, 3.0, 2.0]));
+        let lse = g.logsumexp(x, 0.1);
+        let value = g.value(lse).as_scalar();
+        assert!(value >= 3.0, "logsumexp must upper-bound the max");
+        assert!(value < 3.1, "with a low temperature it must be close to the max");
+        g.backward(lse);
+        let grads = g.grad(x).data().to_vec();
+        assert!((grads.iter().sum::<f64>() - 1.0).abs() < 1e-9, "softmax weights sum to 1");
+        assert!(grads[1] > 0.99, "the max coordinate dominates");
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches_formula() {
+        let mut g = Graph::new();
+        g.seal();
+        let x = g.input(Tensor::row(&[0.0]));
+        let y = g.sigmoid(x);
+        let loss = g.sum(y);
+        g.backward(loss);
+        // sigma(0) = 0.5, derivative = 0.25.
+        assert!((g.value(y).data()[0] - 0.5).abs() < 1e-12);
+        assert!((g.grad(x).data()[0] - 0.25).abs() < 1e-12);
+    }
+}

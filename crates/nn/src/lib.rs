@@ -1,0 +1,151 @@
+//! # figret-nn
+//!
+//! A from-scratch deep-learning substrate: dense tensors, a reverse-mode
+//! autograd tape with the operations needed by FIGRET's burst-aware loss, the
+//! paper's fully connected architecture and the Adam optimizer.
+//!
+//! The paper implements FIGRET in PyTorch; this crate is the offline
+//! substitute documented in DESIGN.md §5.
+//!
+//! # Example
+//!
+//! ```
+//! use figret_nn::{Graph, Mlp, MlpConfig, Tensor, Adam, AdamConfig, Optimizer};
+//!
+//! let mut graph = Graph::new();
+//! let mlp = Mlp::new(&mut graph, MlpConfig::paper_default(8, 4));
+//! graph.seal();
+//! let mut adam = Adam::new(&graph, mlp.parameters(), AdamConfig::default());
+//!
+//! graph.reset();
+//! let x = graph.input(Tensor::row(&[0.5; 8]));
+//! let y = mlp.forward(&mut graph, x);
+//! let loss = graph.sum(y);
+//! graph.backward(loss);
+//! adam.step(&mut graph);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod layers;
+pub mod optim;
+pub mod tensor;
+
+pub use graph::{Graph, SparseMatrix, Var};
+pub use layers::{Mlp, MlpConfig, OutputActivation};
+pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod gradient_check {
+    //! Numerical gradient checks: the most important correctness tests of the
+    //! autograd engine.  Every composite expression used by the FIGRET loss is
+    //! perturbed coordinate-by-coordinate and compared against the analytic
+    //! gradient.
+
+    use super::*;
+    use proptest::prelude::*;
+    use std::rc::Rc;
+
+    /// Builds a scalar loss from an input vector in a way that exercises the
+    /// ops used by the FIGRET loss.  `variant` selects the expression.
+    fn build_loss(graph: &mut Graph, input: Var, variant: usize) -> Var {
+        match variant % 4 {
+            0 => {
+                // max of a sparse aggregation (the MLU path).
+                let m = Rc::new(SparseMatrix::from_rows(
+                    3,
+                    6,
+                    &[
+                        vec![(0, 1.0), (1, 1.0), (3, 0.5)],
+                        vec![(2, 1.0), (4, 2.0)],
+                        vec![(5, 1.0), (0, 0.25)],
+                    ],
+                ));
+                let agg = graph.sparse_matvec(input, m);
+                let scaled = graph.mul_const(agg, Rc::new(vec![0.5, 1.0, 0.25]));
+                graph.max(scaled)
+            }
+            1 => {
+                // segment-normalized ratios dotted with a constant (the
+                // sensitivity penalty path), with a sigmoid in front so the
+                // normalization sees positive inputs.
+                let sig = graph.sigmoid(input);
+                let segs = Rc::new(vec![0..2, 2..4, 4..6]);
+                let ratios = graph.segment_normalize(sig, segs.clone());
+                let sens = graph.mul_const(ratios, Rc::new(vec![1.0, 0.5, 2.0, 0.25, 1.0, 4.0]));
+                let per_pair = graph.segment_max(sens, segs);
+                graph.dot_const(per_pair, Rc::new(vec![3.0, 1.0, 0.5]))
+            }
+            2 => {
+                // A tiny MLP-style affine + relu + sum.
+                let w = graph.input(Tensor::from_vec(
+                    6,
+                    2,
+                    vec![0.3, -0.2, 0.1, 0.4, -0.5, 0.2, 0.7, -0.1, 0.05, 0.3, -0.3, 0.6],
+                ));
+                let z = graph.matmul(input, w);
+                let a = graph.relu(z);
+                graph.sum(a)
+            }
+            _ => {
+                // Combination: scaled sum plus a max.
+                let s = graph.scale(input, 1.5);
+                let t = graph.add_scalar(s, 0.1);
+                let total = graph.sum(t);
+                let m = graph.max(input);
+                graph.add(total, m)
+            }
+        }
+    }
+
+    fn loss_value(x: &[f64], variant: usize) -> f64 {
+        let mut g = Graph::new();
+        g.seal();
+        let input = g.input(Tensor::row(x));
+        let loss = build_loss(&mut g, input, variant);
+        g.value(loss).as_scalar()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn analytic_gradient_matches_finite_differences(
+            x in proptest::collection::vec(-2.0f64..2.0, 6),
+            variant in 0usize..4,
+        ) {
+            let mut g = Graph::new();
+            g.seal();
+            let input = g.input(Tensor::row(&x));
+            let loss = build_loss(&mut g, input, variant);
+            g.backward(loss);
+            let analytic = g.grad(input).data().to_vec();
+
+            let h = 1e-5;
+            for i in 0..x.len() {
+                let mut xp = x.clone();
+                let mut xm = x.clone();
+                xp[i] += h;
+                xm[i] -= h;
+                let numeric = (loss_value(&xp, variant) - loss_value(&xm, variant)) / (2.0 * h);
+                // max / relu / segment_max are only piecewise differentiable;
+                // skip coordinates where the finite difference straddles a kink.
+                let disagreement = (analytic[i] - numeric).abs();
+                let scale = 1.0 + analytic[i].abs() + numeric.abs();
+                if disagreement / scale > 1e-4 {
+                    // Tolerate kink coordinates but only if the two one-sided
+                    // differences themselves disagree (evidence of a kink).
+                    let fp = (loss_value(&xp, variant) - loss_value(&x, variant)) / h;
+                    let fm = (loss_value(&x, variant) - loss_value(&xm, variant)) / h;
+                    prop_assert!(
+                        (fp - fm).abs() / scale > 1e-6,
+                        "variant {} coord {}: analytic {} vs numeric {}",
+                        variant, i, analytic[i], numeric
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! A minimal dense 2-D tensor (row-major `f64`).
+//!
+//! All neural-network state in this reproduction — activations, weights,
+//! gradients — is a [`Tensor`].  Scalars are `1×1` tensors and vectors are
+//! `1×n` row vectors.
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// A tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Tensor {
+        Tensor { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// A `1×1` tensor holding a scalar.
+    pub fn scalar(value: f64) -> Tensor {
+        Tensor { rows: 1, cols: 1, data: vec![value] }
+    }
+
+    /// A `1×n` row vector with the given entries.
+    pub fn row(values: &[f64]) -> Tensor {
+        Tensor { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// Builds a tensor from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Tensor {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows * cols");
+        Tensor { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization, the standard choice for the fully
+    /// connected layers used by FIGRET and DOTE.
+    pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+        let limit = (6.0 / (rows + cols) as f64).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The value of a `1×1` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `1×1`.
+    pub fn as_scalar(&self) -> f64 {
+        assert_eq!(self.shape(), (1, 1), "tensor is not a scalar");
+        self.data[0]
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// `self += other` element-wise.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += scale * other` element-wise.
+    pub fn axpy(&mut self, scale: f64, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let row_out = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let row_b = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, b) in row_out.iter_mut().zip(row_b) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Largest element (NaN-free tensors assumed); 0.0 for an empty tensor.
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(f64::NEG_INFINITY)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.get(1, 2), 6.0);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(Tensor::scalar(3.5).as_scalar(), 3.5);
+        assert_eq!(Tensor::row(&[1.0, 2.0]).shape(), (1, 2));
+        assert_eq!(Tensor::full(2, 2, 7.0).data(), &[7.0; 4]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Tensor::row(&[1.0, 2.0]);
+        let b = Tensor::row(&[3.0, 4.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[4.0, 6.0]);
+        a.axpy(-2.0, &b);
+        assert_eq!(a.data(), &[-2.0, -2.0]);
+        a.fill_zero();
+        assert_eq!(a.data(), &[0.0, 0.0]);
+        assert!((Tensor::row(&[3.0, 4.0]).norm() - 5.0).abs() < 1e-12);
+        assert_eq!(Tensor::row(&[1.0, 9.0, 3.0]).max_value(), 9.0);
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_seeded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = Tensor::xavier_uniform(20, 30, &mut rng);
+        let limit = (6.0f64 / 50.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+        let mut rng2 = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(t, Tensor::xavier_uniform(20, 30, &mut rng2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_checks_shapes() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,213 @@
+//! Differentiable TE expressions on the autograd tape.
+//!
+//! Both FIGRET's training loss (Equations 7 and 8 of the paper) and the
+//! iterative gradient-based TE solver need to express the same quantities as
+//! differentiable functions of a raw per-path weight vector:
+//!
+//! * split ratios — sigmoid followed by per-SD-pair normalization,
+//! * maximum link utilization `M(R, D)` via the incidence matrices of
+//!   Function 1 (Appendix D.1), either exactly (`max`) or smoothed
+//!   (`logsumexp`),
+//! * the fine-grained sensitivity penalty `Σ_sd σ²_sd · S^max_sd`.
+//!
+//! [`DiffTe`] pre-computes the constant structures (segments, path→edge
+//! incidence, capacity vectors) once per [`PathSet`] so that per-sample graph
+//! construction stays cheap.
+
+use std::rc::Rc;
+
+use figret_nn::{Graph, SparseMatrix, Var};
+
+use crate::pathset::PathSet;
+
+/// How to aggregate per-edge utilizations into the loss term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MluAggregation {
+    /// Exact maximum (sub-gradient flows to the bottleneck edge only).
+    Max,
+    /// Smooth maximum `T · ln Σ exp(u_e / T)` with the given temperature.
+    SmoothMax(f64),
+}
+
+/// Pre-computed constant structures for differentiable TE expressions.
+#[derive(Debug, Clone)]
+pub struct DiffTe {
+    /// Per-pair path index ranges (the normalization segments).
+    segments: Rc<Vec<std::ops::Range<usize>>>,
+    /// Edge × path incidence matrix (entries are 1).
+    edge_by_path: Rc<SparseMatrix>,
+    /// `1 / c(e)` per edge.
+    inv_edge_capacity: Rc<Vec<f64>>,
+    /// `1 / C_p` per path.
+    inv_path_capacity: Rc<Vec<f64>>,
+    num_pairs: usize,
+    num_paths: usize,
+}
+
+impl DiffTe {
+    /// Builds the constant structures for a path set.
+    pub fn new(paths: &PathSet) -> DiffTe {
+        let segments: Vec<std::ops::Range<usize>> =
+            (0..paths.num_pairs()).map(|pair| paths.paths_of_pair(pair)).collect();
+        let rows: Vec<Vec<(usize, f64)>> = (0..paths.num_edges())
+            .map(|e| paths.paths_on_edge(e).iter().map(|&p| (p, 1.0)).collect())
+            .collect();
+        let edge_by_path = SparseMatrix::from_rows(paths.num_edges(), paths.num_paths(), &rows);
+        let inv_edge_capacity: Vec<f64> = paths.edge_capacities().iter().map(|c| 1.0 / c).collect();
+        let inv_path_capacity: Vec<f64> = paths.path_capacities().iter().map(|c| 1.0 / c).collect();
+        DiffTe {
+            segments: Rc::new(segments),
+            edge_by_path: Rc::new(edge_by_path),
+            inv_edge_capacity: Rc::new(inv_edge_capacity),
+            inv_path_capacity: Rc::new(inv_path_capacity),
+            num_pairs: paths.num_pairs(),
+            num_paths: paths.num_paths(),
+        }
+    }
+
+    /// Number of SD pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.num_pairs
+    }
+
+    /// Number of candidate paths.
+    pub fn num_paths(&self) -> usize {
+        self.num_paths
+    }
+
+    /// Turns raw (unbounded) per-path weights into split ratios:
+    /// `ratios = segment_normalize(sigmoid(raw))`.
+    pub fn ratios_from_raw(&self, graph: &mut Graph, raw: Var) -> Var {
+        let positive = graph.sigmoid(raw);
+        graph.segment_normalize(positive, Rc::clone(&self.segments))
+    }
+
+    /// Per-SD-pair normalization of an already non-negative weight node.
+    pub fn normalize(&self, graph: &mut Graph, nonnegative: Var) -> Var {
+        graph.segment_normalize(nonnegative, Rc::clone(&self.segments))
+    }
+
+    /// Per-edge utilizations for the given split-ratio node and demand vector
+    /// (one demand per SD pair, `flatten_pairs` order).
+    pub fn edge_utilizations(&self, graph: &mut Graph, ratios: Var, demand_pairs: &[f64]) -> Var {
+        assert_eq!(demand_pairs.len(), self.num_pairs, "one demand per SD pair is required");
+        // flow_p = d_{pair(p)} * r_p  — expand the per-pair demands to per-path.
+        let mut per_path_demand = vec![0.0; self.num_paths];
+        for (pair, seg) in self.segments.iter().enumerate() {
+            for p in seg.clone() {
+                per_path_demand[p] = demand_pairs[pair];
+            }
+        }
+        let flows = graph.mul_const(ratios, Rc::new(per_path_demand));
+        let loads = graph.sparse_matvec(flows, Rc::clone(&self.edge_by_path));
+        graph.mul_const(loads, Rc::clone(&self.inv_edge_capacity))
+    }
+
+    /// The MLU term `M(R, D)` as a scalar node.
+    pub fn mlu(
+        &self,
+        graph: &mut Graph,
+        ratios: Var,
+        demand_pairs: &[f64],
+        aggregation: MluAggregation,
+    ) -> Var {
+        let utils = self.edge_utilizations(graph, ratios, demand_pairs);
+        match aggregation {
+            MluAggregation::Max => graph.max(utils),
+            MluAggregation::SmoothMax(t) => graph.logsumexp(utils, t),
+        }
+    }
+
+    /// Per-pair maximum path sensitivity `S^max_sd` as a `1×num_pairs` node.
+    pub fn max_sensitivity_per_pair(&self, graph: &mut Graph, ratios: Var) -> Var {
+        let sens = graph.mul_const(ratios, Rc::clone(&self.inv_path_capacity));
+        graph.segment_max(sens, Rc::clone(&self.segments))
+    }
+
+    /// The fine-grained robustness penalty `Σ_sd weight_sd · S^max_sd`
+    /// (Equation 8 with `weight = σ²`).
+    pub fn sensitivity_penalty(&self, graph: &mut Graph, ratios: Var, weights: &[f64]) -> Var {
+        assert_eq!(weights.len(), self.num_pairs, "one weight per SD pair is required");
+        let per_pair = self.max_sensitivity_per_pair(graph, ratios);
+        graph.dot_const(per_pair, Rc::new(weights.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TeConfig;
+    use crate::mlu::max_link_utilization_pairs;
+    use crate::sensitivity::robustness_penalty;
+    use figret_nn::Tensor;
+    use figret_topology::{Topology, TopologySpec};
+
+    fn setup() -> (PathSet, DiffTe) {
+        let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
+        let ps = PathSet::k_shortest(&g, 3);
+        let d = DiffTe::new(&ps);
+        (ps, d)
+    }
+
+    #[test]
+    fn differentiable_mlu_matches_reference_implementation() {
+        let (ps, diff) = setup();
+        let mut g = Graph::new();
+        g.seal();
+        let raw_values: Vec<f64> = (0..ps.num_paths()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let raw = g.input(Tensor::row(&raw_values));
+        let ratios = diff.ratios_from_raw(&mut g, raw);
+        let demand: Vec<f64> = (0..ps.num_pairs()).map(|i| 10.0 + i as f64).collect();
+        let mlu = diff.mlu(&mut g, ratios, &demand, MluAggregation::Max);
+
+        // Reference: build a TeConfig from the same ratios and evaluate.
+        let cfg = TeConfig::from_raw(&ps, g.value(ratios).data());
+        let reference = max_link_utilization_pairs(&ps, &cfg, &demand);
+        assert!((g.value(mlu).as_scalar() - reference).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooth_max_upper_bounds_exact_max() {
+        let (ps, diff) = setup();
+        let mut g = Graph::new();
+        g.seal();
+        let raw = g.input(Tensor::zeros(1, ps.num_paths()));
+        let ratios = diff.ratios_from_raw(&mut g, raw);
+        let demand = vec![25.0; ps.num_pairs()];
+        let exact = diff.mlu(&mut g, ratios, &demand, MluAggregation::Max);
+        let smooth = diff.mlu(&mut g, ratios, &demand, MluAggregation::SmoothMax(0.01));
+        let e = g.value(exact).as_scalar();
+        let s = g.value(smooth).as_scalar();
+        assert!(s >= e);
+        assert!(s - e < 0.05 * e + 0.05, "smooth max too loose: {s} vs {e}");
+    }
+
+    #[test]
+    fn sensitivity_penalty_matches_reference() {
+        let (ps, diff) = setup();
+        let mut g = Graph::new();
+        g.seal();
+        let raw = g.input(Tensor::row(&vec![0.3; ps.num_paths()]));
+        let ratios = diff.ratios_from_raw(&mut g, raw);
+        let weights: Vec<f64> = (0..ps.num_pairs()).map(|i| i as f64 * 0.5).collect();
+        let penalty = diff.sensitivity_penalty(&mut g, ratios, &weights);
+        let cfg = TeConfig::from_raw(&ps, g.value(ratios).data());
+        let reference = robustness_penalty(&ps, &cfg, &weights);
+        assert!((g.value(penalty).as_scalar() - reference).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradients_reach_the_raw_weights() {
+        let (ps, diff) = setup();
+        let mut g = Graph::new();
+        let raw = g.parameter(Tensor::zeros(1, ps.num_paths()));
+        g.seal();
+        let ratios = diff.ratios_from_raw(&mut g, raw);
+        let demand = vec![30.0; ps.num_pairs()];
+        let mlu = diff.mlu(&mut g, ratios, &demand, MluAggregation::SmoothMax(0.05));
+        g.backward(mlu);
+        assert!(g.grad(raw).norm() > 0.0, "MLU must depend on the raw weights");
+        assert_eq!(diff.num_paths(), ps.num_paths());
+        assert_eq!(diff.num_pairs(), ps.num_pairs());
+    }
+}

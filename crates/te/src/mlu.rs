@@ -1,0 +1,217 @@
+//! Maximum-link-utilization (MLU) evaluation.
+//!
+//! Given a demand matrix `D` and a TE configuration `R`, the flow on an edge is
+//! `f_e = Σ_{s,d} Σ_{p ∈ P_sd, e ∈ p} D_sd · r_p` and the MLU is
+//! `max_e f_e / c(e)` (§3, denoted `M(R, D)` in the paper).  This module
+//! implements that computation with the sparse incidence structures of
+//! [`crate::pathset::PathSet`], which is exactly Function 1 of Appendix D.1.
+
+use figret_traffic::DemandMatrix;
+
+use crate::config::TeConfig;
+use crate::pathset::PathSet;
+
+/// The flow carried by each path: `flow_p = D_{sd(p)} · r_p`.
+pub fn path_flows(paths: &PathSet, config: &TeConfig, demand_pairs: &[f64]) -> Vec<f64> {
+    assert_eq!(demand_pairs.len(), paths.num_pairs(), "one demand per SD pair is required");
+    let mut flows = vec![0.0; paths.num_paths()];
+    for (pi, flow) in flows.iter_mut().enumerate() {
+        let pair = paths.pair_of_path(pi);
+        *flow = demand_pairs[pair] * config.ratio(pi);
+    }
+    flows
+}
+
+/// The total traffic on every edge.
+pub fn edge_loads(paths: &PathSet, config: &TeConfig, demand_pairs: &[f64]) -> Vec<f64> {
+    let flows = path_flows(paths, config, demand_pairs);
+    let mut loads = vec![0.0; paths.num_edges()];
+    for (pi, f) in flows.iter().enumerate() {
+        if *f == 0.0 {
+            continue;
+        }
+        for &e in paths.path_edges(pi) {
+            loads[e] += f;
+        }
+    }
+    loads
+}
+
+/// Per-edge utilization `f_e / c(e)`.
+pub fn edge_utilizations(paths: &PathSet, config: &TeConfig, demand_pairs: &[f64]) -> Vec<f64> {
+    edge_loads(paths, config, demand_pairs)
+        .into_iter()
+        .zip(paths.edge_capacities())
+        .map(|(l, c)| l / c)
+        .collect()
+}
+
+/// Maximum link utilization `M(R, D)` for a flattened demand vector.
+pub fn max_link_utilization_pairs(paths: &PathSet, config: &TeConfig, demand_pairs: &[f64]) -> f64 {
+    edge_utilizations(paths, config, demand_pairs).into_iter().fold(0.0, f64::max)
+}
+
+/// Maximum link utilization `M(R, D)` for a demand matrix.
+pub fn max_link_utilization(paths: &PathSet, config: &TeConfig, demand: &DemandMatrix) -> f64 {
+    max_link_utilization_pairs(paths, config, &demand.flatten_pairs())
+}
+
+/// The edge achieving the maximum utilization, with its utilization.
+/// Returns `None` when the path set has no edges.
+pub fn bottleneck_edge(
+    paths: &PathSet,
+    config: &TeConfig,
+    demand: &DemandMatrix,
+) -> Option<(usize, f64)> {
+    edge_utilizations(paths, config, &demand.flatten_pairs())
+        .into_iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("utilizations are finite"))
+}
+
+/// Naive MLU recomputation that walks every path explicitly.  Slower than
+/// [`max_link_utilization`] but independent of the incidence caches; used by
+/// tests to cross-check the optimized implementation.
+pub fn max_link_utilization_naive(paths: &PathSet, config: &TeConfig, demand: &DemandMatrix) -> f64 {
+    let demand_pairs = demand.flatten_pairs();
+    let mut loads = vec![0.0f64; paths.num_edges()];
+    for pair in 0..paths.num_pairs() {
+        for pi in paths.paths_of_pair(pair) {
+            let flow = demand_pairs[pair] * config.ratio(pi);
+            for e in paths.path(pi).edges() {
+                loads[e.index()] += flow;
+            }
+        }
+    }
+    loads
+        .into_iter()
+        .zip(paths.edge_capacities())
+        .map(|(l, c)| l / c)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figret_topology::{Graph, NodeId, Topology, TopologySpec};
+    use figret_traffic::wan::{wan_trace, WanTrafficConfig};
+
+    /// The 3-node example of Figure 3 of the paper: A=0, B=1, C=2, all links
+    /// capacity 2, demands A->B, A->C, B->C.
+    fn figure3() -> (Graph, PathSet) {
+        let mut g = Graph::named("figure3", 3);
+        g.add_bidirectional(NodeId(0), NodeId(1), 2.0).unwrap();
+        g.add_bidirectional(NodeId(0), NodeId(2), 2.0).unwrap();
+        g.add_bidirectional(NodeId(1), NodeId(2), 2.0).unwrap();
+        let ps = PathSet::k_shortest(&g, 2);
+        (g, ps)
+    }
+
+    fn figure3_demand(ab: f64, ac: f64, bc: f64) -> DemandMatrix {
+        let mut d = DemandMatrix::zeros(3);
+        d.set(0, 1, ab);
+        d.set(0, 2, ac);
+        d.set(1, 2, bc);
+        d
+    }
+
+    /// TE scheme 1 of Figure 3: all traffic on direct (shortest) paths.
+    #[test]
+    fn figure3_scheme1_normal_and_burst() {
+        let (_g, ps) = figure3();
+        let cfg = TeConfig::shortest_path(&ps);
+        let normal = figure3_demand(1.0, 1.0, 1.0);
+        assert!((max_link_utilization(&ps, &cfg, &normal) - 0.5).abs() < 1e-9);
+        let burst = figure3_demand(4.0, 1.0, 1.0);
+        assert!((max_link_utilization(&ps, &cfg, &burst) - 2.0).abs() < 1e-9);
+    }
+
+    /// TE scheme 2 of Figure 3: every demand split 50/50 over its two paths.
+    #[test]
+    fn figure3_scheme2_normal_and_burst() {
+        let (_g, ps) = figure3();
+        let cfg = TeConfig::uniform(&ps);
+        let normal = figure3_demand(1.0, 1.0, 1.0);
+        assert!((max_link_utilization(&ps, &cfg, &normal) - 0.75).abs() < 1e-9);
+        for burst in [
+            figure3_demand(4.0, 1.0, 1.0),
+            figure3_demand(1.0, 4.0, 1.0),
+            figure3_demand(1.0, 1.0, 4.0),
+        ] {
+            assert!((max_link_utilization(&ps, &cfg, &burst) - 1.5).abs() < 1e-9);
+        }
+    }
+
+    /// TE scheme 3 of Figure 3: direct paths for A->B and A->C, 62.5%/37.5%
+    /// split for B->C.  MLU values quoted in §2.3 of the paper.
+    #[test]
+    fn figure3_scheme3_matches_paper() {
+        let (_g, ps) = figure3();
+        let mut raw = vec![0.0; ps.num_paths()];
+        // Identify pairs: pairs are ordered (0,1), (0,2), (1,0), (1,2), (2,0), (2,1).
+        for pair in 0..ps.num_pairs() {
+            let (s, d) = ps.pairs()[pair];
+            let range: Vec<usize> = ps.paths_of_pair(pair).collect();
+            if s == NodeId(1) && d == NodeId(2) {
+                // B->C: 62.5% on the direct path (1 hop), 37.5% on the detour.
+                for &pi in &range {
+                    raw[pi] = if ps.path(pi).len() == 1 { 0.625 } else { 0.375 };
+                }
+            } else {
+                // Everything else: direct path only.
+                for &pi in &range {
+                    raw[pi] = if ps.path(pi).len() == 1 { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        let cfg = TeConfig::from_raw(&ps, &raw);
+        let normal = figure3_demand(1.0, 1.0, 1.0);
+        assert!((max_link_utilization(&ps, &cfg, &normal) - 0.6875).abs() < 1e-9);
+        // The paper quotes 2.1875 for burst 1/2 because it accounts links as
+        // undirected (the A<->B link carries the A->B burst plus the B->A leg
+        // of the B->C detour).  Our model uses one capacity per direction, so
+        // the burst lands on the A->B direction alone and the MLU is 4/2 = 2.
+        // The qualitative ordering of the three schemes is unchanged: scheme 3
+        // is worse than scheme 2 under bursts 1/2 and better under normal
+        // traffic and burst 3.
+        let burst1 = figure3_demand(4.0, 1.0, 1.0);
+        assert!((max_link_utilization(&ps, &cfg, &burst1) - 2.0).abs() < 1e-9);
+        let burst3 = figure3_demand(1.0, 1.0, 4.0);
+        assert!((max_link_utilization(&ps, &cfg, &burst3) - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_and_naive_mlu_agree_on_geant() {
+        let g = TopologySpec::full_scale(Topology::Geant).build();
+        let ps = PathSet::k_shortest(&g, 3);
+        let trace = wan_trace(&g, &WanTrafficConfig { num_snapshots: 5, ..Default::default() });
+        let cfg = TeConfig::uniform(&ps);
+        for m in trace.matrices() {
+            let fast = max_link_utilization(&ps, &cfg, m);
+            let naive = max_link_utilization_naive(&ps, &cfg, m);
+            assert!((fast - naive).abs() < 1e-9, "fast {fast} vs naive {naive}");
+            assert!(fast > 0.0);
+        }
+    }
+
+    #[test]
+    fn bottleneck_edge_is_the_argmax() {
+        let (_g, ps) = figure3();
+        let cfg = TeConfig::shortest_path(&ps);
+        let burst = figure3_demand(4.0, 1.0, 1.0);
+        let (edge, util) = bottleneck_edge(&ps, &cfg, &burst).unwrap();
+        assert!((util - 2.0).abs() < 1e-9);
+        let utils = edge_utilizations(&ps, &cfg, &burst.flatten_pairs());
+        assert_eq!(utils.iter().cloned().fold(0.0, f64::max), utils[edge]);
+    }
+
+    #[test]
+    fn zero_demand_gives_zero_mlu() {
+        let (_g, ps) = figure3();
+        let cfg = TeConfig::uniform(&ps);
+        let zero = DemandMatrix::zeros(3);
+        assert_eq!(max_link_utilization(&ps, &cfg, &zero), 0.0);
+        let flows = path_flows(&ps, &cfg, &zero.flatten_pairs());
+        assert!(flows.iter().all(|f| *f == 0.0));
+    }
+}

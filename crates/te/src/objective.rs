@@ -1,0 +1,127 @@
+//! Evaluation metrics built on top of MLU values.
+//!
+//! The paper reports MLU normalized by the omniscient optimum, counts
+//! "significant congestion events" (normalized MLU > 2), and summarizes
+//! distributions with box plots.  These helpers operate on plain `Vec<f64>`
+//! series so they can be reused by every experiment.
+
+use figret_traffic::DistributionSummary;
+
+/// Threshold above which a normalized MLU counts as a significant congestion
+/// event (the paper uses 2.0 in §5.2).
+pub const CONGESTION_THRESHOLD: f64 = 2.0;
+
+/// Normalizes a series of MLUs by a baseline series (typically the omniscient
+/// optimum), element-wise.  Entries whose baseline is zero are reported as 1.0
+/// when the value is also zero and as `f64::INFINITY` otherwise.
+pub fn normalize_by(values: &[f64], baseline: &[f64]) -> Vec<f64> {
+    assert_eq!(values.len(), baseline.len(), "series must have equal length");
+    values
+        .iter()
+        .zip(baseline)
+        .map(|(v, b)| {
+            if *b > 0.0 {
+                v / b
+            } else if *v == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect()
+}
+
+/// Fraction of snapshots whose normalized MLU exceeds `threshold`.
+pub fn congestion_event_rate(normalized: &[f64], threshold: f64) -> f64 {
+    if normalized.is_empty() {
+        return 0.0;
+    }
+    normalized.iter().filter(|v| **v > threshold).count() as f64 / normalized.len() as f64
+}
+
+/// Number of snapshots whose normalized MLU exceeds `threshold`.
+pub fn congestion_event_count(normalized: &[f64], threshold: f64) -> usize {
+    normalized.iter().filter(|v| **v > threshold).count()
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Relative change `(candidate - reference) / reference`, used by Tables 3-5 to
+/// report "performance decline" percentages.  Returns 0 when the reference is 0.
+pub fn relative_change(candidate: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        0.0
+    } else {
+        (candidate - reference) / reference
+    }
+}
+
+/// A compact per-scheme result: the normalized-MLU distribution plus the
+/// congestion-event rate.  This is what every quality figure reports.
+#[derive(Debug, Clone)]
+pub struct SchemeQuality {
+    /// Display name of the TE scheme.
+    pub scheme: String,
+    /// Summary of the normalized MLU distribution.
+    pub normalized_mlu: DistributionSummary,
+    /// Fraction of snapshots with normalized MLU above [`CONGESTION_THRESHOLD`].
+    pub congestion_rate: f64,
+}
+
+impl SchemeQuality {
+    /// Builds the quality record from a normalized MLU series.
+    pub fn from_normalized(scheme: impl Into<String>, normalized: &[f64]) -> SchemeQuality {
+        SchemeQuality {
+            scheme: scheme.into(),
+            normalized_mlu: DistributionSummary::from_samples(normalized),
+            congestion_rate: congestion_event_rate(normalized, CONGESTION_THRESHOLD),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_and_edge_cases() {
+        let v = vec![2.0, 3.0, 0.0, 1.0];
+        let b = vec![1.0, 1.5, 0.0, 0.0];
+        let n = normalize_by(&v, &b);
+        assert_eq!(n[0], 2.0);
+        assert_eq!(n[1], 2.0);
+        assert_eq!(n[2], 1.0);
+        assert!(n[3].is_infinite());
+    }
+
+    #[test]
+    fn congestion_counting() {
+        let n = vec![1.0, 2.5, 3.0, 1.9];
+        assert_eq!(congestion_event_count(&n, 2.0), 2);
+        assert!((congestion_event_rate(&n, 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(congestion_event_rate(&[], 2.0), 0.0);
+    }
+
+    #[test]
+    fn mean_and_relative_change() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((relative_change(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_change(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn scheme_quality_summary() {
+        let q = SchemeQuality::from_normalized("FIGRET", &[1.0, 1.1, 2.4, 1.2]);
+        assert_eq!(q.scheme, "FIGRET");
+        assert_eq!(q.normalized_mlu.count, 4);
+        assert!((q.congestion_rate - 0.25).abs() < 1e-12);
+    }
+}

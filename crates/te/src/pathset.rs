@@ -1,0 +1,277 @@
+//! Candidate path sets and their incidence structures.
+//!
+//! A [`PathSet`] holds, for every ordered source-destination pair of a graph,
+//! the candidate paths over which that pair's traffic may be split.  It also
+//! pre-computes the two incidence relations of Function 1 (Appendix D.1 of the
+//! paper): which paths serve which SD pair (`SDtoPath`) and which edges each
+//! path traverses (`PathtoEdge`), so that MLU evaluation reduces to sparse
+//! matrix products.
+
+use figret_topology::{k_shortest_paths, racke_paths, EdgeWeight, Graph, NodeId, Path, RackeConfig};
+
+/// Index of an ordered source-destination pair within a [`PathSet`].
+pub type PairIndex = usize;
+
+/// Index of a path within a [`PathSet`] (global, across all pairs).
+pub type PathIndex = usize;
+
+/// The candidate paths of every SD pair plus cached incidence structures.
+#[derive(Debug, Clone)]
+pub struct PathSet {
+    num_nodes: usize,
+    num_edges: usize,
+    /// Ordered SD pairs, matching [`Graph::sd_pairs`] / `DemandMatrix::flatten_pairs`.
+    pairs: Vec<(NodeId, NodeId)>,
+    /// `pair_offsets[i]..pair_offsets[i+1]` indexes the paths of pair `i`.
+    pair_offsets: Vec<usize>,
+    /// All paths, grouped by pair.
+    paths: Vec<Path>,
+    /// Pair index of each path.
+    pair_of_path: Vec<PairIndex>,
+    /// Edge indices traversed by each path.
+    path_edges: Vec<Vec<usize>>,
+    /// Path capacities (`C_p = min edge capacity`).
+    path_capacities: Vec<f64>,
+    /// Edge capacities indexed by edge id.
+    edge_capacities: Vec<f64>,
+    /// For each edge, the list of paths that traverse it (reverse incidence).
+    paths_on_edge: Vec<Vec<PathIndex>>,
+}
+
+impl PathSet {
+    /// Builds a path set from explicit per-pair path lists.
+    ///
+    /// `per_pair[i]` must contain the candidate paths of the `i`-th pair of
+    /// [`Graph::sd_pairs`]; pairs with no path are allowed (their demand simply
+    /// cannot be routed and is ignored by the MLU computation).
+    pub fn from_paths(graph: &Graph, per_pair: Vec<Vec<Path>>) -> PathSet {
+        let pairs = graph.sd_pairs();
+        assert_eq!(per_pair.len(), pairs.len(), "one path list per SD pair is required");
+        let mut pair_offsets = Vec::with_capacity(pairs.len() + 1);
+        let mut paths = Vec::new();
+        let mut pair_of_path = Vec::new();
+        pair_offsets.push(0);
+        for (i, ((s, d), pair_paths)) in pairs.iter().zip(per_pair).enumerate() {
+            for p in pair_paths {
+                assert_eq!(p.source(), *s, "path source must match the pair");
+                assert_eq!(p.destination(), *d, "path destination must match the pair");
+                paths.push(p);
+                pair_of_path.push(i);
+            }
+            pair_offsets.push(paths.len());
+        }
+        let path_edges: Vec<Vec<usize>> =
+            paths.iter().map(|p| p.edges().iter().map(|e| e.index()).collect()).collect();
+        let path_capacities: Vec<f64> = paths.iter().map(|p| p.capacity(graph)).collect();
+        let edge_capacities = graph.capacities();
+        let mut paths_on_edge = vec![Vec::new(); graph.num_edges()];
+        for (pi, edges) in path_edges.iter().enumerate() {
+            for &e in edges {
+                paths_on_edge[e].push(pi);
+            }
+        }
+        PathSet {
+            num_nodes: graph.num_nodes(),
+            num_edges: graph.num_edges(),
+            pairs,
+            pair_offsets,
+            paths,
+            pair_of_path,
+            path_edges,
+            path_capacities,
+            edge_capacities,
+            paths_on_edge,
+        }
+    }
+
+    /// The paper's default path selection: the `k` shortest (hop-count) paths
+    /// per SD pair, computed with Yen's algorithm (§5.1, k = 3).
+    pub fn k_shortest(graph: &Graph, k: usize) -> PathSet {
+        let per_pair = graph
+            .sd_pairs()
+            .into_iter()
+            .map(|(s, d)| k_shortest_paths(graph, s, d, k, EdgeWeight::HopCount))
+            .collect();
+        PathSet::from_paths(graph, per_pair)
+    }
+
+    /// SMORE-style path selection: Räcke-inspired diverse, capacity-aware paths.
+    pub fn racke(graph: &Graph, config: &RackeConfig) -> PathSet {
+        let per_pair = graph
+            .sd_pairs()
+            .into_iter()
+            .map(|(s, d)| racke_paths(graph, s, d, config))
+            .collect();
+        PathSet::from_paths(graph, per_pair)
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges of the underlying graph.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of ordered SD pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Total number of candidate paths across all pairs.
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The ordered SD pairs.
+    pub fn pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// Global path indices belonging to pair `i`.
+    pub fn paths_of_pair(&self, pair: PairIndex) -> std::ops::Range<PathIndex> {
+        self.pair_offsets[pair]..self.pair_offsets[pair + 1]
+    }
+
+    /// Number of candidate paths of pair `i`.
+    pub fn num_paths_of_pair(&self, pair: PairIndex) -> usize {
+        self.pair_offsets[pair + 1] - self.pair_offsets[pair]
+    }
+
+    /// The pair served by a path.
+    pub fn pair_of_path(&self, path: PathIndex) -> PairIndex {
+        self.pair_of_path[path]
+    }
+
+    /// The path object at a global path index.
+    pub fn path(&self, path: PathIndex) -> &Path {
+        &self.paths[path]
+    }
+
+    /// Edge indices traversed by a path.
+    pub fn path_edges(&self, path: PathIndex) -> &[usize] {
+        &self.path_edges[path]
+    }
+
+    /// Capacity of a path (`C_p`).
+    pub fn path_capacity(&self, path: PathIndex) -> f64 {
+        self.path_capacities[path]
+    }
+
+    /// All path capacities, indexed by global path index.
+    pub fn path_capacities(&self) -> &[f64] {
+        &self.path_capacities
+    }
+
+    /// Edge capacities, indexed by edge id.
+    pub fn edge_capacities(&self) -> &[f64] {
+        &self.edge_capacities
+    }
+
+    /// Paths traversing a given edge.
+    pub fn paths_on_edge(&self, edge: usize) -> &[PathIndex] {
+        &self.paths_on_edge[edge]
+    }
+
+    /// Builds the dense `|pairs| x |paths|` SD-to-path incidence matrix of
+    /// Function 1 (row-major).  Mostly useful for tests and for the neural
+    /// network's differentiable MLU evaluation on small topologies.
+    pub fn sd_to_path_dense(&self) -> Vec<f64> {
+        let mut m = vec![0.0; self.num_pairs() * self.num_paths()];
+        for (pi, &pair) in self.pair_of_path.iter().enumerate() {
+            m[pair * self.num_paths() + pi] = 1.0;
+        }
+        m
+    }
+
+    /// Builds the dense `|paths| x |edges|` path-to-edge incidence matrix of
+    /// Function 1 (row-major).
+    pub fn path_to_edge_dense(&self) -> Vec<f64> {
+        let mut m = vec![0.0; self.num_paths() * self.num_edges()];
+        for (pi, edges) in self.path_edges.iter().enumerate() {
+            for &e in edges {
+                m[pi * self.num_edges() + e] = 1.0;
+            }
+        }
+        m
+    }
+
+    /// Average number of candidate paths per pair (pairs with zero paths count).
+    pub fn mean_paths_per_pair(&self) -> f64 {
+        if self.num_pairs() == 0 {
+            0.0
+        } else {
+            self.num_paths() as f64 / self.num_pairs() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figret_topology::{Topology, TopologySpec};
+
+    fn geant_paths() -> PathSet {
+        let g = TopologySpec::full_scale(Topology::Geant).build();
+        PathSet::k_shortest(&g, 3)
+    }
+
+    #[test]
+    fn k_shortest_builds_paths_for_every_pair() {
+        let ps = geant_paths();
+        assert_eq!(ps.num_pairs(), 23 * 22);
+        assert_eq!(ps.num_nodes(), 23);
+        assert_eq!(ps.num_edges(), 74);
+        for pair in 0..ps.num_pairs() {
+            let n = ps.num_paths_of_pair(pair);
+            assert!(n >= 1 && n <= 3, "pair {pair} has {n} paths");
+            for pi in ps.paths_of_pair(pair) {
+                assert_eq!(ps.pair_of_path(pi), pair);
+                assert!(ps.path_capacity(pi) > 0.0);
+                assert!(!ps.path_edges(pi).is_empty());
+            }
+        }
+        assert!(ps.mean_paths_per_pair() > 2.0);
+    }
+
+    #[test]
+    fn incidence_matrices_are_consistent() {
+        let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
+        let ps = PathSet::k_shortest(&g, 3);
+        let sd2p = ps.sd_to_path_dense();
+        let p2e = ps.path_to_edge_dense();
+        // Every path has exactly one pair.
+        for pi in 0..ps.num_paths() {
+            let col_sum: f64 = (0..ps.num_pairs()).map(|pr| sd2p[pr * ps.num_paths() + pi]).sum();
+            assert_eq!(col_sum, 1.0);
+        }
+        // path_to_edge rows match path_edges.
+        for pi in 0..ps.num_paths() {
+            let row_sum: f64 = (0..ps.num_edges()).map(|e| p2e[pi * ps.num_edges() + e]).sum();
+            assert_eq!(row_sum as usize, ps.path_edges(pi).len());
+        }
+        // Reverse incidence agrees.
+        for e in 0..ps.num_edges() {
+            for &pi in ps.paths_on_edge(e) {
+                assert!(ps.path_edges(pi).contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn racke_pathset_builds() {
+        let g = TopologySpec::full_scale(Topology::PFabric).build();
+        let ps = PathSet::racke(&g, &RackeConfig::default());
+        assert_eq!(ps.num_pairs(), 72);
+        assert!(ps.num_paths() >= ps.num_pairs());
+    }
+
+    #[test]
+    #[should_panic(expected = "one path list per SD pair")]
+    fn from_paths_checks_length() {
+        let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
+        PathSet::from_paths(&g, vec![Vec::new()]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Path sensitivity (§4.1 of the paper).
+//!
+//! The sensitivity of a path is `S_p = r_p / C_p`: the marginal increase in the
+//! utilization of the path's bottleneck link per unit of unexpected extra
+//! traffic on the SD pair it serves.  FIGRET's robustness term penalizes the
+//! *maximum* sensitivity among the paths of each SD pair, weighted by that
+//! pair's historical traffic variance.
+
+use crate::config::TeConfig;
+use crate::pathset::PathSet;
+
+/// Per-path sensitivities `S_p = r_p / C_p`.
+pub fn path_sensitivities(paths: &PathSet, config: &TeConfig) -> Vec<f64> {
+    (0..paths.num_paths())
+        .map(|pi| config.ratio(pi) / paths.path_capacity(pi))
+        .collect()
+}
+
+/// Per-pair maximum sensitivity `S^max_sd = max_{p ∈ P_sd} S_p`.
+/// Pairs without candidate paths report 0.
+pub fn max_sensitivity_per_pair(paths: &PathSet, config: &TeConfig) -> Vec<f64> {
+    let s = path_sensitivities(paths, config);
+    (0..paths.num_pairs())
+        .map(|pair| paths.paths_of_pair(pair).map(|pi| s[pi]).fold(0.0, f64::max))
+        .collect()
+}
+
+/// The largest path sensitivity in the whole configuration (the objective
+/// minimized by COUDER-style schemes).
+pub fn max_sensitivity(paths: &PathSet, config: &TeConfig) -> f64 {
+    path_sensitivities(paths, config).into_iter().fold(0.0, f64::max)
+}
+
+/// The fine-grained robustness penalty of the FIGRET loss (Equation 8):
+/// `Σ_sd σ²_sd · S^max_sd`, where `variances` holds `σ²_sd` per pair.
+pub fn robustness_penalty(paths: &PathSet, config: &TeConfig, variances: &[f64]) -> f64 {
+    assert_eq!(variances.len(), paths.num_pairs(), "one variance per SD pair is required");
+    max_sensitivity_per_pair(paths, config)
+        .into_iter()
+        .zip(variances)
+        .map(|(s, v)| s * v)
+        .sum()
+}
+
+/// `true` if every path satisfies `S_p <= bound(pair)`, the constraint form of
+/// desensitization-based TE (Equation 4).
+pub fn satisfies_sensitivity_bounds<F: Fn(usize) -> f64>(
+    paths: &PathSet,
+    config: &TeConfig,
+    bound: F,
+    tolerance: f64,
+) -> bool {
+    let s = path_sensitivities(paths, config);
+    (0..paths.num_paths()).all(|pi| s[pi] <= bound(paths.pair_of_path(pi)) + tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figret_topology::{Graph, NodeId};
+
+    fn two_path_net() -> (Graph, PathSet) {
+        // 0 -> 1 directly (capacity 1) or via 2 (capacity 4 bottleneck).
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 4.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(1), 8.0).unwrap();
+        // Reverse direction so every pair has at least one path.
+        g.add_edge(NodeId(1), NodeId(0), 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(0), 4.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 8.0).unwrap();
+        let ps = PathSet::k_shortest(&g, 2);
+        (g, ps)
+    }
+
+    #[test]
+    fn sensitivities_divide_by_path_capacity() {
+        let (_g, ps) = two_path_net();
+        let cfg = TeConfig::uniform(&ps);
+        let s = path_sensitivities(&ps, &cfg);
+        // Pair (0,1) has two paths: direct capacity 1 and detour capacity 4.
+        let pair01 = ps
+            .pairs()
+            .iter()
+            .position(|&(a, b)| a == NodeId(0) && b == NodeId(1))
+            .unwrap();
+        let idx: Vec<usize> = ps.paths_of_pair(pair01).collect();
+        assert_eq!(idx.len(), 2);
+        let (direct, detour) = if ps.path(idx[0]).len() == 1 { (idx[0], idx[1]) } else { (idx[1], idx[0]) };
+        assert!((s[direct] - 0.5 / 1.0).abs() < 1e-12);
+        assert!((s[detour] - 0.5 / 4.0).abs() < 1e-12);
+        let per_pair = max_sensitivity_per_pair(&ps, &cfg);
+        assert!((per_pair[pair01] - 0.5).abs() < 1e-12);
+        assert!((max_sensitivity(&ps, &cfg) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifting_traffic_to_fat_paths_reduces_sensitivity() {
+        let (_g, ps) = two_path_net();
+        let pair01 = ps
+            .pairs()
+            .iter()
+            .position(|&(a, b)| a == NodeId(0) && b == NodeId(1))
+            .unwrap();
+        let idx: Vec<usize> = ps.paths_of_pair(pair01).collect();
+        let (direct, detour) = if ps.path(idx[0]).len() == 1 { (idx[0], idx[1]) } else { (idx[1], idx[0]) };
+        let mut raw = TeConfig::uniform(&ps).ratios().to_vec();
+        raw[direct] = 0.2;
+        raw[detour] = 0.8;
+        let cfg = TeConfig::from_raw(&ps, &raw);
+        let uniform = TeConfig::uniform(&ps);
+        let per_pair_biased = max_sensitivity_per_pair(&ps, &cfg);
+        let per_pair_uniform = max_sensitivity_per_pair(&ps, &uniform);
+        assert!(per_pair_biased[pair01] < per_pair_uniform[pair01]);
+    }
+
+    #[test]
+    fn robustness_penalty_weights_by_variance() {
+        let (_g, ps) = two_path_net();
+        let cfg = TeConfig::uniform(&ps);
+        let zero_var = vec![0.0; ps.num_pairs()];
+        assert_eq!(robustness_penalty(&ps, &cfg, &zero_var), 0.0);
+        let mut one_pair = vec![0.0; ps.num_pairs()];
+        one_pair[0] = 2.0;
+        let expected = 2.0 * max_sensitivity_per_pair(&ps, &cfg)[0];
+        assert!((robustness_penalty(&ps, &cfg, &one_pair) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_checking() {
+        let (_g, ps) = two_path_net();
+        let cfg = TeConfig::uniform(&ps);
+        assert!(satisfies_sensitivity_bounds(&ps, &cfg, |_| 1.0, 1e-9));
+        assert!(!satisfies_sensitivity_bounds(&ps, &cfg, |_| 0.1, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "one variance per SD pair")]
+    fn penalty_checks_length() {
+        let (_g, ps) = two_path_net();
+        let cfg = TeConfig::uniform(&ps);
+        robustness_penalty(&ps, &cfg, &[1.0]);
+    }
+}

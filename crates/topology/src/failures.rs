@@ -1,0 +1,190 @@
+//! Link-failure scenarios (§4.5 and §5.3 of the paper).
+//!
+//! A failure scenario is a set of failed *physical links*; because every
+//! physical link is represented by two directed edges, failing a link removes
+//! both directions.  The TE-side consequences (which paths become unavailable
+//! and how their traffic is redistributed) live in the `figret-te` crate; this
+//! module only produces and manipulates the failed-edge sets.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::graph::{EdgeId, Graph};
+
+/// A set of failed directed edges.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailureScenario {
+    failed: Vec<EdgeId>,
+}
+
+impl FailureScenario {
+    /// A scenario with no failures.
+    pub fn none() -> Self {
+        FailureScenario::default()
+    }
+
+    /// Builds a scenario from an explicit list of failed directed edges.
+    pub fn from_edges(mut edges: Vec<EdgeId>) -> Self {
+        edges.sort();
+        edges.dedup();
+        FailureScenario { failed: edges }
+    }
+
+    /// The failed directed edges, sorted and deduplicated.
+    pub fn failed_edges(&self) -> &[EdgeId] {
+        &self.failed
+    }
+
+    /// Number of failed directed edges.
+    pub fn len(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// `true` if nothing failed.
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// `true` if the given directed edge is failed.
+    pub fn is_failed(&self, edge: EdgeId) -> bool {
+        self.failed.binary_search(&edge).is_ok()
+    }
+
+    /// Boolean mask over all edges of `graph` (`true` = failed).
+    pub fn edge_mask(&self, graph: &Graph) -> Vec<bool> {
+        let mut mask = vec![false; graph.num_edges()];
+        for e in &self.failed {
+            if e.index() < mask.len() {
+                mask[e.index()] = true;
+            }
+        }
+        mask
+    }
+}
+
+/// Samples `num_links` random bidirectional link failures, as in Figure 7 /
+/// Figures 14-15 of the paper ("different numbers of randomly selected links").
+///
+/// Only links whose removal keeps the graph strongly connected are selected, so
+/// every demand can still be served on at least one path in principle.  Returns
+/// `None` if no such set could be found within a bounded number of attempts.
+pub fn random_link_failures(graph: &Graph, num_links: usize, seed: u64) -> Option<FailureScenario> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfa11_0000);
+    // Collect each physical link once as (forward, backward) directed edges.
+    let mut links: Vec<(EdgeId, EdgeId)> = Vec::new();
+    for (id, e) in graph.edges() {
+        if e.src.index() < e.dst.index() {
+            if let Some(back) = graph.find_edge(e.dst, e.src) {
+                links.push((id, back));
+            }
+        }
+    }
+    if links.len() < num_links {
+        return None;
+    }
+    for _attempt in 0..200 {
+        let mut chosen = links.clone();
+        chosen.shuffle(&mut rng);
+        chosen.truncate(num_links);
+        let mut failed = Vec::with_capacity(num_links * 2);
+        for (f, b) in &chosen {
+            failed.push(*f);
+            failed.push(*b);
+        }
+        let scenario = FailureScenario::from_edges(failed);
+        if remains_strongly_connected(graph, &scenario) {
+            return Some(scenario);
+        }
+    }
+    None
+}
+
+/// `true` if the graph minus the failed edges is still strongly connected.
+pub fn remains_strongly_connected(graph: &Graph, scenario: &FailureScenario) -> bool {
+    if graph.num_nodes() == 0 {
+        return true;
+    }
+    let mask = scenario.edge_mask(graph);
+    let n = graph.num_nodes();
+    let reach = |reverse: bool| -> usize {
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 0;
+        while let Some(v) = stack.pop() {
+            count += 1;
+            let edges = if reverse {
+                graph.in_edges(crate::graph::NodeId(v))
+            } else {
+                graph.out_edges(crate::graph::NodeId(v))
+            };
+            for &eid in edges {
+                if mask[eid.index()] {
+                    continue;
+                }
+                let e = graph.edge(eid);
+                let next = if reverse { e.src.index() } else { e.dst.index() };
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        count
+    };
+    reach(false) == n && reach(true) == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{Topology, TopologySpec};
+    use crate::graph::{Graph, NodeId};
+
+    #[test]
+    fn scenario_basics() {
+        let s = FailureScenario::from_edges(vec![EdgeId(3), EdgeId(1), EdgeId(3)]);
+        assert_eq!(s.len(), 2);
+        assert!(s.is_failed(EdgeId(1)));
+        assert!(!s.is_failed(EdgeId(0)));
+        assert!(FailureScenario::none().is_empty());
+    }
+
+    #[test]
+    fn edge_mask_matches() {
+        let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
+        let s = FailureScenario::from_edges(vec![EdgeId(0), EdgeId(5)]);
+        let mask = s.edge_mask(&g);
+        assert_eq!(mask.iter().filter(|m| **m).count(), 2);
+        assert!(mask[0] && mask[5]);
+    }
+
+    #[test]
+    fn random_failures_keep_connectivity() {
+        let g = TopologySpec::full_scale(Topology::Geant).build();
+        for k in 1..=3 {
+            let s = random_link_failures(&g, k, 42).expect("GEANT tolerates up to 3 link failures");
+            assert_eq!(s.len(), 2 * k, "each failed link removes both directions");
+            assert!(remains_strongly_connected(&g, &s));
+        }
+    }
+
+    #[test]
+    fn random_failures_are_deterministic_per_seed() {
+        let g = TopologySpec::full_scale(Topology::Geant).build();
+        let a = random_link_failures(&g, 2, 5).unwrap();
+        let b = random_link_failures(&g, 2, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn impossible_failure_count_returns_none() {
+        let mut g = Graph::new(2);
+        g.add_bidirectional(NodeId(0), NodeId(1), 1.0).unwrap();
+        // Failing the only link disconnects the graph; requesting 1 failure must fail.
+        assert!(random_link_failures(&g, 1, 1).is_none());
+        // Requesting more links than exist must also fail.
+        assert!(random_link_failures(&g, 5, 1).is_none());
+    }
+}

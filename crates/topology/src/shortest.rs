@@ -1,0 +1,321 @@
+//! Shortest-path primitives (Dijkstra) and Yen's k-shortest simple paths.
+//!
+//! The paper (§5.1) pre-computes the three shortest paths between every pair of
+//! nodes with Yen's algorithm and uses them as the candidate paths for flow
+//! allocation.  [`k_shortest_paths`] implements Yen's algorithm on top of a
+//! Dijkstra that supports masking out nodes and edges.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::paths::Path;
+
+/// Edge weight function used by the shortest-path routines.
+///
+/// The paper uses hop count ("three shortest paths"); inverse-capacity weights
+/// are also provided because the Räcke-style path selection penalizes
+/// low-capacity links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeWeight {
+    /// Every edge costs 1 (hop count).
+    HopCount,
+    /// Every edge costs `1 / capacity`.
+    InverseCapacity,
+}
+
+impl EdgeWeight {
+    /// The cost of the given edge under this weight function.
+    pub fn cost(self, graph: &Graph, edge: EdgeId) -> f64 {
+        match self {
+            EdgeWeight::HopCount => 1.0,
+            EdgeWeight::InverseCapacity => 1.0 / graph.capacity(edge),
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want the minimum distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.index().cmp(&self.node.index()))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest path from `src` to `dst` using a custom per-edge cost.
+///
+/// `banned_nodes[i] == true` removes node `i` (it can still be the source),
+/// `banned_edges[e] == true` removes edge `e`.  Returns `None` if `dst` is
+/// unreachable under those restrictions.
+pub fn dijkstra_with_bans<F>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    cost: F,
+    banned_nodes: &[bool],
+    banned_edges: &[bool],
+) -> Option<Path>
+where
+    F: Fn(EdgeId) -> f64,
+{
+    assert_eq!(banned_nodes.len(), graph.num_nodes(), "banned_nodes length mismatch");
+    assert_eq!(banned_edges.len(), graph.num_edges(), "banned_edges length mismatch");
+    if src == dst {
+        return None;
+    }
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: src });
+
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if d > dist[node.index()] {
+            continue;
+        }
+        if node == dst {
+            break;
+        }
+        for &eid in graph.out_edges(node) {
+            if banned_edges[eid.index()] {
+                continue;
+            }
+            let edge = graph.edge(eid);
+            if banned_nodes[edge.dst.index()] {
+                continue;
+            }
+            let c = cost(eid);
+            debug_assert!(c >= 0.0, "edge costs must be non-negative");
+            let nd = d + c;
+            if nd < dist[edge.dst.index()] {
+                dist[edge.dst.index()] = nd;
+                prev_edge[edge.dst.index()] = Some(eid);
+                heap.push(HeapEntry { dist: nd, node: edge.dst });
+            }
+        }
+    }
+
+    if dist[dst.index()].is_infinite() {
+        return None;
+    }
+    // Reconstruct edge sequence backwards.
+    let mut edges_rev = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let eid = prev_edge[cur.index()].expect("predecessor exists for reached node");
+        edges_rev.push(eid);
+        cur = graph.edge(eid).src;
+    }
+    edges_rev.reverse();
+    Path::from_edges(graph, edges_rev)
+}
+
+/// Dijkstra shortest path without restrictions.
+pub fn shortest_path(graph: &Graph, src: NodeId, dst: NodeId, weight: EdgeWeight) -> Option<Path> {
+    let banned_nodes = vec![false; graph.num_nodes()];
+    let banned_edges = vec![false; graph.num_edges()];
+    dijkstra_with_bans(graph, src, dst, |e| weight.cost(graph, e), &banned_nodes, &banned_edges)
+}
+
+fn path_cost<F: Fn(EdgeId) -> f64>(path: &Path, cost: &F) -> f64 {
+    path.edges().iter().map(|&e| cost(e)).sum()
+}
+
+/// Yen's algorithm: up to `k` loop-free shortest paths from `src` to `dst`,
+/// ordered by increasing cost.
+///
+/// Ties are broken deterministically (by the node sequence), so the result is
+/// stable across runs, which matters for reproducible experiments.
+pub fn k_shortest_paths(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    weight: EdgeWeight,
+) -> Vec<Path> {
+    k_shortest_paths_with_cost(graph, src, dst, k, |e| weight.cost(graph, e))
+}
+
+/// Yen's algorithm with an arbitrary non-negative edge-cost function.
+pub fn k_shortest_paths_with_cost<F>(graph: &Graph, src: NodeId, dst: NodeId, k: usize, cost: F) -> Vec<Path>
+where
+    F: Fn(EdgeId) -> f64,
+{
+    if k == 0 || src == dst {
+        return Vec::new();
+    }
+    let banned_nodes_none = vec![false; graph.num_nodes()];
+    let banned_edges_none = vec![false; graph.num_edges()];
+    let first = match dijkstra_with_bans(graph, src, dst, &cost, &banned_nodes_none, &banned_edges_none) {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let mut result: Vec<Path> = vec![first];
+    // Candidate set: (cost, node-sequence) to get deterministic ordering.
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+
+    while result.len() < k {
+        let last = result.last().expect("result has at least one path").clone();
+        let last_nodes = last.nodes().to_vec();
+        // Spur node ranges over every node of the previous path except the destination.
+        for i in 0..last_nodes.len() - 1 {
+            let spur_node = last_nodes[i];
+            let root_nodes = &last_nodes[..=i];
+
+            let mut banned_edges = vec![false; graph.num_edges()];
+            let mut banned_nodes = vec![false; graph.num_nodes()];
+            // Ban edges that would recreate an already-found path sharing this root.
+            for p in result.iter().map(|p| p.nodes()).chain(std::iter::empty()) {
+                if p.len() > i && p[..=i] == *root_nodes {
+                    // Ban the edge leaving the spur node on that path.
+                    if let Some(next) = p.get(i + 1) {
+                        // Find the concrete edge used by that path.
+                        for res in &result {
+                            if res.nodes().len() > i + 1
+                                && res.nodes()[..=i] == *root_nodes
+                                && res.nodes()[i + 1] == *next
+                            {
+                                banned_edges[res.edges()[i].index()] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            // Ban the root nodes (except the spur node itself) to keep paths simple.
+            for node in &root_nodes[..i] {
+                banned_nodes[node.index()] = true;
+            }
+
+            let spur = dijkstra_with_bans(graph, spur_node, dst, &cost, &banned_nodes, &banned_edges);
+            if let Some(spur_path) = spur {
+                // Total path = root edges + spur edges.
+                let mut edges: Vec<EdgeId> = last.edges()[..i].to_vec();
+                edges.extend_from_slice(spur_path.edges());
+                if let Some(total) = Path::from_edges(graph, edges) {
+                    let c = path_cost(&total, &cost);
+                    let duplicate = result.iter().any(|p| p == &total)
+                        || candidates.iter().any(|(_, p)| p == &total);
+                    if !duplicate {
+                        candidates.push((c, total));
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Pick the cheapest candidate; tie-break on the node sequence for determinism.
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.1.nodes().cmp(b.1.nodes()))
+        });
+        let (_, best) = candidates.remove(0);
+        result.push(best);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0 -> 1 -> 3 (short), 0 -> 2 -> 3 (short), 0 -> 3 via 1 and 2 (long).
+    fn diamond() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 10.0).unwrap(); // e0
+        g.add_edge(NodeId(1), NodeId(3), 10.0).unwrap(); // e1
+        g.add_edge(NodeId(0), NodeId(2), 10.0).unwrap(); // e2
+        g.add_edge(NodeId(2), NodeId(3), 10.0).unwrap(); // e3
+        g.add_edge(NodeId(1), NodeId(2), 10.0).unwrap(); // e4
+        g
+    }
+
+    #[test]
+    fn dijkstra_finds_shortest() {
+        let g = diamond();
+        let p = shortest_path(&g, NodeId(0), NodeId(3), EdgeWeight::HopCount).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.destination(), NodeId(3));
+    }
+
+    #[test]
+    fn dijkstra_unreachable_returns_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        assert!(shortest_path(&g, NodeId(0), NodeId(2), EdgeWeight::HopCount).is_none());
+        assert!(shortest_path(&g, NodeId(0), NodeId(0), EdgeWeight::HopCount).is_none());
+    }
+
+    #[test]
+    fn dijkstra_respects_bans() {
+        let g = diamond();
+        let mut banned_edges = vec![false; g.num_edges()];
+        banned_edges[1] = true; // forbid 1 -> 3
+        let banned_nodes = vec![false; g.num_nodes()];
+        let p = dijkstra_with_bans(&g, NodeId(0), NodeId(3), |_| 1.0, &banned_nodes, &banned_edges).unwrap();
+        assert!(!p.uses_edge(EdgeId(1)));
+    }
+
+    #[test]
+    fn yen_returns_k_distinct_sorted_paths() {
+        let g = diamond();
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(3), 3, EdgeWeight::HopCount);
+        assert_eq!(paths.len(), 3);
+        // Sorted by length.
+        assert!(paths[0].len() <= paths[1].len());
+        assert!(paths[1].len() <= paths[2].len());
+        // Distinct.
+        assert_ne!(paths[0], paths[1]);
+        assert_ne!(paths[1], paths[2]);
+        // Third path must be 0 -> 1 -> 2 -> 3.
+        assert_eq!(paths[2].nodes(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        // All simple with correct endpoints.
+        for p in &paths {
+            assert_eq!(p.source(), NodeId(0));
+            assert_eq!(p.destination(), NodeId(3));
+        }
+    }
+
+    #[test]
+    fn yen_handles_fewer_than_k_paths() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(2), 5, EdgeWeight::HopCount);
+        assert_eq!(paths.len(), 1);
+        assert!(k_shortest_paths(&g, NodeId(0), NodeId(2), 0, EdgeWeight::HopCount).is_empty());
+        assert!(k_shortest_paths(&g, NodeId(2), NodeId(0), 3, EdgeWeight::HopCount).is_empty());
+    }
+
+    #[test]
+    fn inverse_capacity_prefers_fat_links() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(2), 1.0).unwrap(); // direct but thin
+        g.add_edge(NodeId(0), NodeId(1), 100.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 100.0).unwrap();
+        let hop = shortest_path(&g, NodeId(0), NodeId(2), EdgeWeight::HopCount).unwrap();
+        assert_eq!(hop.len(), 1);
+        let cap = shortest_path(&g, NodeId(0), NodeId(2), EdgeWeight::InverseCapacity).unwrap();
+        assert_eq!(cap.len(), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Dataset splitting and history-window construction.
+//!
+//! FIGRET and DOTE map a window of `H` past demand matrices to a TE
+//! configuration for the next snapshot (§4.3).  This module turns a
+//! [`TrafficTrace`] into (history, target) samples and provides the
+//! chronological train/test splits used in §5 (first 75% train, last 25% test;
+//! or the 0-25% / 25-50% / 50-75% segments of Table 4).
+
+use crate::matrix::{DemandMatrix, TrafficTrace};
+
+/// A chronological split of a trace into a training range and a test range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Snapshot indices used for training.
+    pub train: std::ops::Range<usize>,
+    /// Snapshot indices used for testing.
+    pub test: std::ops::Range<usize>,
+}
+
+impl TrainTestSplit {
+    /// The paper's default split: first `train_fraction` of the trace for
+    /// training, the rest for testing.
+    pub fn chronological(trace_len: usize, train_fraction: f64) -> TrainTestSplit {
+        assert!((0.0..1.0).contains(&train_fraction), "train fraction must be in [0, 1)");
+        let cut = ((trace_len as f64) * train_fraction).floor() as usize;
+        TrainTestSplit { train: 0..cut, test: cut..trace_len }
+    }
+
+    /// Table 4's drift experiment: train on `[segment_start, segment_end)`
+    /// fractions of the trace, test on the final `1 - test_fraction_start`.
+    pub fn segment(
+        trace_len: usize,
+        segment_start: f64,
+        segment_end: f64,
+        test_fraction_start: f64,
+    ) -> TrainTestSplit {
+        assert!(segment_start < segment_end, "segment must be non-empty");
+        assert!(segment_end <= test_fraction_start, "training segment must precede the test range");
+        let s = ((trace_len as f64) * segment_start).floor() as usize;
+        let e = ((trace_len as f64) * segment_end).floor() as usize;
+        let t = ((trace_len as f64) * test_fraction_start).floor() as usize;
+        TrainTestSplit { train: s..e, test: t..trace_len }
+    }
+}
+
+/// One supervised sample: `H` history matrices and the realized next matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSample {
+    /// Index (in the original trace) of the target snapshot.
+    pub target_index: usize,
+    /// Flattened history: `history[h]` is the matrix `H - h` steps before the
+    /// target (oldest first).
+    pub history: Vec<DemandMatrix>,
+    /// The realized demand matrix the TE configuration will face.
+    pub target: DemandMatrix,
+}
+
+impl WindowSample {
+    /// Flattens the history into a single feature vector of length
+    /// `H * num_pairs`, oldest snapshot first — the DNN input of §4.3.
+    pub fn features(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.history.len() * self.target.num_pairs());
+        for m in &self.history {
+            out.extend(m.flatten_pairs());
+        }
+        out
+    }
+}
+
+/// A dataset of history-window samples over a trace range.
+#[derive(Debug, Clone)]
+pub struct WindowDataset {
+    /// Window length `H`.
+    pub window: usize,
+    /// The samples, in chronological order.
+    pub samples: Vec<WindowSample>,
+}
+
+impl WindowDataset {
+    /// Builds all samples whose target index lies in `range` and whose full
+    /// history window also lies inside the trace.
+    pub fn from_trace(trace: &TrafficTrace, window: usize, range: std::ops::Range<usize>) -> WindowDataset {
+        assert!(window >= 1, "window must be at least 1");
+        let mut samples = Vec::new();
+        for t in range {
+            if t < window || t >= trace.len() {
+                continue;
+            }
+            let history: Vec<DemandMatrix> =
+                (t - window..t).map(|h| trace.matrix(h).clone()).collect();
+            samples.push(WindowSample { target_index: t, history, target: trace.matrix(t).clone() });
+        }
+        WindowDataset { window, samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Dimension of the flattened feature vector (`H * num_pairs`), or 0 if empty.
+    pub fn feature_dim(&self) -> usize {
+        self.samples.first().map(|s| s.history.len() * s.target.num_pairs()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(len: usize) -> TrafficTrace {
+        let ms = (0..len)
+            .map(|t| DemandMatrix::from_pairs(2, &[t as f64, 2.0 * t as f64]).unwrap())
+            .collect();
+        TrafficTrace::new("t", 1.0, ms)
+    }
+
+    #[test]
+    fn chronological_split() {
+        let s = TrainTestSplit::chronological(100, 0.75);
+        assert_eq!(s.train, 0..75);
+        assert_eq!(s.test, 75..100);
+    }
+
+    #[test]
+    fn segment_split_for_drift() {
+        let s = TrainTestSplit::segment(200, 0.25, 0.5, 0.75);
+        assert_eq!(s.train, 50..100);
+        assert_eq!(s.test, 150..200);
+    }
+
+    #[test]
+    #[should_panic(expected = "precede")]
+    fn segment_split_rejects_overlap() {
+        TrainTestSplit::segment(100, 0.5, 0.9, 0.75);
+    }
+
+    #[test]
+    fn window_dataset_builds_correct_samples() {
+        let t = trace(10);
+        let ds = WindowDataset::from_trace(&t, 3, 0..10);
+        // Targets 3..10 have a full window.
+        assert_eq!(ds.len(), 7);
+        let first = &ds.samples[0];
+        assert_eq!(first.target_index, 3);
+        assert_eq!(first.history.len(), 3);
+        assert_eq!(first.history[0], *t.matrix(0));
+        assert_eq!(first.history[2], *t.matrix(2));
+        assert_eq!(first.target, *t.matrix(3));
+        assert_eq!(first.features(), vec![0.0, 0.0, 1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(ds.feature_dim(), 6);
+    }
+
+    #[test]
+    fn window_dataset_respects_range() {
+        let t = trace(10);
+        let ds = WindowDataset::from_trace(&t, 3, 8..10);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.samples[0].target_index, 8);
+        let empty = WindowDataset::from_trace(&t, 12, 0..10);
+        assert!(empty.is_empty());
+        assert_eq!(empty.feature_dim(), 0);
+    }
+}

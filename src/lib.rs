@@ -1,0 +1,30 @@
+//! # figret-repro
+//!
+//! Umbrella crate of the FIGRET reproduction workspace.  It re-exports the
+//! member crates so the examples and integration tests can use a single
+//! dependency, and its documentation points at the per-crate entry points:
+//!
+//! * [`figret`] — the FIGRET model, DOTE and the TEAL-like baseline;
+//! * [`figret_topology`] — graphs, Table 1 topologies, paths, failures;
+//! * [`figret_traffic`] — demand matrices, synthetic traces, statistics;
+//! * [`figret_te`] — split ratios, MLU, path sensitivity, rerouting;
+//! * [`figret_lp`] — the dense two-phase simplex;
+//! * [`figret_nn`] — tensors, autograd, MLP, Adam;
+//! * [`figret_solvers`] — omniscient / prediction / desensitization /
+//!   oblivious / COPE baselines;
+//! * [`figret_eval`] — scenarios, runners and the experiment functions that
+//!   regenerate every table and figure of the paper.
+//!
+//! See README.md for the quickstart and DESIGN.md / EXPERIMENTS.md for the
+//! experiment index and recorded results.
+
+#![warn(missing_docs)]
+
+pub use figret;
+pub use figret_eval;
+pub use figret_lp;
+pub use figret_nn;
+pub use figret_solvers;
+pub use figret_te;
+pub use figret_topology;
+pub use figret_traffic;

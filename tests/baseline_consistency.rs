@@ -1,0 +1,83 @@
+//! Cross-crate consistency checks between the LP-based baselines, the failure
+//! model and the evaluation metrics.
+
+use figret_solvers::{
+    desensitization_config, normalized_bound_to_absolute, omniscient_config, prediction_config,
+    DesensitizationSettings, Predictor, SolverEngine,
+};
+use figret_te::{
+    max_link_utilization, max_sensitivity, reroute_around_failures, PathSet, TeConfig,
+};
+use figret_topology::{random_link_failures, Topology, TopologySpec};
+use figret_traffic::datacenter::{pod_trace, PodTrafficConfig};
+
+fn setup() -> (figret_topology::Graph, PathSet, figret_traffic::TrafficTrace) {
+    let graph = TopologySpec::full_scale(Topology::MetaWebPod).build();
+    let paths = PathSet::k_shortest(&graph, 3);
+    let trace = pod_trace(&graph, &PodTrafficConfig { num_snapshots: 40, ..Default::default() });
+    (graph, paths, trace)
+}
+
+#[test]
+fn omniscient_prediction_and_desensitization_are_ordered_sensibly() {
+    let (_graph, paths, trace) = setup();
+    let t = trace.len() - 1;
+    let history: Vec<_> = trace.matrices()[t - 8..t].to_vec();
+    let realized = trace.matrix(t);
+
+    let omni = omniscient_config(&paths, realized, SolverEngine::Lp).unwrap();
+    let pred = prediction_config(&paths, &history, Predictor::LastSnapshot, SolverEngine::Lp).unwrap();
+    let des =
+        desensitization_config(&paths, &history, &DesensitizationSettings::default(), SolverEngine::Lp)
+            .unwrap();
+
+    let omni_mlu = max_link_utilization(&paths, &omni, realized);
+    let pred_mlu = max_link_utilization(&paths, &pred, realized);
+    let des_mlu = max_link_utilization(&paths, &des, realized);
+
+    assert!(omni_mlu <= pred_mlu + 1e-9, "omniscient must lower-bound prediction TE");
+    assert!(omni_mlu <= des_mlu + 1e-9, "omniscient must lower-bound desensitization TE");
+
+    // Des TE respects the uniform sensitivity cap even after solving.
+    let min_cap = paths.edge_capacities().iter().cloned().fold(f64::INFINITY, f64::min);
+    let bound = normalized_bound_to_absolute(2.0 / 3.0, min_cap);
+    assert!(max_sensitivity(&paths, &des) <= bound + 1e-6);
+}
+
+#[test]
+fn rerouted_configurations_remain_valid_and_evaluable() {
+    let (graph, paths, trace) = setup();
+    let scenario = random_link_failures(&graph, 2, 5).expect("the full mesh survives 2 failures");
+    for config in [TeConfig::uniform(&paths), TeConfig::shortest_path(&paths)] {
+        let rerouted = reroute_around_failures(&paths, &config, &scenario);
+        assert!(rerouted.is_valid(&paths));
+        let mlu = max_link_utilization(&paths, &rerouted, trace.matrix(0));
+        assert!(mlu.is_finite() && mlu > 0.0);
+        // Rerouting around failures cannot decrease the load on the surviving
+        // links for the same demand, so the MLU never improves.
+        let before = max_link_utilization(&paths, &config, trace.matrix(0));
+        assert!(mlu + 1e-9 >= before);
+    }
+}
+
+#[test]
+fn lp_and_iterative_engines_agree_on_the_web_pod_fabric() {
+    let (_graph, paths, trace) = setup();
+    let demand = trace.matrix(10);
+    let lp = omniscient_config(&paths, demand, SolverEngine::Lp).unwrap();
+    let iterative = omniscient_config(
+        &paths,
+        demand,
+        SolverEngine::Iterative(figret_solvers::IterativeSettings {
+            iterations: 800,
+            ..Default::default()
+        }),
+    )
+    .unwrap();
+    let lp_mlu = max_link_utilization(&paths, &lp, demand);
+    let it_mlu = max_link_utilization(&paths, &iterative, demand);
+    assert!(
+        it_mlu <= lp_mlu * 1.08 + 1e-9,
+        "iterative engine ({it_mlu:.4}) should be within a few percent of the LP ({lp_mlu:.4})"
+    );
+}

@@ -1,0 +1,87 @@
+//! Integration test reproducing the Figure 3 illustrative example of the
+//! paper exactly (the normal-case MLUs of the three TE schemes), across the
+//! topology, path, config and MLU layers.
+
+use figret_te::{max_link_utilization, PathSet, TeConfig};
+use figret_topology::{Graph, NodeId};
+use figret_traffic::DemandMatrix;
+
+fn figure3_network() -> (Graph, PathSet) {
+    let mut g = Graph::named("figure3", 3);
+    g.add_bidirectional(NodeId(0), NodeId(1), 2.0).unwrap();
+    g.add_bidirectional(NodeId(0), NodeId(2), 2.0).unwrap();
+    g.add_bidirectional(NodeId(1), NodeId(2), 2.0).unwrap();
+    let ps = PathSet::k_shortest(&g, 2);
+    (g, ps)
+}
+
+fn demand(ab: f64, ac: f64, bc: f64) -> DemandMatrix {
+    let mut d = DemandMatrix::zeros(3);
+    d.set(0, 1, ab);
+    d.set(0, 2, ac);
+    d.set(1, 2, bc);
+    d
+}
+
+#[test]
+fn scheme1_and_scheme2_match_section_2_3() {
+    let (_g, ps) = figure3_network();
+    let shortest = TeConfig::shortest_path(&ps);
+    let uniform = TeConfig::uniform(&ps);
+
+    // Scheme 1: optimal in the normal case (0.5) but MLU 2 under any burst.
+    assert!((max_link_utilization(&ps, &shortest, &demand(1.0, 1.0, 1.0)) - 0.5).abs() < 1e-9);
+    assert!((max_link_utilization(&ps, &shortest, &demand(4.0, 1.0, 1.0)) - 2.0).abs() < 1e-9);
+
+    // Scheme 2: 0.75 normal, 1.5 under every burst.
+    assert!((max_link_utilization(&ps, &uniform, &demand(1.0, 1.0, 1.0)) - 0.75).abs() < 1e-9);
+    for burst in [demand(4.0, 1.0, 1.0), demand(1.0, 4.0, 1.0), demand(1.0, 1.0, 4.0)] {
+        assert!((max_link_utilization(&ps, &uniform, &burst) - 1.5).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn scheme3_balances_normal_case_and_the_bursty_pair() {
+    let (_g, ps) = figure3_network();
+    let mut raw = vec![0.0; ps.num_paths()];
+    for pair in 0..ps.num_pairs() {
+        let (s, d) = ps.pairs()[pair];
+        for pi in ps.paths_of_pair(pair) {
+            let direct = ps.path(pi).len() == 1;
+            raw[pi] = if s == NodeId(1) && d == NodeId(2) {
+                if direct {
+                    0.625
+                } else {
+                    0.375
+                }
+            } else if direct {
+                1.0
+            } else {
+                0.0
+            };
+        }
+    }
+    let scheme3 = TeConfig::from_raw(&ps, &raw);
+    let uniform = TeConfig::uniform(&ps);
+
+    // Normal case: 0.6875 (paper §2.3), better than scheme 2's 0.75.
+    let normal = demand(1.0, 1.0, 1.0);
+    assert!((max_link_utilization(&ps, &scheme3, &normal) - 0.6875).abs() < 1e-9);
+    assert!(
+        max_link_utilization(&ps, &scheme3, &normal) < max_link_utilization(&ps, &uniform, &normal)
+    );
+
+    // Burst on the hedged pair (B -> C): 1.25, better than scheme 2's 1.5.
+    let burst3 = demand(1.0, 1.0, 4.0);
+    assert!((max_link_utilization(&ps, &scheme3, &burst3) - 1.25).abs() < 1e-9);
+    assert!(
+        max_link_utilization(&ps, &scheme3, &burst3) < max_link_utilization(&ps, &uniform, &burst3)
+    );
+
+    // Burst on an unhedged pair: worse than scheme 2 — the trade-off the paper
+    // uses to motivate fine-grained robustness.
+    let burst1 = demand(4.0, 1.0, 1.0);
+    assert!(
+        max_link_utilization(&ps, &scheme3, &burst1) > max_link_utilization(&ps, &uniform, &burst1)
+    );
+}
