@@ -32,16 +32,21 @@ fn solver_time(c: &mut Criterion) {
         );
         model.train(&dataset);
         let t = scenario.trace.len() - 1;
-        let history: Vec<_> =
-            (t - window..t).map(|h| scenario.trace.matrix(h).clone()).collect();
+        let history: Vec<_> = (t - window..t).map(|h| scenario.trace.matrix(h).clone()).collect();
         let demand = scenario.trace.matrix(t).clone();
 
-        group.bench_with_input(BenchmarkId::new("figret_forward", scenario.name.clone()), &(), |b, _| {
-            b.iter(|| model.predict(&scenario.paths, &history))
-        });
-        group.bench_with_input(BenchmarkId::new("lp_min_mlu", scenario.name.clone()), &(), |b, _| {
-            b.iter(|| omniscient_config(&scenario.paths, &demand, SolverEngine::Auto).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("figret_forward", scenario.name.clone()),
+            &(),
+            |b, _| b.iter(|| model.predict(&scenario.paths, &history)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lp_min_mlu", scenario.name.clone()),
+            &(),
+            |b, _| {
+                b.iter(|| omniscient_config(&scenario.paths, &demand, SolverEngine::Auto).unwrap())
+            },
+        );
         group.bench_with_input(BenchmarkId::new("des_te", scenario.name.clone()), &(), |b, _| {
             b.iter(|| {
                 desensitization_config(

@@ -20,8 +20,7 @@ fn training_time(c: &mut Criterion) {
     let window = 8;
     let variances = per_pair_variance_range(&scenario.trace, scenario.split.train.clone());
     let dataset = WindowDataset::from_trace(&scenario.trace, window, scenario.split.train.clone());
-    let one_epoch =
-        FigretConfig { history_window: window, epochs: 1, ..FigretConfig::fast_test() };
+    let one_epoch = FigretConfig { history_window: window, epochs: 1, ..FigretConfig::fast_test() };
 
     group.bench_function("figret_one_epoch_pod_db", |b| {
         b.iter(|| {
@@ -32,6 +31,24 @@ fn training_time(c: &mut Criterion) {
     group.bench_function("teal_like_one_epoch_pod_db", |b| {
         b.iter(|| {
             let mut model = TealLikeModel::new(&scenario.paths, one_epoch.clone());
+            model.train(&dataset)
+        })
+    });
+
+    // The speedup the batched execution core buys: a forced serial
+    // single-sample configuration (the seed's original update rule, one Adam
+    // step per sample) against the batched data-parallel path.
+    let batch1_serial = FigretConfig { batch_size: 1, ..one_epoch.clone() };
+    group.bench_function("figret_one_epoch_batch1_serial", |b| {
+        b.iter(|| {
+            let mut model = FigretModel::new(&scenario.paths, &variances, batch1_serial.clone());
+            model.train(&dataset)
+        })
+    });
+    let batched_parallel = FigretConfig { batch_size: 32, ..one_epoch.clone() };
+    group.bench_function("figret_one_epoch_batch32_parallel", |b| {
+        b.iter(|| {
+            let mut model = FigretModel::new(&scenario.paths, &variances, batched_parallel.clone());
             model.train(&dataset)
         })
     });

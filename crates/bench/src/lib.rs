@@ -11,10 +11,7 @@ pub use figret_topology::Topology;
 /// Builds the reduced-scale scenario used by the benchmarks for a topology,
 /// with a short trace so setup stays cheap.
 pub fn bench_setup(topology: Topology, snapshots: usize) -> Scenario {
-    Scenario::build(
-        topology,
-        &ScenarioOptions { num_snapshots: snapshots, ..Default::default() },
-    )
+    Scenario::build(topology, &ScenarioOptions { num_snapshots: snapshots, ..Default::default() })
 }
 
 #[cfg(test)]

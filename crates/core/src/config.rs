@@ -20,6 +20,11 @@ pub struct FigretConfig {
     pub epochs: usize,
     /// Adam learning rate.
     pub learning_rate: f64,
+    /// Mini-batch size: samples per optimizer step.  `1` recovers the
+    /// original per-sample SGD; larger batches run one batched
+    /// forward/backward pass (data-parallel across fixed-size microbatches)
+    /// and a single Adam step on the mean gradient.
+    pub batch_size: usize,
     /// Weight-initialization / shuffling seed.
     pub seed: u64,
 }
@@ -32,6 +37,7 @@ impl Default for FigretConfig {
             robustness_weight: 1.0,
             epochs: 12,
             learning_rate: 1e-3,
+            batch_size: 32,
             seed: 23,
         }
     }
@@ -52,6 +58,7 @@ impl FigretConfig {
             robustness_weight: 1.0,
             epochs: 4,
             learning_rate: 2e-3,
+            batch_size: 8,
             seed: 23,
         }
     }
@@ -80,5 +87,11 @@ mod tests {
         let c = FigretConfig::fast_test();
         assert!(c.hidden.iter().all(|h| *h <= 64));
         assert!(c.epochs <= 8);
+    }
+
+    #[test]
+    fn batch_size_defaults_are_positive() {
+        assert!(FigretConfig::default().batch_size > 1);
+        assert!(FigretConfig::fast_test().batch_size > 1);
     }
 }

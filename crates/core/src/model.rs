@@ -14,12 +14,19 @@
 
 use figret_nn::{Adam, AdamConfig, Graph, Mlp, MlpConfig, Optimizer, OutputActivation, Tensor};
 use figret_te::{DiffTe, MluAggregation, PathSet, TeConfig};
-use figret_traffic::{DemandMatrix, WindowDataset};
+use figret_traffic::{DemandMatrix, WindowDataset, WindowSample};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use crate::config::FigretConfig;
+
+/// Fixed number of samples per data-parallel gradient task.  Chunk boundaries
+/// depend only on this constant (never on the worker-thread count), and the
+/// per-chunk gradients are summed in chunk order, so training is bit-for-bit
+/// deterministic for a given seed on any machine.
+const MICROBATCH: usize = 8;
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,15 +109,7 @@ impl FigretModel {
         } else {
             vec![0.0; num_pairs]
         };
-        FigretModel {
-            config,
-            graph,
-            mlp,
-            diff,
-            num_pairs,
-            variance_weights,
-            feature_scale: 1.0,
-        }
+        FigretModel { config, graph, mlp, diff, num_pairs, variance_weights, feature_scale: 1.0 }
     }
 
     /// The configuration the model was built with.
@@ -140,7 +139,14 @@ impl FigretModel {
     }
 
     /// Trains the model on a window dataset (as produced by
-    /// [`WindowDataset::from_trace`] over the training split).
+    /// [`WindowDataset::from_trace`] over the training split) with shuffled
+    /// mini-batch SGD.
+    ///
+    /// Each mini-batch of [`FigretConfig::batch_size`] samples is split into
+    /// fixed-size microbatches whose gradients are computed in parallel
+    /// (rayon) on cloned parameter tapes, summed in stable chunk order,
+    /// averaged, and applied with one Adam step.  `batch_size = 1` recovers
+    /// the original per-sample update rule exactly.
     pub fn train(&mut self, dataset: &WindowDataset) -> TrainingReport {
         assert!(!dataset.is_empty(), "the training dataset is empty");
         assert_eq!(
@@ -161,37 +167,53 @@ impl FigretModel {
             self.mlp.parameters(),
             AdamConfig { learning_rate: self.config.learning_rate, ..Default::default() },
         );
+        let params = self.mlp.parameters();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x7a11_5eed);
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         let mut report = TrainingReport { samples_per_epoch: dataset.len(), ..Default::default() };
+        let batch_size = self.config.batch_size.max(1);
 
         for _epoch in 0..self.config.epochs {
             order.shuffle(&mut rng);
             let mut sum_loss = 0.0;
             let mut sum_mlu = 0.0;
             let mut sum_penalty = 0.0;
-            for &idx in &order {
-                let sample = &dataset.samples[idx];
-                let features = self.features_from_history(&sample.history);
-                let target = sample.target.flatten_pairs();
-
+            for batch in order.chunks(batch_size) {
+                // Keep only the sealed parameter prefix so per-worker clones
+                // stay minimal.
                 self.graph.reset();
-                let input = self.graph.input(Tensor::row(&features));
-                let raw = self.mlp.forward(&mut self.graph, input);
-                let ratios = self.diff.normalize(&mut self.graph, raw);
-                let mlu = self.diff.mlu(&mut self.graph, ratios, &target, MluAggregation::Max);
-                let loss = if self.config.robustness_weight > 0.0 {
-                    let penalty =
-                        self.diff.sensitivity_penalty(&mut self.graph, ratios, &self.variance_weights);
-                    let weighted = self.graph.scale(penalty, self.config.robustness_weight);
-                    sum_penalty += self.graph.value(weighted).as_scalar();
-                    self.graph.add(mlu, weighted)
-                } else {
-                    mlu
-                };
-                sum_mlu += self.graph.value(mlu).as_scalar();
-                sum_loss += self.graph.value(loss).as_scalar();
-                self.graph.backward(loss);
+                let samples: Vec<&WindowSample> =
+                    batch.iter().map(|&idx| &dataset.samples[idx]).collect();
+                // Data-parallel gradient computation over fixed-size
+                // microbatches; `collect` preserves chunk order.
+                let partials: Vec<MicrobatchGradients> = samples
+                    .par_chunks(MICROBATCH)
+                    .map(|chunk| self.microbatch_gradients(chunk))
+                    .collect();
+
+                // Stable-order reduction: sum the per-chunk gradient sums in
+                // chunk order, then average over the batch.
+                let scale = 1.0 / batch.len() as f64;
+                let mut accumulated: Vec<Tensor> = params
+                    .iter()
+                    .map(|&p| Tensor::zeros(self.graph.value(p).rows(), self.graph.value(p).cols()))
+                    .collect();
+                for partial in &partials {
+                    for (acc, g) in accumulated.iter_mut().zip(&partial.grads) {
+                        acc.add_assign(g);
+                    }
+                    sum_loss += partial.loss_sum;
+                    sum_mlu += partial.mlu_sum;
+                    sum_penalty += partial.penalty_sum;
+                }
+                // reset() above already zeroed every gradient on the master
+                // tape; the merged microbatch gradients are the only writes.
+                for (p, mut acc) in params.iter().zip(accumulated) {
+                    for v in acc.data_mut() {
+                        *v *= scale;
+                    }
+                    self.graph.add_grad(*p, &acc);
+                }
                 adam.step(&mut self.graph);
             }
             let n = dataset.len() as f64;
@@ -205,6 +227,39 @@ impl FigretModel {
         report
     }
 
+    /// Runs one batched forward/backward pass over a microbatch on a clone of
+    /// the parameter tape and returns the *sums* (not means) of the parameter
+    /// gradients and loss terms over the microbatch's samples.
+    fn microbatch_gradients(&self, chunk: &[&WindowSample]) -> MicrobatchGradients {
+        let mut graph = self.graph.clone();
+        let feature_rows: Vec<Vec<f64>> =
+            chunk.iter().map(|s| self.features_from_history(&s.history)).collect();
+        let feature_refs: Vec<&[f64]> = feature_rows.iter().map(|r| r.as_slice()).collect();
+        let mut demand_rows = Vec::with_capacity(chunk.len() * self.num_pairs);
+        for sample in chunk {
+            demand_rows.extend(sample.target.flatten_pairs());
+        }
+
+        let input = graph.input(Tensor::stack_rows(&feature_refs));
+        let raw = self.mlp.forward(&mut graph, input);
+        let ratios = self.diff.normalize(&mut graph, raw);
+        let mlu_col = self.diff.mlu_batch(&mut graph, ratios, &demand_rows, MluAggregation::Max);
+        let mlu_sum: f64 = graph.value(mlu_col).data().iter().sum();
+        let (loss_col, penalty_sum) = if self.config.robustness_weight > 0.0 {
+            let penalty = self.diff.sensitivity_penalty(&mut graph, ratios, &self.variance_weights);
+            let weighted = graph.scale(penalty, self.config.robustness_weight);
+            let penalty_sum: f64 = graph.value(weighted).data().iter().sum();
+            (graph.add(mlu_col, weighted), penalty_sum)
+        } else {
+            (mlu_col, 0.0)
+        };
+        let loss = graph.sum(loss_col);
+        let loss_sum = graph.value(loss).as_scalar();
+        graph.backward(loss);
+        let grads = self.mlp.parameters().iter().map(|&p| graph.grad(p).clone()).collect();
+        MicrobatchGradients { grads, loss_sum, mlu_sum, penalty_sum }
+    }
+
     /// Computes the TE configuration for the next snapshot from a history
     /// window of `H` demand matrices (most recent last).
     pub fn predict(&mut self, paths: &PathSet, history: &[DemandMatrix]) -> TeConfig {
@@ -215,6 +270,36 @@ impl FigretModel {
         let ratios = self.diff.normalize(&mut self.graph, raw);
         TeConfig::from_raw(paths, self.graph.value(ratios).data())
     }
+
+    /// Computes TE configurations for many history windows with a single
+    /// batch-major forward pass (the fast path of the evaluation runner).
+    pub fn predict_batch(
+        &mut self,
+        paths: &PathSet,
+        histories: &[Vec<DemandMatrix>],
+    ) -> Vec<TeConfig> {
+        if histories.is_empty() {
+            return Vec::new();
+        }
+        let feature_rows: Vec<Vec<f64>> =
+            histories.iter().map(|h| self.features_from_history(h)).collect();
+        let feature_refs: Vec<&[f64]> = feature_rows.iter().map(|r| r.as_slice()).collect();
+        self.graph.reset();
+        let input = self.graph.input(Tensor::stack_rows(&feature_refs));
+        let raw = self.mlp.forward(&mut self.graph, input);
+        let ratios = self.diff.normalize(&mut self.graph, raw);
+        let out = self.graph.value(ratios);
+        (0..out.rows()).map(|r| TeConfig::from_raw(paths, out.row_slice(r))).collect()
+    }
+}
+
+/// Per-microbatch result of the data-parallel gradient pass: gradient sums
+/// (one tensor per MLP parameter, in parameter order) plus loss-term sums.
+struct MicrobatchGradients {
+    grads: Vec<Tensor>,
+    loss_sum: f64,
+    mlu_sum: f64,
+    penalty_sum: f64,
 }
 
 /// A TEAL-like baseline: the same architecture, but it receives only the most
@@ -237,11 +322,7 @@ impl std::fmt::Debug for TealLikeModel {
 impl TealLikeModel {
     /// Creates an untrained TEAL-like model.
     pub fn new(paths: &PathSet, config: FigretConfig) -> TealLikeModel {
-        let cfg = FigretConfig {
-            history_window: 1,
-            robustness_weight: 0.0,
-            ..config
-        };
+        let cfg = FigretConfig { history_window: 1, robustness_weight: 0.0, ..config };
         TealLikeModel { inner: FigretModel::new(paths, &vec![0.0; paths.num_pairs()], cfg) }
     }
 
@@ -260,6 +341,13 @@ impl TealLikeModel {
     /// following snapshot to reproduce the paper's evaluation protocol).
     pub fn predict(&mut self, paths: &PathSet, demand: &DemandMatrix) -> TeConfig {
         self.inner.predict(paths, std::slice::from_ref(demand))
+    }
+
+    /// Batched counterpart of [`TealLikeModel::predict`]: one configuration
+    /// per demand matrix via a single forward pass.
+    pub fn predict_batch(&mut self, paths: &PathSet, demands: &[DemandMatrix]) -> Vec<TeConfig> {
+        let histories: Vec<Vec<DemandMatrix>> = demands.iter().map(|d| vec![d.clone()]).collect();
+        self.inner.predict_batch(paths, &histories)
     }
 }
 
@@ -327,7 +415,8 @@ mod tests {
         let (ps, trace) = setup();
         let split = TrainTestSplit::chronological(trace.len(), 0.75);
         let variances = per_pair_variance_range(&trace, split.train.clone());
-        let config = FigretConfig { robustness_weight: 0.0, epochs: 2, ..FigretConfig::fast_test() };
+        let config =
+            FigretConfig { robustness_weight: 0.0, epochs: 2, ..FigretConfig::fast_test() };
         let dataset = WindowDataset::from_trace(&trace, config.history_window, split.train.clone());
         let mut dote = FigretModel::new(&ps, &variances, config);
         let report = dote.train(&dataset);
@@ -342,7 +431,8 @@ mod tests {
         let (ps, trace) = setup();
         let split = TrainTestSplit::chronological(trace.len(), 0.75);
         let variances = per_pair_variance_range(&trace, split.train.clone());
-        let figret_cfg = FigretConfig { robustness_weight: 2.0, epochs: 3, ..FigretConfig::fast_test() };
+        let figret_cfg =
+            FigretConfig { robustness_weight: 2.0, epochs: 3, ..FigretConfig::fast_test() };
         let h = figret_cfg.history_window;
         let dataset = WindowDataset::from_trace(&trace, h, split.train.clone());
         let mut figret = FigretModel::new(&ps, &variances, figret_cfg);
@@ -365,10 +455,79 @@ mod tests {
     }
 
     #[test]
+    fn training_is_deterministic_per_seed() {
+        let (ps, trace) = setup();
+        let split = TrainTestSplit::chronological(trace.len(), 0.75);
+        let variances = per_pair_variance_range(&trace, split.train.clone());
+        let config = FigretConfig { epochs: 2, ..FigretConfig::fast_test() };
+        let dataset = WindowDataset::from_trace(&trace, config.history_window, split.train.clone());
+        let run = |cfg: FigretConfig| {
+            let mut model = FigretModel::new(&ps, &variances, cfg);
+            let report = model.train(&dataset);
+            report.epochs.iter().map(|e| e.mean_loss).collect::<Vec<_>>()
+        };
+        // Identical loss trajectories regardless of when/where the parallel
+        // microbatch gradients were computed.
+        assert_eq!(run(config.clone()), run(config));
+    }
+
+    #[test]
+    fn mini_batch_training_tracks_single_sample_training() {
+        let (ps, trace) = setup();
+        let split = TrainTestSplit::chronological(trace.len(), 0.75);
+        let variances = per_pair_variance_range(&trace, split.train.clone());
+        let base = FigretConfig { epochs: 6, ..FigretConfig::fast_test() };
+        let dataset = WindowDataset::from_trace(&trace, base.history_window, split.train.clone());
+
+        let final_loss = |batch_size: usize| {
+            let cfg = FigretConfig { batch_size, ..base.clone() };
+            let mut model = FigretModel::new(&ps, &variances, cfg);
+            model.train(&dataset).final_loss().unwrap()
+        };
+        let single = final_loss(1);
+        let batched = final_loss(8);
+        // Both settings optimize the same objective from the same
+        // initialization; the final mean losses must agree within a loose
+        // tolerance even though the update trajectories differ.
+        let gap = (single - batched).abs() / single.max(1e-9);
+        assert!(
+            gap < 0.35,
+            "batch=8 final loss {batched} strays too far from batch=1 final loss {single}"
+        );
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let (ps, trace) = setup();
+        let split = TrainTestSplit::chronological(trace.len(), 0.75);
+        let variances = per_pair_variance_range(&trace, split.train.clone());
+        let config = FigretConfig { epochs: 1, ..FigretConfig::fast_test() };
+        let h = config.history_window;
+        let dataset = WindowDataset::from_trace(&trace, h, split.train.clone());
+        let mut model = FigretModel::new(&ps, &variances, config);
+        model.train(&dataset);
+        let histories: Vec<Vec<figret_traffic::DemandMatrix>> =
+            (h..h + 5).map(|t| (t - h..t).map(|i| trace.matrix(i).clone()).collect()).collect();
+        let batched = model.predict_batch(&ps, &histories);
+        assert_eq!(batched.len(), histories.len());
+        for (history, batched_cfg) in histories.iter().zip(&batched) {
+            let single = model.predict(&ps, history);
+            assert!(batched_cfg.is_valid(&ps));
+            for p in 0..ps.num_paths() {
+                assert!(
+                    (single.ratio(p) - batched_cfg.ratio(p)).abs() < 1e-12,
+                    "batched prediction must equal the single-sample prediction"
+                );
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "exactly H demand matrices")]
     fn predict_checks_history_length() {
         let (ps, trace) = setup();
-        let mut model = FigretModel::new(&ps, &vec![0.0; ps.num_pairs()], FigretConfig::fast_test());
+        let mut model =
+            FigretModel::new(&ps, &vec![0.0; ps.num_pairs()], FigretConfig::fast_test());
         let _ = model.predict(&ps, &trace.matrices()[..2]);
     }
 }

@@ -14,6 +14,7 @@ use figret_traffic::{
     cosine_similarity_analysis, gaussian_fluctuation, per_pair_variance_range, percentile,
     spearman_rank_correlation, worst_case_fluctuation, TrainTestSplit,
 };
+use rayon::prelude::*;
 
 use crate::report::{ascii_box, print_csv_series, print_quality_panel, print_table};
 use crate::runner::{omniscient_series, run_scheme, EvalOptions, Scheme};
@@ -116,15 +117,13 @@ pub fn fig1_hedging(options: &ExperimentOptions) {
     let eval = options.eval_options();
     for scenario in Scenario::motivation_suite(&options.scenario_options()) {
         let no_hedging = run_scheme(&scenario, &Scheme::Prediction(Predictor::LastSnapshot), &eval);
-        let hedging =
-            run_scheme(&scenario, &Scheme::Desensitization(DesensitizationSettings::default()), &eval);
-        let max = no_hedging
-            .mlus
-            .iter()
-            .chain(&hedging.mlus)
-            .cloned()
-            .fold(0.0f64, f64::max)
-            .max(1e-12);
+        let hedging = run_scheme(
+            &scenario,
+            &Scheme::Desensitization(DesensitizationSettings::default()),
+            &eval,
+        );
+        let max =
+            no_hedging.mlus.iter().chain(&hedging.mlus).cloned().fold(0.0f64, f64::max).max(1e-12);
         println!("\n# Figure 1 — {} (MLU normalized to the maximum observed)", scenario.name);
         let norm = |v: &[f64]| v.iter().map(|m| m / max).collect::<Vec<_>>();
         print_csv_series("no_hedging", &norm(&no_hedging.mlus));
@@ -216,7 +215,11 @@ pub fn fig3_toy() {
             format!("{:.4}", max_link_utilization(&ps, &scheme3, d)),
         ]);
     }
-    print_table("Figure 3 — illustrative example", &["situation", "scheme 1", "scheme 2", "scheme 3"], &rows);
+    print_table(
+        "Figure 3 — illustrative example",
+        &["situation", "scheme 1", "scheme 2", "scheme 3"],
+        &rows,
+    );
 }
 
 /// Figure 4 (and Figure 18 with `window = 64`): cosine-similarity candlesticks
@@ -259,12 +262,15 @@ fn quality_schemes(options: &ExperimentOptions, include_worst_case: bool) -> Vec
     schemes
 }
 
-fn run_quality_panel(scenario: &Scenario, schemes: &[Scheme], eval: &EvalOptions) -> Vec<SchemeQuality> {
+fn run_quality_panel(
+    scenario: &Scenario,
+    schemes: &[Scheme],
+    eval: &EvalOptions,
+) -> Vec<SchemeQuality> {
     let baseline = omniscient_series(scenario, eval);
-    schemes
-        .iter()
-        .map(|scheme| run_scheme(scenario, scheme, eval).quality(&baseline))
-        .collect()
+    // The scheme suite is independent per scheme: evaluate it in parallel and
+    // keep the reported rows in suite order.
+    schemes.par_iter().map(|scheme| run_scheme(scenario, scheme, eval).quality(&baseline)).collect()
 }
 
 /// Figure 5: normalized-MLU distributions of every scheme on every topology.
@@ -369,8 +375,9 @@ pub fn fig8_sensitivity(options: &ExperimentOptions) {
             match &scheme {
                 Scheme::Desensitization(settings) => {
                     for &t in &indices {
-                        let history: Vec<_> =
-                            (t - eval.window..t).map(|h| scenario.trace.matrix(h).clone()).collect();
+                        let history: Vec<_> = (t - eval.window..t)
+                            .map(|h| scenario.trace.matrix(h).clone())
+                            .collect();
                         let cfg = figret_solvers::desensitization_config(
                             &scenario.paths,
                             &history,
@@ -378,7 +385,9 @@ pub fn fig8_sensitivity(options: &ExperimentOptions) {
                             eval.engine,
                         )
                         .expect("Des TE must be solvable");
-                        for (i, s) in max_sensitivity_per_pair(&scenario.paths, &cfg).iter().enumerate() {
+                        for (i, s) in
+                            max_sensitivity_per_pair(&scenario.paths, &cfg).iter().enumerate()
+                        {
                             mean_sens[i] += s;
                         }
                         count += 1;
@@ -395,10 +404,13 @@ pub fn fig8_sensitivity(options: &ExperimentOptions) {
                         figret::FigretModel::new(&scenario.paths, &variances, cfg_scheme);
                     model.train(&dataset);
                     for &t in &indices {
-                        let history: Vec<_> =
-                            (t - eval.window..t).map(|h| scenario.trace.matrix(h).clone()).collect();
+                        let history: Vec<_> = (t - eval.window..t)
+                            .map(|h| scenario.trace.matrix(h).clone())
+                            .collect();
                         let cfg = model.predict(&scenario.paths, &history);
-                        for (i, s) in max_sensitivity_per_pair(&scenario.paths, &cfg).iter().enumerate() {
+                        for (i, s) in
+                            max_sensitivity_per_pair(&scenario.paths, &cfg).iter().enumerate()
+                        {
                             mean_sens[i] += s;
                         }
                         count += 1;
@@ -432,11 +444,19 @@ pub fn table2_time(options: &ExperimentOptions) {
         let scenario = Scenario::build(topology, &options.scenario_options());
         let figret_run = run_scheme(&scenario, &Scheme::Figret(options.learning_config()), &eval);
         let pred_run = run_scheme(&scenario, &Scheme::Prediction(Predictor::LastSnapshot), &eval);
-        let des_run =
-            run_scheme(&scenario, &Scheme::Desensitization(DesensitizationSettings::default()), &eval);
+        let des_run = run_scheme(
+            &scenario,
+            &Scheme::Desensitization(DesensitizationSettings::default()),
+            &eval,
+        );
         let oblivious_feasible = scenario.paths.num_pairs() <= 600;
         rows.push(vec![
-            format!("{} (n={}, e={})", scenario.name, scenario.graph.num_nodes(), scenario.graph.num_edges()),
+            format!(
+                "{} (n={}, e={})",
+                scenario.name,
+                scenario.graph.num_nodes(),
+                scenario.graph.num_edges()
+            ),
             format!("{:.4}s", figret_run.mean_solve_seconds),
             format!("{:.4}s", pred_run.mean_solve_seconds),
             format!("{:.4}s", des_run.mean_solve_seconds),
@@ -450,7 +470,15 @@ pub fn table2_time(options: &ExperimentOptions) {
     }
     print_table(
         "Table 2 — calculation and precomputation time",
-        &["network", "FIGRET", "LP (pred)", "Des TE", "Oblivious&COPE", "FIGRET precomp", "Des/FIGRET speedup"],
+        &[
+            "network",
+            "FIGRET",
+            "LP (pred)",
+            "Des TE",
+            "Oblivious&COPE",
+            "FIGRET precomp",
+            "Des/FIGRET speedup",
+        ],
         &rows,
     );
 }
@@ -483,7 +511,8 @@ fn decline_table(
             let mut s = norm.clone();
             s.sort_by(|a, b| a.partial_cmp(b).unwrap());
             avg_row.push(format!("{:+.1}%", 100.0 * relative_change(mean(&norm), base_mean)));
-            p90_row.push(format!("{:+.1}%", 100.0 * relative_change(percentile(&s, 0.9), base_p90)));
+            p90_row
+                .push(format!("{:+.1}%", 100.0 * relative_change(percentile(&s, 0.9), base_p90)));
         }
         rows.push(avg_row);
         rows.push(p90_row);
@@ -493,17 +522,21 @@ fn decline_table(
 
 /// Table 3: FIGRET's performance decline under added Gaussian fluctuations.
 pub fn table3_fluctuation(options: &ExperimentOptions) {
-    decline_table("Table 3 — performance decline with increased traffic fluctuation", options, |s, alpha| {
-        gaussian_fluctuation(&s.trace, s.split.test.clone(), alpha, 1234)
-    });
+    decline_table(
+        "Table 3 — performance decline with increased traffic fluctuation",
+        options,
+        |s, alpha| gaussian_fluctuation(&s.trace, s.split.test.clone(), alpha, 1234),
+    );
 }
 
 /// Table 5: the adversarial variant (fluctuations follow the reversed variance
 /// ranking), plus the train/test Spearman consistency check.
 pub fn table5_worstcase(options: &ExperimentOptions) {
-    decline_table("Table 5 — performance decline under worst-case conditions", options, |s, alpha| {
-        worst_case_fluctuation(&s.trace, s.split.test.clone(), alpha, 1234)
-    });
+    decline_table(
+        "Table 5 — performance decline under worst-case conditions",
+        options,
+        |s, alpha| worst_case_fluctuation(&s.trace, s.split.test.clone(), alpha, 1234),
+    );
     // Spearman rank correlation between train and test variance rankings.
     let mut rows = Vec::new();
     for topology in [Topology::MetaDbPod, Topology::PFabric, Topology::MetaDbTor] {
@@ -513,7 +546,11 @@ pub fn table5_worstcase(options: &ExperimentOptions) {
         let rho = spearman_rank_correlation(&train_var, &test_var);
         rows.push(vec![scenario.name.clone(), format!("{rho:.2}")]);
     }
-    print_table("Table 5 — train/test variance-rank consistency", &["network", "Spearman ρ"], &rows);
+    print_table(
+        "Table 5 — train/test variance-rank consistency",
+        &["network", "Spearman ρ"],
+        &rows,
+    );
 }
 
 /// Table 4: natural drift — train on earlier segments, test on the final 25%.
@@ -537,12 +574,16 @@ pub fn table4_drift(options: &ExperimentOptions) {
             let mut segment_scenario = scenario.clone();
             segment_scenario.split =
                 TrainTestSplit::segment(scenario.trace.len(), start, end, 0.75);
-            let run = run_scheme(&segment_scenario, &Scheme::Figret(options.learning_config()), &eval);
+            let run =
+                run_scheme(&segment_scenario, &Scheme::Figret(options.learning_config()), &eval);
             let norm = normalize_by(&run.mlus, &omni);
             let mut sorted = norm.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             avg_row.push(format!("{:+.1}%", 100.0 * relative_change(mean(&norm), ref_mean)));
-            p90_row.push(format!("{:+.1}%", 100.0 * relative_change(percentile(&sorted, 0.9), ref_p90)));
+            p90_row.push(format!(
+                "{:+.1}%",
+                100.0 * relative_change(percentile(&sorted, 0.9), ref_p90)
+            ));
         }
         rows.push(avg_row);
         rows.push(p90_row);
@@ -566,7 +607,10 @@ pub fn appendix_c(options: &ExperimentOptions) {
         ("1: strict (min 1/3, max 1/2)", HeuristicBound::Linear { min: 1.0 / 3.0, max: 0.5 }),
         ("2: strict (min 1/3, max 2/3)", HeuristicBound::Linear { min: 1.0 / 3.0, max: 2.0 / 3.0 }),
         ("3: original (2/3, 2/3)", HeuristicBound::Linear { min: 2.0 / 3.0, max: 2.0 / 3.0 }),
-        ("4: relaxed (min 2/3, max 5/6)", HeuristicBound::Linear { min: 2.0 / 3.0, max: 5.0 / 6.0 }),
+        (
+            "4: relaxed (min 2/3, max 5/6)",
+            HeuristicBound::Linear { min: 2.0 / 3.0, max: 5.0 / 6.0 },
+        ),
         ("5: both (min 1/3, max 5/6)", HeuristicBound::Linear { min: 1.0 / 3.0, max: 5.0 / 6.0 }),
     ];
     let mut qualities = Vec::new();
@@ -580,13 +624,34 @@ pub fn appendix_c(options: &ExperimentOptions) {
 
     // Table 8 parameter sets (piecewise function).
     let piecewise_sets: Vec<(&str, HeuristicBound)> = vec![
-        ("1: min 1/2, bp 0.5", HeuristicBound::Piecewise { min: 0.5, max: 2.0 / 3.0, breakpoint: 0.5 }),
-        ("2: min 1/2, bp 0.65", HeuristicBound::Piecewise { min: 0.5, max: 2.0 / 3.0, breakpoint: 0.65 }),
-        ("3: min 1/2, bp 0.8", HeuristicBound::Piecewise { min: 0.5, max: 2.0 / 3.0, breakpoint: 0.8 }),
-        ("4: original", HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 2.0 / 3.0, breakpoint: 0.5 }),
-        ("5: max 5/6, bp 0.5", HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 5.0 / 6.0, breakpoint: 0.5 }),
-        ("6: max 5/6, bp 0.65", HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 5.0 / 6.0, breakpoint: 0.65 }),
-        ("7: max 5/6, bp 0.8", HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 5.0 / 6.0, breakpoint: 0.8 }),
+        (
+            "1: min 1/2, bp 0.5",
+            HeuristicBound::Piecewise { min: 0.5, max: 2.0 / 3.0, breakpoint: 0.5 },
+        ),
+        (
+            "2: min 1/2, bp 0.65",
+            HeuristicBound::Piecewise { min: 0.5, max: 2.0 / 3.0, breakpoint: 0.65 },
+        ),
+        (
+            "3: min 1/2, bp 0.8",
+            HeuristicBound::Piecewise { min: 0.5, max: 2.0 / 3.0, breakpoint: 0.8 },
+        ),
+        (
+            "4: original",
+            HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 2.0 / 3.0, breakpoint: 0.5 },
+        ),
+        (
+            "5: max 5/6, bp 0.5",
+            HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 5.0 / 6.0, breakpoint: 0.5 },
+        ),
+        (
+            "6: max 5/6, bp 0.65",
+            HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 5.0 / 6.0, breakpoint: 0.65 },
+        ),
+        (
+            "7: max 5/6, bp 0.8",
+            HeuristicBound::Piecewise { min: 2.0 / 3.0, max: 5.0 / 6.0, breakpoint: 0.8 },
+        ),
     ];
     let mut qualities = Vec::new();
     for (label, bound) in &piecewise_sets {
@@ -634,9 +699,8 @@ pub fn fig20_dote_limit(options: &ExperimentOptions) {
             best_pair = pair;
         }
     }
-    let series: Vec<f64> = (t - window..=t)
-        .map(|h| scenario.trace.matrix(h).flatten_pairs()[best_pair])
-        .collect();
+    let series: Vec<f64> =
+        (t - window..=t).map(|h| scenario.trace.matrix(h).flatten_pairs()[best_pair]).collect();
     print_csv_series("bursting_pair_window_then_upcoming", &series);
     println!(
         "pair {} burst from a window maximum of {:.3} to {:.3}",

@@ -20,7 +20,9 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };

@@ -1,8 +1,19 @@
 //! Scheme runners: evaluate every TE scheme over the test split of a scenario
 //! and collect per-snapshot MLUs plus timing, the raw material of every table
 //! and figure.
+//!
+//! Evaluation is embarrassingly parallel across snapshots, and the runners
+//! exploit that: LP-based schemes solve their per-snapshot programs on a
+//! rayon pool, learned schemes emit all configurations with one batch-major
+//! forward pass, and the MLU evaluations fan out per snapshot.  Results are
+//! collected in snapshot order (stable reduction), so every series is
+//! deterministic regardless of worker-thread count.  Timing fields report
+//! summed per-snapshot compute time (CPU time, not wall-clock, once solves
+//! overlap).
 
 use std::time::Instant;
+
+use rayon::prelude::*;
 
 use figret::{FigretConfig, FigretModel, TealLikeModel};
 use figret_solvers::{
@@ -90,7 +101,12 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { window: 12, max_eval_snapshots: Some(60), engine: SolverEngine::Auto, failure: None }
+        EvalOptions {
+            window: 12,
+            max_eval_snapshots: Some(60),
+            engine: SolverEngine::Auto,
+            failure: None,
+        }
     }
 }
 
@@ -149,32 +165,85 @@ fn apply_failure(
 
 /// The omniscient (oracle) MLU series over the evaluated snapshots.  With a
 /// failure scenario, the oracle also knows the failures and optimizes only
-/// over the surviving paths.
+/// over the surviving paths.  Snapshots solve in parallel; the series is
+/// returned in snapshot order.
 pub fn omniscient_series(scenario: &Scenario, options: &EvalOptions) -> Vec<f64> {
     let indices = options.eval_indices(scenario);
-    let mut out = Vec::with_capacity(indices.len());
-    for &t in &indices {
-        let demand = scenario.trace.matrix(t);
-        let config = match &options.failure {
-            None => omniscient_config(&scenario.paths, demand, options.engine)
-                .expect("omniscient LP must be solvable"),
-            Some(f) => {
-                let problem = MluProblem::new(&scenario.paths, demand.flatten_pairs())
-                    .with_available(available_paths(&scenario.paths, f));
-                figret_solvers::solve_min_mlu(&problem, options.engine)
-                    .expect("fault-aware omniscient LP must be solvable")
-            }
-        };
-        out.push(max_link_utilization(&scenario.paths, &config, demand));
-    }
-    out
+    indices
+        .par_iter()
+        .map(|&t| {
+            let demand = scenario.trace.matrix(t);
+            let config = match &options.failure {
+                None => omniscient_config(&scenario.paths, demand, options.engine)
+                    .expect("omniscient LP must be solvable"),
+                Some(f) => {
+                    let problem = MluProblem::new(&scenario.paths, demand.flatten_pairs())
+                        .with_available(available_paths(&scenario.paths, f));
+                    figret_solvers::solve_min_mlu(&problem, options.engine)
+                        .expect("fault-aware omniscient LP must be solvable")
+                }
+            };
+            max_link_utilization(&scenario.paths, &config, demand)
+        })
+        .collect()
+}
+
+/// Evaluates one configuration per snapshot in parallel: times `solve`, applies
+/// the optional failure rerouting, and computes the per-snapshot MLU.  Returns
+/// the MLU series in snapshot order plus the summed solve time.
+fn per_snapshot_parallel<F>(
+    scenario: &Scenario,
+    indices: &[usize],
+    failure: &Option<FailureScenario>,
+    solve: F,
+) -> (Vec<f64>, f64)
+where
+    F: Fn(usize) -> TeConfig + Sync,
+{
+    let results: Vec<(f64, f64)> = indices
+        .par_iter()
+        .map(|&t| {
+            let start = Instant::now();
+            let config = solve(t);
+            let secs = start.elapsed().as_secs_f64();
+            let config = apply_failure(scenario, &config, failure);
+            (secs, max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)))
+        })
+        .collect();
+    let solve_seconds = results.iter().map(|(s, _)| s).sum();
+    let mlus = results.into_iter().map(|(_, m)| m).collect();
+    (mlus, solve_seconds)
+}
+
+/// Evaluates precomputed configurations (one per snapshot, in order) in
+/// parallel: applies the optional failure rerouting and computes the MLUs.
+fn evaluate_configs_parallel(
+    scenario: &Scenario,
+    indices: &[usize],
+    configs: &[TeConfig],
+    failure: &Option<FailureScenario>,
+) -> Vec<f64> {
+    assert_eq!(indices.len(), configs.len(), "one configuration per snapshot is required");
+    (0..indices.len())
+        .into_par_iter()
+        .map(|i| {
+            let t = indices[i];
+            let config = apply_failure(scenario, &configs[i], failure);
+            max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t))
+        })
+        .collect()
 }
 
 /// Runs a scheme over the evaluated snapshots of a scenario.
+///
+/// Per-snapshot work runs on the rayon pool: LP-based schemes solve their
+/// programs in parallel, learned schemes compute every configuration with one
+/// batch-major forward pass and evaluate the MLUs in parallel.  The reported
+/// series is always in snapshot order.
 pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -> SchemeRun {
     let indices = options.eval_indices(scenario);
     let window = options.window;
-    let mut mlus = Vec::with_capacity(indices.len());
+    let mlus: Vec<f64>;
     let mut solve_seconds = 0.0;
     let mut precompute_seconds = 0.0;
     let train_variances = per_pair_variance_range(&scenario.trace, scenario.split.train.clone());
@@ -192,14 +261,12 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
             let start = Instant::now();
             model.train(&dataset);
             precompute_seconds = start.elapsed().as_secs_f64();
-            for &t in &indices {
-                let history = history_window(scenario, t, window);
-                let start = Instant::now();
-                let config = model.predict(&scenario.paths, &history);
-                solve_seconds += start.elapsed().as_secs_f64();
-                let config = apply_failure(scenario, &config, &options.failure);
-                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
-            }
+            let histories: Vec<Vec<DemandMatrix>> =
+                indices.iter().map(|&t| history_window(scenario, t, window)).collect();
+            let start = Instant::now();
+            let configs = model.predict_batch(&scenario.paths, &histories);
+            solve_seconds = start.elapsed().as_secs_f64();
+            mlus = evaluate_configs_parallel(scenario, &indices, &configs, &options.failure);
         }
         Scheme::TealLike(cfg) => {
             let mut cfg = cfg.clone();
@@ -210,58 +277,48 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
             let start = Instant::now();
             model.train(&dataset);
             precompute_seconds = start.elapsed().as_secs_f64();
-            for &t in &indices {
-                let previous = scenario.trace.matrix(t - 1);
-                let start = Instant::now();
-                let config = model.predict(&scenario.paths, previous);
-                solve_seconds += start.elapsed().as_secs_f64();
-                let config = apply_failure(scenario, &config, &options.failure);
-                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
-            }
+            let previous: Vec<DemandMatrix> =
+                indices.iter().map(|&t| scenario.trace.matrix(t - 1).clone()).collect();
+            let start = Instant::now();
+            let configs = model.predict_batch(&scenario.paths, &previous);
+            solve_seconds = start.elapsed().as_secs_f64();
+            mlus = evaluate_configs_parallel(scenario, &indices, &configs, &options.failure);
         }
         Scheme::Desensitization(settings) => {
-            for &t in &indices {
+            let (series, secs) = per_snapshot_parallel(scenario, &indices, &options.failure, |t| {
                 let history = history_window(scenario, t, window);
-                let start = Instant::now();
-                let config =
-                    desensitization_config(&scenario.paths, &history, settings, options.engine)
-                        .expect("Des TE must be solvable");
-                solve_seconds += start.elapsed().as_secs_f64();
-                let config = apply_failure(scenario, &config, &options.failure);
-                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
-            }
+                desensitization_config(&scenario.paths, &history, settings, options.engine)
+                    .expect("Des TE must be solvable")
+            });
+            mlus = series;
+            solve_seconds = secs;
         }
         Scheme::FaultAwareDesensitization(settings) => {
-            let scenario_failure = options
-                .failure
-                .clone()
-                .unwrap_or_else(FailureScenario::none);
-            for &t in &indices {
+            let scenario_failure = options.failure.clone().unwrap_or_else(FailureScenario::none);
+            // The fault-aware LP already routes around the failures, so no
+            // post-hoc rerouting is applied.
+            let (series, secs) = per_snapshot_parallel(scenario, &indices, &None, |t| {
                 let history = history_window(scenario, t, window);
-                let start = Instant::now();
-                let config = fault_aware_desensitization_config(
+                fault_aware_desensitization_config(
                     &scenario.paths,
                     &history,
                     settings,
                     &scenario_failure,
                     options.engine,
                 )
-                .expect("FA Des TE must be solvable");
-                solve_seconds += start.elapsed().as_secs_f64();
-                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
-            }
+                .expect("FA Des TE must be solvable")
+            });
+            mlus = series;
+            solve_seconds = secs;
         }
         Scheme::Prediction(predictor) => {
-            for &t in &indices {
+            let (series, secs) = per_snapshot_parallel(scenario, &indices, &options.failure, |t| {
                 let history = history_window(scenario, t, window);
-                let start = Instant::now();
-                let config =
-                    prediction_config(&scenario.paths, &history, *predictor, options.engine)
-                        .expect("prediction TE must be solvable");
-                solve_seconds += start.elapsed().as_secs_f64();
-                let config = apply_failure(scenario, &config, &options.failure);
-                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
-            }
+                prediction_config(&scenario.paths, &history, *predictor, options.engine)
+                    .expect("prediction TE must be solvable")
+            });
+            mlus = series;
+            solve_seconds = secs;
         }
         Scheme::Oblivious | Scheme::Cope => {
             let hose = HoseModel::fit(&scenario.trace, scenario.split.train.clone(), 1.0);
@@ -282,27 +339,23 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
                     .unwrap_or_else(|_| TeConfig::uniform(&scenario.paths))
             };
             precompute_seconds = start.elapsed().as_secs_f64();
-            for &t in &indices {
-                let config = apply_failure(scenario, &config, &options.failure);
-                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
-            }
+            let configs = vec![config; indices.len()];
+            mlus = evaluate_configs_parallel(scenario, &indices, &configs, &options.failure);
         }
         Scheme::HeuristicFineGrained(bound) => {
-            for &t in &indices {
+            let (series, secs) = per_snapshot_parallel(scenario, &indices, &options.failure, |t| {
                 let history = history_window(scenario, t, window);
-                let start = Instant::now();
-                let config = heuristic_fine_grained_config(
+                heuristic_fine_grained_config(
                     &scenario.paths,
                     &history,
                     &train_variances,
                     *bound,
                     options.engine,
                 )
-                .expect("heuristic fine-grained TE must be solvable");
-                solve_seconds += start.elapsed().as_secs_f64();
-                let config = apply_failure(scenario, &config, &options.failure);
-                mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
-            }
+                .expect("heuristic fine-grained TE must be solvable")
+            });
+            mlus = series;
+            solve_seconds = secs;
         }
     }
 
@@ -408,6 +461,21 @@ mod tests {
         for (m, b) in pred.mlus.iter().chain(fa.mlus.iter()).zip(baseline.iter().cycle()) {
             assert!(m + 1e-6 >= *b);
         }
+    }
+
+    #[test]
+    fn parallel_series_are_deterministic() {
+        // Snapshot fan-out must not perturb result order or values: two runs
+        // of the same parallel evaluation yield identical series.
+        let scenario = small_scenario();
+        let options = fast_options();
+        let a = omniscient_series(&scenario, &options);
+        let b = omniscient_series(&scenario, &options);
+        assert_eq!(a, b);
+        let p1 = run_scheme(&scenario, &Scheme::Prediction(Predictor::LastSnapshot), &options);
+        let p2 = run_scheme(&scenario, &Scheme::Prediction(Predictor::LastSnapshot), &options);
+        assert_eq!(p1.mlus, p2.mlus);
+        assert_eq!(p1.indices, p2.indices);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use figret_te::PathSet;
 use figret_topology::{Graph, RackeConfig, Scale, Topology, TopologySpec};
-use figret_traffic::datacenter::{pod_trace, tor_trace, ClusterFlavor, PodTrafficConfig, TorTrafficConfig};
+use figret_traffic::datacenter::{
+    pod_trace, tor_trace, ClusterFlavor, PodTrafficConfig, TorTrafficConfig,
+};
 use figret_traffic::gravity::{gravity_trace, GravityConfig};
 use figret_traffic::pfabric::{pfabric_trace, PFabricConfig};
 use figret_traffic::wan::{wan_trace, WanTrafficConfig};

@@ -8,16 +8,32 @@
 //! * dense affine layers (`matmul`, `add_bias`), ReLU and sigmoid activations,
 //! * per-SD-pair normalization of split ratios (`segment_normalize`),
 //! * the linear path→edge aggregation of Function 1 (`sparse_matvec`),
-//! * element-wise products with constants, per-segment maxima, global maxima
-//!   and dot products for the loss terms.
+//! * element-wise products with constants, per-segment maxima, global and
+//!   per-row maxima and dot products for the loss terms.
 //!
 //! Nodes live on a tape ([`Graph`]); parameters are *persistent* nodes created
 //! before [`Graph::seal`], everything built afterwards is transient and
 //! discarded by [`Graph::reset`] between samples, so the parameter tensors are
 //! never re-cloned during training.
+//!
+//! # Batched (row-major) semantics
+//!
+//! Every structured operation treats an `R×C` node as a batch of `R`
+//! independent row vectors: `segment_normalize`, `segment_max`,
+//! `sparse_matvec`, `dot_const` and the per-row reductions ([`Graph::row_max`],
+//! [`Graph::row_logsumexp`]) apply to each row separately, and
+//! [`Graph::mul_const`] broadcasts a `cols`-length constant across rows.  With
+//! `R = 1` this degenerates to the original single-sample behaviour, so the
+//! same loss-construction code serves both the per-sample solver path and the
+//! mini-batch training path.
+//!
+//! Constants attached to operations are shared through [`Arc`], which makes a
+//! cloned [`Graph`] cheap to send to a worker thread: mini-batch training
+//! clones the sealed parameter tape once per microbatch and runs
+//! forward/backward passes in parallel.
 
 use std::ops::Range;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::tensor::Tensor;
 
@@ -68,6 +84,14 @@ impl SparseMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length must equal the column count");
         let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = M x` writing into a caller-provided buffer of length `rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "vector length must equal the column count");
+        assert_eq!(y.len(), self.rows, "output length must equal the row count");
         for r in 0..self.rows {
             let mut acc = 0.0;
             for i in self.row_ptr[r]..self.row_ptr[r + 1] {
@@ -75,7 +99,6 @@ impl SparseMatrix {
             }
             y[r] = acc;
         }
-        y
     }
 
     /// `x += Mᵀ y` for a dense vector `y` of length `rows`.
@@ -104,14 +127,17 @@ enum Op {
     Sigmoid(usize),
     Scale(usize, f64),
     AddScalar(usize),
-    MulConst(usize, Rc<Vec<f64>>),
-    SparseMatVec(usize, Rc<SparseMatrix>),
-    SegmentNormalize(usize, Rc<Vec<Range<usize>>>),
-    SegmentMax(usize, Rc<Vec<Range<usize>>>),
+    MulConst(usize, Arc<Vec<f64>>),
+    SparseMatVec(usize, Arc<SparseMatrix>),
+    SegmentNormalize(usize, Arc<Vec<Range<usize>>>),
+    SegmentMax(usize, Arc<Vec<Range<usize>>>),
     Max(usize),
+    RowMax(usize),
     Sum(usize),
-    DotConst(usize, Rc<Vec<f64>>),
+    Mean(usize),
+    DotConst(usize, Arc<Vec<f64>>),
     LogSumExp(usize, f64),
+    RowLogSumExp(usize, f64),
 }
 
 #[derive(Debug, Clone)]
@@ -122,7 +148,11 @@ struct Node {
 }
 
 /// The autograd tape.
-#[derive(Debug, Default)]
+///
+/// Cloning a graph clones node values and gradients but shares the constant
+/// payloads ([`Arc`]), so a sealed parameter tape can be cheaply duplicated
+/// per worker for data-parallel gradient computation.
+#[derive(Debug, Default, Clone)]
 pub struct Graph {
     nodes: Vec<Node>,
     persistent: usize,
@@ -177,6 +207,20 @@ impl Graph {
     /// The gradient of a node (valid after [`Graph::backward`]).
     pub fn grad(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].grad
+    }
+
+    /// Accumulates an externally computed gradient into a node (used to merge
+    /// the per-microbatch gradients of data-parallel training before an
+    /// optimizer step).
+    pub fn add_grad(&mut self, v: Var, grad: &Tensor) {
+        self.nodes[v.0].grad.add_assign(grad);
+    }
+
+    /// Zeroes the gradient of every node on the tape.
+    pub fn zero_grads(&mut self) {
+        for n in &mut self.nodes {
+            n.grad.fill_zero();
+        }
     }
 
     /// Overwrites the value of a (parameter) node in place.
@@ -269,65 +313,111 @@ impl Graph {
         self.push(value, Op::AddScalar(a.0))
     }
 
-    /// Element-wise product with a constant vector (flattened, must match the
-    /// node's element count).
-    pub fn mul_const(&mut self, a: Var, constant: Rc<Vec<f64>>) -> Var {
+    /// Element-wise product with a constant.  The constant either matches the
+    /// node's full element count, or has length `cols` and is broadcast across
+    /// every row of a batched node.
+    pub fn mul_const(&mut self, a: Var, constant: Arc<Vec<f64>>) -> Var {
         let mut value = self.nodes[a.0].value.clone();
-        assert_eq!(value.len(), constant.len(), "constant length must match");
-        for (v, c) in value.data_mut().iter_mut().zip(constant.iter()) {
-            *v *= c;
+        let cols = value.cols();
+        if constant.len() == value.len() {
+            for (v, c) in value.data_mut().iter_mut().zip(constant.iter()) {
+                *v *= c;
+            }
+        } else {
+            assert_eq!(
+                constant.len(),
+                cols,
+                "constant length must match the element count or the column count"
+            );
+            for row in value.data_mut().chunks_mut(cols) {
+                for (v, c) in row.iter_mut().zip(constant.iter()) {
+                    *v *= c;
+                }
+            }
         }
         self.push(value, Op::MulConst(a.0, constant))
     }
 
-    /// `y = M x` for a constant sparse matrix and a flattened node of length
-    /// `M.cols()`; the result is a `1×M.rows()` row vector.
-    pub fn sparse_matvec(&mut self, a: Var, matrix: Rc<SparseMatrix>) -> Var {
-        let x = self.nodes[a.0].value.data();
-        let y = matrix.matvec(x);
-        let value = Tensor::row(&y);
-        self.push(value, Op::SparseMatVec(a.0, matrix))
+    /// `Y[r] = M X[r]` per row, for a constant sparse matrix and an
+    /// `R×M.cols()` node; the result is an `R×M.rows()` node (`1×M.rows()`
+    /// for a single sample).
+    pub fn sparse_matvec(&mut self, a: Var, matrix: Arc<SparseMatrix>) -> Var {
+        let x = &self.nodes[a.0].value;
+        assert_eq!(x.cols(), matrix.cols(), "node width must match the matrix column count");
+        let rows = x.rows();
+        let mut out = Tensor::zeros(rows, matrix.rows());
+        for r in 0..rows {
+            let src = &x.data()[r * matrix.cols()..(r + 1) * matrix.cols()];
+            let dst = &mut out.data_mut()[r * matrix.rows()..(r + 1) * matrix.rows()];
+            matrix.matvec_into(src, dst);
+        }
+        self.push(out, Op::SparseMatVec(a.0, matrix))
     }
 
-    /// Normalizes each segment of a flattened node so it sums to 1
-    /// (`r_p = x_p / Σ_{q ∈ segment} x_q`).  Inputs must be non-negative; an
-    /// all-zero segment yields a uniform distribution over that segment.
-    pub fn segment_normalize(&mut self, a: Var, segments: Rc<Vec<Range<usize>>>) -> Var {
-        let x = self.nodes[a.0].value.data().to_vec();
-        let mut out = x.clone();
-        for seg in segments.iter() {
-            let sum: f64 = x[seg.clone()].iter().sum();
-            if sum > 0.0 {
-                for i in seg.clone() {
-                    out[i] = x[i] / sum;
-                }
-            } else {
-                let n = seg.len().max(1);
-                for i in seg.clone() {
-                    out[i] = 1.0 / n as f64;
+    /// Normalizes each segment of every row so it sums to 1
+    /// (`r_p = x_p / Σ_{q ∈ segment} x_q`).  Segments index columns; inputs
+    /// must be non-negative; an all-zero segment yields a uniform distribution
+    /// over that segment.
+    pub fn segment_normalize(&mut self, a: Var, segments: Arc<Vec<Range<usize>>>) -> Var {
+        let value = &self.nodes[a.0].value;
+        let cols = value.cols();
+        let mut out = value.clone();
+        for row in out.data_mut().chunks_mut(cols) {
+            for seg in segments.iter() {
+                let sum: f64 = row[seg.clone()].iter().sum();
+                if sum > 0.0 {
+                    for v in &mut row[seg.clone()] {
+                        *v /= sum;
+                    }
+                } else {
+                    let n = seg.len().max(1);
+                    for v in &mut row[seg.clone()] {
+                        *v = 1.0 / n as f64;
+                    }
                 }
             }
         }
-        let value = Tensor::row(&out);
-        self.push(value, Op::SegmentNormalize(a.0, segments))
+        self.push(out, Op::SegmentNormalize(a.0, segments))
     }
 
-    /// Per-segment maximum of a flattened node; the result has one entry per
+    /// Per-segment maximum of every row; the result has one column per
     /// segment.  Empty segments yield 0.
-    pub fn segment_max(&mut self, a: Var, segments: Rc<Vec<Range<usize>>>) -> Var {
-        let x = self.nodes[a.0].value.data();
-        let out: Vec<f64> = segments
-            .iter()
-            .map(|seg| x[seg.clone()].iter().cloned().fold(0.0f64, f64::max))
-            .collect();
-        let value = Tensor::row(&out);
-        self.push(value, Op::SegmentMax(a.0, segments))
+    pub fn segment_max(&mut self, a: Var, segments: Arc<Vec<Range<usize>>>) -> Var {
+        let value = &self.nodes[a.0].value;
+        let cols = value.cols();
+        let rows = value.rows();
+        let mut out = Tensor::zeros(rows, segments.len());
+        for r in 0..rows {
+            let row = &value.data()[r * cols..(r + 1) * cols];
+            for (s, seg) in segments.iter().enumerate() {
+                out.set(r, s, row[seg.clone()].iter().cloned().fold(0.0f64, f64::max));
+            }
+        }
+        self.push(out, Op::SegmentMax(a.0, segments))
     }
 
-    /// Maximum element (a `1×1` result).
+    /// Maximum element over the whole node (a `1×1` result).
     pub fn max(&mut self, a: Var) -> Var {
         let m = self.nodes[a.0].value.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         self.push(Tensor::scalar(m), Op::Max(a.0))
+    }
+
+    /// Per-row maximum (an `R×1` result); the batched counterpart of
+    /// [`Graph::max`].
+    pub fn row_max(&mut self, a: Var) -> Var {
+        let value = &self.nodes[a.0].value;
+        let cols = value.cols();
+        assert!(cols > 0, "row_max requires at least one column");
+        let rows = value.rows();
+        let mut out = Tensor::zeros(rows, 1);
+        for r in 0..rows {
+            let m = value.data()[r * cols..(r + 1) * cols]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            out.set(r, 0, m);
+        }
+        self.push(out, Op::RowMax(a.0))
     }
 
     /// Sum of all elements (a `1×1` result).
@@ -336,7 +426,17 @@ impl Graph {
         self.push(Tensor::scalar(s), Op::Sum(a.0))
     }
 
-    /// Smooth maximum `T · ln Σ exp(x_i / T)` (a `1×1` result).
+    /// Arithmetic mean of all elements (a `1×1` result); the standard batch
+    /// reduction of per-sample losses.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let n = self.nodes[a.0].value.len();
+        assert!(n > 0, "mean of an empty node");
+        let s: f64 = self.nodes[a.0].value.data().iter().sum();
+        self.push(Tensor::scalar(s / n as f64), Op::Mean(a.0))
+    }
+
+    /// Smooth maximum `T · ln Σ exp(x_i / T)` over the whole node (a `1×1`
+    /// result).
     ///
     /// Upper-bounds the true maximum and converges to it as the temperature
     /// `T → 0`.  Used by the iterative MLU solver, where a smooth surrogate of
@@ -345,18 +445,39 @@ impl Graph {
     pub fn logsumexp(&mut self, a: Var, temperature: f64) -> Var {
         assert!(temperature > 0.0, "temperature must be positive");
         let x = self.nodes[a.0].value.data();
-        let m = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let sum: f64 = x.iter().map(|v| ((v - m) / temperature).exp()).sum();
-        let value = m + temperature * sum.ln();
+        let value = logsumexp_slice(x, temperature);
         self.push(Tensor::scalar(value), Op::LogSumExp(a.0, temperature))
     }
 
-    /// Dot product with a constant vector (a `1×1` result).
-    pub fn dot_const(&mut self, a: Var, constant: Rc<Vec<f64>>) -> Var {
-        let x = self.nodes[a.0].value.data();
-        assert_eq!(x.len(), constant.len(), "constant length must match");
-        let s: f64 = x.iter().zip(constant.iter()).map(|(a, b)| a * b).sum();
-        self.push(Tensor::scalar(s), Op::DotConst(a.0, constant))
+    /// Per-row smooth maximum (an `R×1` result); the batched counterpart of
+    /// [`Graph::logsumexp`].
+    pub fn row_logsumexp(&mut self, a: Var, temperature: f64) -> Var {
+        assert!(temperature > 0.0, "temperature must be positive");
+        let value = &self.nodes[a.0].value;
+        let cols = value.cols();
+        assert!(cols > 0, "row_logsumexp requires at least one column");
+        let rows = value.rows();
+        let mut out = Tensor::zeros(rows, 1);
+        for r in 0..rows {
+            out.set(r, 0, logsumexp_slice(&value.data()[r * cols..(r + 1) * cols], temperature));
+        }
+        self.push(out, Op::RowLogSumExp(a.0, temperature))
+    }
+
+    /// Dot product of every row with a constant vector (an `R×1` result; a
+    /// `1×1` scalar for a single row).
+    pub fn dot_const(&mut self, a: Var, constant: Arc<Vec<f64>>) -> Var {
+        let value = &self.nodes[a.0].value;
+        let cols = value.cols();
+        assert_eq!(constant.len(), cols, "constant length must match the column count");
+        let rows = value.rows();
+        let mut out = Tensor::zeros(rows, 1);
+        for r in 0..rows {
+            let row = &value.data()[r * cols..(r + 1) * cols];
+            let s: f64 = row.iter().zip(constant.iter()).map(|(a, b)| a * b).sum();
+            out.set(r, 0, s);
+        }
+        self.push(out, Op::DotConst(a.0, constant))
     }
 
     // ---- backward ---------------------------------------------------------
@@ -426,66 +547,84 @@ impl Graph {
                 }
                 Op::MulConst(a, c) => {
                     let mut da = grad.clone();
-                    for (g, k) in da.data_mut().iter_mut().zip(c.iter()) {
-                        *g *= k;
+                    if c.len() == da.len() {
+                        for (g, k) in da.data_mut().iter_mut().zip(c.iter()) {
+                            *g *= k;
+                        }
+                    } else {
+                        let cols = da.cols();
+                        for row in da.data_mut().chunks_mut(cols) {
+                            for (g, k) in row.iter_mut().zip(c.iter()) {
+                                *g *= k;
+                            }
+                        }
                     }
                     self.nodes[a].grad.add_assign(&da);
                 }
                 Op::SparseMatVec(a, m) => {
-                    let mut da = vec![0.0; m.cols()];
-                    m.add_transpose_matvec(grad.data(), &mut da);
-                    let da = Tensor::from_vec(
-                        self.nodes[a].value.rows(),
-                        self.nodes[a].value.cols(),
-                        da,
-                    );
+                    let rows = self.nodes[a].value.rows();
+                    let mut da = vec![0.0; rows * m.cols()];
+                    for r in 0..rows {
+                        let gy = &grad.data()[r * m.rows()..(r + 1) * m.rows()];
+                        let dx = &mut da[r * m.cols()..(r + 1) * m.cols()];
+                        m.add_transpose_matvec(gy, dx);
+                    }
+                    let da = Tensor::from_vec(rows, m.cols(), da);
                     self.nodes[a].grad.add_assign(&da);
                 }
                 Op::SegmentNormalize(a, segments) => {
-                    let x = self.nodes[a].value.data().to_vec();
+                    let value = &self.nodes[a].value;
+                    let cols = value.cols();
+                    let rows = value.rows();
+                    let x = value.data().to_vec();
                     let mut da = vec![0.0; x.len()];
-                    for seg in segments.iter() {
-                        let sum: f64 = x[seg.clone()].iter().sum();
-                        if sum <= 0.0 {
-                            // Uniform output does not depend on the input.
-                            continue;
-                        }
-                        let gdotx: f64 =
-                            seg.clone().map(|i| grad.data()[i] * x[i]).sum::<f64>() / (sum * sum);
-                        for i in seg.clone() {
-                            da[i] += grad.data()[i] / sum - gdotx;
+                    for r in 0..rows {
+                        let base = r * cols;
+                        for seg in segments.iter() {
+                            let sum: f64 = seg.clone().map(|i| x[base + i]).sum();
+                            if sum <= 0.0 {
+                                // Uniform output does not depend on the input.
+                                continue;
+                            }
+                            let gdotx: f64 = seg
+                                .clone()
+                                .map(|i| grad.data()[base + i] * x[base + i])
+                                .sum::<f64>()
+                                / (sum * sum);
+                            for i in seg.clone() {
+                                da[base + i] += grad.data()[base + i] / sum - gdotx;
+                            }
                         }
                     }
-                    let da = Tensor::from_vec(
-                        self.nodes[a].value.rows(),
-                        self.nodes[a].value.cols(),
-                        da,
-                    );
+                    let da = Tensor::from_vec(rows, cols, da);
                     self.nodes[a].grad.add_assign(&da);
                 }
                 Op::SegmentMax(a, segments) => {
-                    let x = self.nodes[a].value.data();
+                    let value = &self.nodes[a].value;
+                    let cols = value.cols();
+                    let rows = value.rows();
+                    let x = value.data();
                     let mut da = vec![0.0; x.len()];
-                    for (s, seg) in segments.iter().enumerate() {
-                        if seg.is_empty() {
-                            continue;
-                        }
-                        // Sub-gradient: route to the first argmax of the segment.
-                        let mut best = seg.start;
-                        for i in seg.clone() {
-                            if x[i] > x[best] {
-                                best = i;
+                    for r in 0..rows {
+                        let base = r * cols;
+                        for (s, seg) in segments.iter().enumerate() {
+                            if seg.is_empty() {
+                                continue;
+                            }
+                            // Sub-gradient: route to the first argmax of the segment.
+                            let mut best = seg.start;
+                            for i in seg.clone() {
+                                if x[base + i] > x[base + best] {
+                                    best = i;
+                                }
+                            }
+                            let g = grad.get(r, s);
+                            if x[base + best] > 0.0 || g != 0.0 {
+                                da[base + best] += g;
                             }
                         }
-                        if x[best] > 0.0 || grad.data()[s] != 0.0 {
-                            da[best] += grad.data()[s];
-                        }
                     }
-                    let da = Tensor::from_vec(
-                        self.nodes[a].value.rows(),
-                        self.nodes[a].value.cols(),
-                        da,
-                    );
+                    let da = Tensor::from_vec(rows, cols, da);
                     self.nodes[a].grad.add_assign(&da);
                 }
                 Op::Max(a) => {
@@ -496,37 +635,103 @@ impl Graph {
                             best = j;
                         }
                     }
-                    let mut da = Tensor::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
+                    let mut da =
+                        Tensor::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
                     da.data_mut()[best] = grad.as_scalar();
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::RowMax(a) => {
+                    let value = &self.nodes[a].value;
+                    let cols = value.cols();
+                    let rows = value.rows();
+                    let x = value.data();
+                    let mut da = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        let base = r * cols;
+                        let mut best = 0usize;
+                        for c in 1..cols {
+                            if x[base + c] > x[base + best] {
+                                best = c;
+                            }
+                        }
+                        da.set(r, best, grad.get(r, 0));
+                    }
                     self.nodes[a].grad.add_assign(&da);
                 }
                 Op::Sum(a) => {
                     let g = grad.as_scalar();
-                    let da = Tensor::full(self.nodes[a].value.rows(), self.nodes[a].value.cols(), g);
+                    let da =
+                        Tensor::full(self.nodes[a].value.rows(), self.nodes[a].value.cols(), g);
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::Mean(a) => {
+                    let n = self.nodes[a].value.len();
+                    let g = grad.as_scalar() / n as f64;
+                    let da =
+                        Tensor::full(self.nodes[a].value.rows(), self.nodes[a].value.cols(), g);
                     self.nodes[a].grad.add_assign(&da);
                 }
                 Op::DotConst(a, c) => {
-                    let g = grad.as_scalar();
-                    let mut da = Tensor::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
-                    for (d, k) in da.data_mut().iter_mut().zip(c.iter()) {
-                        *d = g * k;
+                    let value = &self.nodes[a].value;
+                    let cols = value.cols();
+                    let rows = value.rows();
+                    let mut da = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        let g = grad.get(r, 0);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for (ci, k) in c.iter().enumerate() {
+                            da.set(r, ci, g * k);
+                        }
                     }
                     self.nodes[a].grad.add_assign(&da);
                 }
                 Op::LogSumExp(a, temperature) => {
                     let g = grad.as_scalar();
                     let x = self.nodes[a].value.data();
-                    let m = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                    let weights: Vec<f64> = x.iter().map(|v| ((v - m) / temperature).exp()).collect();
-                    let total: f64 = weights.iter().sum();
-                    let mut da = Tensor::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
-                    for (d, w) in da.data_mut().iter_mut().zip(&weights) {
-                        *d = g * w / total;
+                    let mut da =
+                        Tensor::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
+                    logsumexp_grad_slice(x, temperature, g, da.data_mut());
+                    self.nodes[a].grad.add_assign(&da);
+                }
+                Op::RowLogSumExp(a, temperature) => {
+                    let value = &self.nodes[a].value;
+                    let cols = value.cols();
+                    let rows = value.rows();
+                    let mut da = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        let g = grad.get(r, 0);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let x = &value.data()[r * cols..(r + 1) * cols];
+                        logsumexp_grad_slice(
+                            x,
+                            temperature,
+                            g,
+                            &mut da.data_mut()[r * cols..(r + 1) * cols],
+                        );
                     }
                     self.nodes[a].grad.add_assign(&da);
                 }
             }
         }
+    }
+}
+
+fn logsumexp_slice(x: &[f64], temperature: f64) -> f64 {
+    let m = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = x.iter().map(|v| ((v - m) / temperature).exp()).sum();
+    m + temperature * sum.ln()
+}
+
+fn logsumexp_grad_slice(x: &[f64], temperature: f64, upstream: f64, out: &mut [f64]) {
+    let m = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = x.iter().map(|v| ((v - m) / temperature).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    for (d, w) in out.iter_mut().zip(&weights) {
+        *d = upstream * w / total;
     }
 }
 
@@ -588,7 +793,7 @@ mod tests {
         let mut g = Graph::new();
         g.seal();
         let x = g.input(Tensor::row(&[2.0, 6.0, 0.0, 0.0, 5.0]));
-        let segs = Rc::new(vec![0..2, 2..4, 4..5]);
+        let segs = Arc::new(vec![0..2, 2..4, 4..5]);
         let r = g.segment_normalize(x, segs);
         let out = g.value(r).data().to_vec();
         assert!((out[0] - 0.25).abs() < 1e-12);
@@ -603,7 +808,7 @@ mod tests {
         let mut g = Graph::new();
         g.seal();
         let x = g.input(Tensor::row(&[1.0, 5.0, 3.0, 4.0]));
-        let segs = Rc::new(vec![0..2, 2..4]);
+        let segs = Arc::new(vec![0..2, 2..4]);
         let sm = g.segment_max(x, segs);
         assert_eq!(g.value(sm).data(), &[5.0, 4.0]);
         let total = g.sum(sm);
@@ -626,7 +831,7 @@ mod tests {
         assert_eq!(g.value(s).data(), &[3.0, 6.0]);
         let t = g.add_scalar(s, 1.0);
         assert_eq!(g.value(t).data(), &[4.0, 7.0]);
-        let d = g.dot_const(t, Rc::new(vec![1.0, 2.0]));
+        let d = g.dot_const(t, Arc::new(vec![1.0, 2.0]));
         assert_eq!(g.value(d).as_scalar(), 18.0);
         g.backward(d);
         assert_eq!(g.grad(x).data(), &[3.0, 6.0]);
@@ -658,5 +863,144 @@ mod tests {
         // sigma(0) = 0.5, derivative = 0.25.
         assert!((g.value(y).data()[0] - 0.5).abs() < 1e-12);
         assert!((g.grad(x).data()[0] - 0.25).abs() < 1e-12);
+    }
+
+    // ---- batched (row-major) semantics ------------------------------------
+
+    #[test]
+    fn batched_segment_normalize_acts_per_row() {
+        let mut g = Graph::new();
+        g.seal();
+        let x = g.input(Tensor::from_vec(2, 4, vec![2.0, 6.0, 1.0, 3.0, 5.0, 5.0, 0.0, 0.0]));
+        let segs = Arc::new(vec![0..2, 2..4]);
+        let r = g.segment_normalize(x, segs);
+        let out = g.value(r);
+        assert_eq!(out.shape(), (2, 4));
+        assert!((out.get(0, 0) - 0.25).abs() < 1e-12);
+        assert!((out.get(0, 1) - 0.75).abs() < 1e-12);
+        assert!((out.get(0, 2) - 0.25).abs() < 1e-12);
+        assert!((out.get(1, 0) - 0.5).abs() < 1e-12);
+        // All-zero segment in row 1 becomes uniform.
+        assert!((out.get(1, 2) - 0.5).abs() < 1e-12);
+        assert!((out.get(1, 3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_sparse_matvec_matches_per_row_matvec() {
+        let m =
+            Arc::new(SparseMatrix::from_rows(2, 3, &[vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)]]));
+        let mut g = Graph::new();
+        g.seal();
+        let x = g.input(Tensor::from_vec(2, 3, vec![1.0, 1.0, 1.0, 2.0, 0.5, -1.0]));
+        let y = g.sparse_matvec(x, m.clone());
+        assert_eq!(g.value(y).shape(), (2, 2));
+        assert_eq!(&g.value(y).data()[0..2], m.matvec(&[1.0, 1.0, 1.0]).as_slice());
+        assert_eq!(&g.value(y).data()[2..4], m.matvec(&[2.0, 0.5, -1.0]).as_slice());
+        // Gradients flow independently per row.
+        let total = g.sum(y);
+        g.backward(total);
+        assert_eq!(g.grad(x).shape(), (2, 3));
+        assert_eq!(&g.grad(x).data()[0..3], &[1.0, 3.0, 2.0]);
+        assert_eq!(&g.grad(x).data()[3..6], &[1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn row_max_routes_gradient_per_row() {
+        let mut g = Graph::new();
+        g.seal();
+        let x = g.input(Tensor::from_vec(2, 3, vec![1.0, 5.0, 3.0, 7.0, 2.0, 6.0]));
+        let m = g.row_max(x);
+        assert_eq!(g.value(m).shape(), (2, 1));
+        assert_eq!(g.value(m).data(), &[5.0, 7.0]);
+        let total = g.sum(m);
+        g.backward(total);
+        assert_eq!(g.grad(x).data(), &[0.0, 1.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_gradient_is_uniform() {
+        let mut g = Graph::new();
+        g.seal();
+        let x = g.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 6.0]));
+        let m = g.mean(x);
+        assert_eq!(g.value(m).as_scalar(), 3.0);
+        g.backward(m);
+        assert_eq!(g.grad(x).data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn mul_const_broadcasts_across_rows() {
+        let mut g = Graph::new();
+        g.seal();
+        let x = g.input(Tensor::from_vec(2, 3, vec![1.0; 6]));
+        let y = g.mul_const(x, Arc::new(vec![1.0, 2.0, 3.0]));
+        assert_eq!(g.value(y).data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let total = g.sum(y);
+        g.backward(total);
+        assert_eq!(g.grad(x).data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn batched_dot_const_yields_column() {
+        let mut g = Graph::new();
+        g.seal();
+        let x = g.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let d = g.dot_const(x, Arc::new(vec![2.0, 1.0]));
+        assert_eq!(g.value(d).shape(), (2, 1));
+        assert_eq!(g.value(d).data(), &[4.0, 10.0]);
+        let total = g.sum(d);
+        g.backward(total);
+        assert_eq!(g.grad(x).data(), &[2.0, 1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn row_logsumexp_matches_global_on_single_row() {
+        let mut g = Graph::new();
+        g.seal();
+        let x1 = g.input(Tensor::row(&[1.0, 3.0, 2.0]));
+        let global = g.logsumexp(x1, 0.1);
+        let x2 = g.input(Tensor::row(&[1.0, 3.0, 2.0]));
+        let per_row = g.row_logsumexp(x2, 0.1);
+        assert!((g.value(global).as_scalar() - g.value(per_row).get(0, 0)).abs() < 1e-12);
+        // Batched: each row upper-bounds its own max.
+        let x3 = g.input(Tensor::from_vec(2, 2, vec![0.0, 1.0, 5.0, 4.0]));
+        let lse = g.row_logsumexp(x3, 0.05);
+        assert!(g.value(lse).get(0, 0) >= 1.0);
+        assert!(g.value(lse).get(1, 0) >= 5.0);
+    }
+
+    #[test]
+    fn cloned_graph_is_independent_and_sendable() {
+        let mut g = Graph::new();
+        let w = g.parameter(Tensor::row(&[1.0, 2.0]));
+        g.seal();
+        let mut clone = g.clone();
+        let handle = std::thread::spawn(move || {
+            // The loss flows through the parameter, so the worker writes a
+            // non-zero gradient into ITS tape.
+            let x = clone.input(Tensor::row(&[3.0, 4.0]));
+            let z = clone.add(x, w);
+            let d = clone.dot_const(z, Arc::new(vec![1.0, 1.0]));
+            let loss = clone.sum(d);
+            clone.backward(loss);
+            clone.grad(w).data().to_vec()
+        });
+        let worker_grads = handle.join().unwrap();
+        assert_eq!(worker_grads, vec![1.0, 1.0], "the clone must accumulate real gradients");
+        // ...while the original tape's gradient storage stays untouched.
+        assert_eq!(g.grad(w).data(), &[0.0, 0.0]);
+        assert_eq!(g.value(w).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn add_grad_accumulates_external_gradients() {
+        let mut g = Graph::new();
+        let w = g.parameter(Tensor::row(&[0.0, 0.0]));
+        g.seal();
+        g.add_grad(w, &Tensor::row(&[1.0, 2.0]));
+        g.add_grad(w, &Tensor::row(&[0.5, -1.0]));
+        assert_eq!(g.grad(w).data(), &[1.5, 1.0]);
+        g.zero_grads();
+        assert_eq!(g.grad(w).data(), &[0.0, 0.0]);
     }
 }

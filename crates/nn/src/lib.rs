@@ -46,7 +46,7 @@ mod gradient_check {
 
     use super::*;
     use proptest::prelude::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// Builds a scalar loss from an input vector in a way that exercises the
     /// ops used by the FIGRET loss.  `variant` selects the expression.
@@ -54,7 +54,7 @@ mod gradient_check {
         match variant % 4 {
             0 => {
                 // max of a sparse aggregation (the MLU path).
-                let m = Rc::new(SparseMatrix::from_rows(
+                let m = Arc::new(SparseMatrix::from_rows(
                     3,
                     6,
                     &[
@@ -64,7 +64,7 @@ mod gradient_check {
                     ],
                 ));
                 let agg = graph.sparse_matvec(input, m);
-                let scaled = graph.mul_const(agg, Rc::new(vec![0.5, 1.0, 0.25]));
+                let scaled = graph.mul_const(agg, Arc::new(vec![0.5, 1.0, 0.25]));
                 graph.max(scaled)
             }
             1 => {
@@ -72,11 +72,11 @@ mod gradient_check {
                 // sensitivity penalty path), with a sigmoid in front so the
                 // normalization sees positive inputs.
                 let sig = graph.sigmoid(input);
-                let segs = Rc::new(vec![0..2, 2..4, 4..6]);
+                let segs = Arc::new(vec![0..2, 2..4, 4..6]);
                 let ratios = graph.segment_normalize(sig, segs.clone());
-                let sens = graph.mul_const(ratios, Rc::new(vec![1.0, 0.5, 2.0, 0.25, 1.0, 4.0]));
+                let sens = graph.mul_const(ratios, Arc::new(vec![1.0, 0.5, 2.0, 0.25, 1.0, 4.0]));
                 let per_pair = graph.segment_max(sens, segs);
-                graph.dot_const(per_pair, Rc::new(vec![3.0, 1.0, 0.5]))
+                graph.dot_const(per_pair, Arc::new(vec![3.0, 1.0, 0.5]))
             }
             2 => {
                 // A tiny MLP-style affine + relu + sum.

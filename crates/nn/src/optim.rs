@@ -128,7 +128,7 @@ impl Optimizer for Adam {
 mod tests {
     use super::*;
     use crate::graph::Graph;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// Minimizes `(x - 3)^2 + (y + 1)^2` expressed with autograd ops.
     fn quadratic_loss(graph: &mut Graph, param: Var) -> Var {
@@ -177,7 +177,8 @@ mod tests {
         let mut g = Graph::new();
         let p = g.parameter(Tensor::row(&[10.0, -10.0]));
         g.seal();
-        let mut opt = Adam::new(&g, vec![p], AdamConfig { learning_rate: 0.3, ..Default::default() });
+        let mut opt =
+            Adam::new(&g, vec![p], AdamConfig { learning_rate: 0.3, ..Default::default() });
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..500 {
@@ -204,7 +205,7 @@ mod tests {
         let mut opt = Adam::new(&g, vec![p], AdamConfig::default());
         for _ in 0..10 {
             g.reset();
-            let scaled = g.mul_const(p, Rc::new(vec![1.0, 0.0]));
+            let scaled = g.mul_const(p, Arc::new(vec![1.0, 0.0]));
             let loss = g.max(scaled);
             g.backward(loss);
             opt.step(&mut g);

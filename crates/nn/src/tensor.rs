@@ -44,6 +44,22 @@ impl Tensor {
         Tensor { rows, cols, data }
     }
 
+    /// Stacks equally sized row slices into a batch-major `B×n` tensor (the
+    /// input layout of mini-batch forward passes).
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or the slices have unequal lengths.
+    pub fn stack_rows(rows: &[&[f64]]) -> Tensor {
+        assert!(!rows.is_empty(), "cannot stack zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all stacked rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Tensor { rows: rows.len(), cols, data }
+    }
+
     /// Xavier/Glorot-uniform initialization, the standard choice for the fully
     /// connected layers used by FIGRET and DOTE.
     pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
@@ -91,6 +107,12 @@ impl Tensor {
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f64] {
         &mut self.data
+    }
+
+    /// Immutable view of one row.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Element at `(r, c)`.
@@ -235,6 +257,31 @@ mod tests {
         assert!(t.data().iter().all(|v| v.abs() <= limit));
         let mut rng2 = ChaCha8Rng::seed_from_u64(1);
         assert_eq!(t, Tensor::xavier_uniform(20, 30, &mut rng2));
+    }
+
+    #[test]
+    fn stack_rows_builds_batches() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        let t = Tensor::stack_rows(&[&a, &b]);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.row_slice(0), &a);
+        assert_eq!(t.row_slice(1), &b);
+        assert_eq!(t.get(1, 2), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn stack_rows_checks_widths() {
+        let a = [1.0, 2.0];
+        let b = [3.0];
+        let _ = Tensor::stack_rows(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn stack_rows_rejects_empty() {
+        let _ = Tensor::stack_rows(&[]);
     }
 
     #[test]

@@ -160,7 +160,10 @@ impl std::fmt::Display for SolveError {
 impl std::error::Error for SolveError {}
 
 /// Solves a min-MLU instance with the requested engine.
-pub fn solve_min_mlu(problem: &MluProblem<'_>, engine: SolverEngine) -> Result<TeConfig, SolveError> {
+pub fn solve_min_mlu(
+    problem: &MluProblem<'_>,
+    engine: SolverEngine,
+) -> Result<TeConfig, SolveError> {
     if problem.demands.is_empty() {
         return Err(SolveError::NoDemand);
     }
@@ -168,7 +171,8 @@ pub fn solve_min_mlu(problem: &MluProblem<'_>, engine: SolverEngine) -> Result<T
         SolverEngine::Lp => solve_lp(problem),
         SolverEngine::Iterative(settings) => Ok(solve_iterative(problem, settings)),
         SolverEngine::Auto => {
-            if problem.paths.num_paths() <= AUTO_LP_PATH_LIMIT && problem.capped_demands.is_empty() {
+            if problem.paths.num_paths() <= AUTO_LP_PATH_LIMIT && problem.capped_demands.is_empty()
+            {
                 solve_lp(problem)
             } else if !problem.capped_demands.is_empty() {
                 // Capped demands are only expressible in the LP.
@@ -314,10 +318,12 @@ pub fn solve_iterative(problem: &MluProblem<'_>, settings: IterativeSettings) ->
         // Sensitivity-bound penalty.
         if let Some(bounds) = &bounds {
             let per_pair = diff.max_sensitivity_per_pair(&mut graph, ratios);
-            let neg_bounds = graph.input(Tensor::row(&bounds.iter().map(|b| -b).collect::<Vec<_>>()));
+            let neg_bounds =
+                graph.input(Tensor::row(&bounds.iter().map(|b| -b).collect::<Vec<_>>()));
             let excess = graph.add(per_pair, neg_bounds);
             let violation = graph.relu(excess);
-            let penalty = graph.dot_const(violation, std::rc::Rc::new(vec![bound_weight; paths.num_pairs()]));
+            let penalty = graph
+                .dot_const(violation, std::sync::Arc::new(vec![bound_weight; paths.num_pairs()]));
             loss = graph.add(loss, penalty);
         }
         graph.backward(loss);
@@ -363,11 +369,8 @@ mod tests {
 
     fn demand_02(paths: &PathSet, volume: f64) -> Vec<f64> {
         let mut d = vec![0.0; paths.num_pairs()];
-        let idx = paths
-            .pairs()
-            .iter()
-            .position(|&(s, t)| s == NodeId(0) && t == NodeId(2))
-            .unwrap();
+        let idx =
+            paths.pairs().iter().position(|&(s, t)| s == NodeId(0) && t == NodeId(2)).unwrap();
         d[idx] = volume;
         d
     }
@@ -387,7 +390,8 @@ mod tests {
     fn iterative_engine_is_close_to_lp() {
         let ps = unbalanced();
         let demand = demand_02(&ps, 4.0);
-        let lp_cfg = solve_min_mlu(&MluProblem::new(&ps, demand.clone()), SolverEngine::Lp).unwrap();
+        let lp_cfg =
+            solve_min_mlu(&MluProblem::new(&ps, demand.clone()), SolverEngine::Lp).unwrap();
         let it_cfg = solve_min_mlu(
             &MluProblem::new(&ps, demand.clone()),
             SolverEngine::Iterative(IterativeSettings { iterations: 800, ..Default::default() }),
@@ -443,7 +447,8 @@ mod tests {
         let topo = TopologySpec::full_scale(Topology::MetaDbPod).build();
         let ps = PathSet::k_shortest(&topo, 3);
         let demand = vec![10.0; ps.num_pairs()];
-        let auto = solve_min_mlu(&MluProblem::new(&ps, demand.clone()), SolverEngine::Auto).unwrap();
+        let auto =
+            solve_min_mlu(&MluProblem::new(&ps, demand.clone()), SolverEngine::Auto).unwrap();
         let lp = solve_min_mlu(&MluProblem::new(&ps, demand.clone()), SolverEngine::Lp).unwrap();
         let a = max_link_utilization_pairs(&ps, &auto, &demand);
         let l = max_link_utilization_pairs(&ps, &lp, &demand);

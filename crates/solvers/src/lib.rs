@@ -47,7 +47,7 @@ pub use oblivious::{
 };
 pub use schemes::{
     desensitization_config, fault_aware_desensitization_config, heuristic_bounds,
-    heuristic_fine_grained_config, omniscient_config, prediction_config, predict,
+    heuristic_fine_grained_config, omniscient_config, predict, prediction_config,
     DesensitizationSettings, HeuristicBound, Predictor,
 };
 

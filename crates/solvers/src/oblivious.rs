@@ -21,8 +21,8 @@
 //! thereafter", Table 2).
 
 use figret_lp::{Direction, LinearProgram, Relation};
-use figret_traffic::TrafficTrace;
 use figret_te::{max_link_utilization_pairs, PathSet, TeConfig};
+use figret_traffic::TrafficTrace;
 
 use crate::engine::{solve_min_mlu, MluProblem, SolveError, SolverEngine};
 
@@ -258,9 +258,9 @@ pub fn cope_config(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use figret_topology::{Topology, TopologySpec};
     use figret_traffic::datacenter::{pod_trace, PodTrafficConfig};
     use figret_traffic::DemandMatrix;
-    use figret_topology::{Topology, TopologySpec};
 
     fn setup() -> (PathSet, TrafficTrace) {
         let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
@@ -318,8 +318,7 @@ mod tests {
     fn cope_trades_worst_case_for_average_case() {
         let (ps, trace) = setup();
         let hose = HoseModel::fit(&trace, 0..trace.len(), 1.0);
-        let predicted: Vec<Vec<f64>> =
-            (0..5).map(|t| trace.matrix(t).flatten_pairs()).collect();
+        let predicted: Vec<Vec<f64>> = (0..5).map(|t| trace.matrix(t).flatten_pairs()).collect();
         let cope = cope_config(&ps, &predicted, &hose, CopeSettings::default()).unwrap();
         let oblivious = oblivious_config(&ps, &hose, CuttingPlaneSettings::default()).unwrap();
         // COPE's worst case stays within the budget (with slack for the

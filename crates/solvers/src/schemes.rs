@@ -11,9 +11,9 @@
 //!   per-pair sensitivity bound derived from the traffic-variance ordering via
 //!   a linear or piecewise function.
 
+use figret_te::{available_paths, PathSet, TeConfig};
 use figret_topology::FailureScenario;
 use figret_traffic::DemandMatrix;
-use figret_te::{available_paths, PathSet, TeConfig};
 
 use crate::engine::{
     normalized_bound_to_absolute, solve_min_mlu, MluProblem, SolveError, SolverEngine,
@@ -192,15 +192,14 @@ pub fn heuristic_fine_grained_config(
         .map(|b| normalized_bound_to_absolute(b, min_cap))
         .collect();
     let predicted = predict(history, Predictor::WindowPeak);
-    let problem =
-        MluProblem::new(paths, predicted.flatten_pairs()).with_sensitivity_bounds(bounds);
+    let problem = MluProblem::new(paths, predicted.flatten_pairs()).with_sensitivity_bounds(bounds);
     solve_min_mlu(&problem, engine)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use figret_te::{max_link_utilization, max_sensitivity, max_link_utilization_pairs};
+    use figret_te::{max_link_utilization, max_link_utilization_pairs, max_sensitivity};
     use figret_topology::{random_link_failures, Topology, TopologySpec};
 
     fn pod_setup() -> (PathSet, Vec<DemandMatrix>) {
@@ -244,9 +243,13 @@ mod tests {
         let (ps, history) = pod_setup();
         let realized = history.last().unwrap().scaled(1.4);
         let omni = omniscient_config(&ps, &realized, SolverEngine::Lp).unwrap();
-        let pred =
-            prediction_config(&ps, &history[..history.len() - 1], Predictor::LastSnapshot, SolverEngine::Lp)
-                .unwrap();
+        let pred = prediction_config(
+            &ps,
+            &history[..history.len() - 1],
+            Predictor::LastSnapshot,
+            SolverEngine::Lp,
+        )
+        .unwrap();
         let omni_mlu = max_link_utilization(&ps, &omni, &realized);
         let pred_mlu = max_link_utilization(&ps, &pred, &realized);
         assert!(omni_mlu <= pred_mlu + 1e-9, "omniscient {omni_mlu} vs prediction {pred_mlu}");

@@ -89,7 +89,7 @@ impl TeConfig {
         }
         for pair in 0..paths.num_pairs() {
             let range = paths.paths_of_pair(pair);
-            if range.len() == 0 {
+            if range.is_empty() {
                 continue;
             }
             let sum: f64 = range.map(|pi| ratios[pi]).sum();
@@ -124,7 +124,7 @@ impl TeConfig {
         }
         for pair in 0..paths.num_pairs() {
             let range = paths.paths_of_pair(pair);
-            if range.len() == 0 {
+            if range.is_empty() {
                 continue;
             }
             let sum: f64 = range.map(|pi| self.ratios[pi]).sum();
@@ -148,12 +148,8 @@ impl TeConfig {
     /// `(1 - t) * self + t * other`.
     pub fn lerp(&self, other: &TeConfig, t: f64) -> TeConfig {
         assert_eq!(self.ratios.len(), other.ratios.len(), "configurations must match");
-        let ratios = self
-            .ratios
-            .iter()
-            .zip(&other.ratios)
-            .map(|(a, b)| (1.0 - t) * a + t * b)
-            .collect();
+        let ratios =
+            self.ratios.iter().zip(&other.ratios).map(|(a, b)| (1.0 - t) * a + t * b).collect();
         TeConfig { ratios }
     }
 }

@@ -21,7 +21,9 @@ use crate::pathset::PathSet;
 /// `mask[p] == true` iff path `p` survives the failure scenario.
 pub fn available_paths(paths: &PathSet, scenario: &FailureScenario) -> Vec<bool> {
     (0..paths.num_paths())
-        .map(|pi| !paths.path_edges(pi).iter().any(|&e| scenario.is_failed(figret_topology::EdgeId(e))))
+        .map(|pi| {
+            !paths.path_edges(pi).iter().any(|&e| scenario.is_failed(figret_topology::EdgeId(e)))
+        })
         .collect()
 }
 
@@ -49,7 +51,8 @@ pub fn reroute_with_mask(paths: &PathSet, config: &TeConfig, alive: &[bool]) -> 
             continue;
         }
         let alive_paths: Vec<usize> = range.iter().copied().filter(|&pi| alive[pi]).collect();
-        let failed_mass: f64 = range.iter().copied().filter(|&pi| !alive[pi]).map(|pi| ratios[pi]).sum();
+        let failed_mass: f64 =
+            range.iter().copied().filter(|&pi| !alive[pi]).map(|pi| ratios[pi]).sum();
         if alive_paths.is_empty() {
             // Nothing survives: zero everything, the demand cannot be served.
             for pi in range {

@@ -72,7 +72,11 @@ pub fn bottleneck_edge(
 /// Naive MLU recomputation that walks every path explicitly.  Slower than
 /// [`max_link_utilization`] but independent of the incidence caches; used by
 /// tests to cross-check the optimized implementation.
-pub fn max_link_utilization_naive(paths: &PathSet, config: &TeConfig, demand: &DemandMatrix) -> f64 {
+pub fn max_link_utilization_naive(
+    paths: &PathSet,
+    config: &TeConfig,
+    demand: &DemandMatrix,
+) -> f64 {
     let demand_pairs = demand.flatten_pairs();
     let mut loads = vec![0.0f64; paths.num_edges()];
     for pair in 0..paths.num_pairs() {
@@ -83,11 +87,7 @@ pub fn max_link_utilization_naive(paths: &PathSet, config: &TeConfig, demand: &D
             }
         }
     }
-    loads
-        .into_iter()
-        .zip(paths.edge_capacities())
-        .map(|(l, c)| l / c)
-        .fold(0.0, f64::max)
+    loads.into_iter().zip(paths.edge_capacities()).map(|(l, c)| l / c).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

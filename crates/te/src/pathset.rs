@@ -7,7 +7,9 @@
 //! path traverses (`PathtoEdge`), so that MLU evaluation reduces to sparse
 //! matrix products.
 
-use figret_topology::{k_shortest_paths, racke_paths, EdgeWeight, Graph, NodeId, Path, RackeConfig};
+use figret_topology::{
+    k_shortest_paths, racke_paths, EdgeWeight, Graph, NodeId, Path, RackeConfig,
+};
 
 /// Index of an ordered source-destination pair within a [`PathSet`].
 pub type PairIndex = usize;
@@ -97,11 +99,8 @@ impl PathSet {
 
     /// SMORE-style path selection: Räcke-inspired diverse, capacity-aware paths.
     pub fn racke(graph: &Graph, config: &RackeConfig) -> PathSet {
-        let per_pair = graph
-            .sd_pairs()
-            .into_iter()
-            .map(|(s, d)| racke_paths(graph, s, d, config))
-            .collect();
+        let per_pair =
+            graph.sd_pairs().into_iter().map(|(s, d)| racke_paths(graph, s, d, config)).collect();
         PathSet::from_paths(graph, per_pair)
     }
 
@@ -226,7 +225,7 @@ mod tests {
         assert_eq!(ps.num_edges(), 74);
         for pair in 0..ps.num_pairs() {
             let n = ps.num_paths_of_pair(pair);
-            assert!(n >= 1 && n <= 3, "pair {pair} has {n} paths");
+            assert!((1..=3).contains(&n), "pair {pair} has {n} paths");
             for pi in ps.paths_of_pair(pair) {
                 assert_eq!(ps.pair_of_path(pi), pair);
                 assert!(ps.path_capacity(pi) > 0.0);

@@ -11,9 +11,7 @@ use crate::pathset::PathSet;
 
 /// Per-path sensitivities `S_p = r_p / C_p`.
 pub fn path_sensitivities(paths: &PathSet, config: &TeConfig) -> Vec<f64> {
-    (0..paths.num_paths())
-        .map(|pi| config.ratio(pi) / paths.path_capacity(pi))
-        .collect()
+    (0..paths.num_paths()).map(|pi| config.ratio(pi) / paths.path_capacity(pi)).collect()
 }
 
 /// Per-pair maximum sensitivity `S^max_sd = max_{p ∈ P_sd} S_p`.
@@ -35,11 +33,7 @@ pub fn max_sensitivity(paths: &PathSet, config: &TeConfig) -> f64 {
 /// `Σ_sd σ²_sd · S^max_sd`, where `variances` holds `σ²_sd` per pair.
 pub fn robustness_penalty(paths: &PathSet, config: &TeConfig, variances: &[f64]) -> f64 {
     assert_eq!(variances.len(), paths.num_pairs(), "one variance per SD pair is required");
-    max_sensitivity_per_pair(paths, config)
-        .into_iter()
-        .zip(variances)
-        .map(|(s, v)| s * v)
-        .sum()
+    max_sensitivity_per_pair(paths, config).into_iter().zip(variances).map(|(s, v)| s * v).sum()
 }
 
 /// `true` if every path satisfies `S_p <= bound(pair)`, the constraint form of
@@ -79,14 +73,12 @@ mod tests {
         let cfg = TeConfig::uniform(&ps);
         let s = path_sensitivities(&ps, &cfg);
         // Pair (0,1) has two paths: direct capacity 1 and detour capacity 4.
-        let pair01 = ps
-            .pairs()
-            .iter()
-            .position(|&(a, b)| a == NodeId(0) && b == NodeId(1))
-            .unwrap();
+        let pair01 =
+            ps.pairs().iter().position(|&(a, b)| a == NodeId(0) && b == NodeId(1)).unwrap();
         let idx: Vec<usize> = ps.paths_of_pair(pair01).collect();
         assert_eq!(idx.len(), 2);
-        let (direct, detour) = if ps.path(idx[0]).len() == 1 { (idx[0], idx[1]) } else { (idx[1], idx[0]) };
+        let (direct, detour) =
+            if ps.path(idx[0]).len() == 1 { (idx[0], idx[1]) } else { (idx[1], idx[0]) };
         assert!((s[direct] - 0.5 / 1.0).abs() < 1e-12);
         assert!((s[detour] - 0.5 / 4.0).abs() < 1e-12);
         let per_pair = max_sensitivity_per_pair(&ps, &cfg);
@@ -97,13 +89,11 @@ mod tests {
     #[test]
     fn shifting_traffic_to_fat_paths_reduces_sensitivity() {
         let (_g, ps) = two_path_net();
-        let pair01 = ps
-            .pairs()
-            .iter()
-            .position(|&(a, b)| a == NodeId(0) && b == NodeId(1))
-            .unwrap();
+        let pair01 =
+            ps.pairs().iter().position(|&(a, b)| a == NodeId(0) && b == NodeId(1)).unwrap();
         let idx: Vec<usize> = ps.paths_of_pair(pair01).collect();
-        let (direct, detour) = if ps.path(idx[0]).len() == 1 { (idx[0], idx[1]) } else { (idx[1], idx[0]) };
+        let (direct, detour) =
+            if ps.path(idx[0]).len() == 1 { (idx[0], idx[1]) } else { (idx[1], idx[0]) };
         let mut raw = TeConfig::uniform(&ps).ratios().to_vec();
         raw[direct] = 0.2;
         raw[detour] = 0.8;

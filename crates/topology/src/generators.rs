@@ -21,7 +21,7 @@
 //! * PoD-level and pFabric topologies are full meshes (the paper converts both
 //!   to direct-connect fabrics), uniform capacity.
 //! * ToR-level topologies are random regular graphs (the paper cites Jellyfish
-//!   [42] for this choice), uniform capacity.
+//!   [Jellyfish, NSDI 2012] for this choice), uniform capacity.
 //!
 //! The ToR-level fabrics of Table 1 are large (155/324 nodes); generating them
 //! at full size is supported, but the evaluation harness defaults to scaled
@@ -265,7 +265,8 @@ pub fn random_regular(name: &str, nodes: usize, degree: usize, capacity: f64, se
         for i in 0..nodes {
             for &j in &adj[i] {
                 if i < j {
-                    g.add_bidirectional(NodeId(i), NodeId(j), capacity).expect("regular edge is valid");
+                    g.add_bidirectional(NodeId(i), NodeId(j), capacity)
+                        .expect("regular edge is valid");
                 }
             }
         }
@@ -300,7 +301,7 @@ fn circulant_adjacency(nodes: usize, degree: usize) -> Vec<std::collections::BTr
         }
     }
     if degree % 2 == 1 {
-        debug_assert!(nodes % 2 == 0);
+        debug_assert!(nodes.is_multiple_of(2));
         for i in 0..nodes / 2 {
             let j = i + nodes / 2;
             adj[i].insert(j);
@@ -421,7 +422,8 @@ mod tests {
         let a = TopologySpec::reduced(Topology::UsCarrier).build();
         let b = TopologySpec::reduced(Topology::UsCarrier).build();
         assert_eq!(a, b);
-        let c = TopologySpec { topology: Topology::UsCarrier, scale: Scale::Reduced, seed: 8 }.build();
+        let c =
+            TopologySpec { topology: Topology::UsCarrier, scale: Scale::Reduced, seed: 8 }.build();
         assert_ne!(a, c, "different seeds should give different WAN chord sets");
     }
 

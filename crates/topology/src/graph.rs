@@ -204,7 +204,12 @@ impl Graph {
     }
 
     /// Adds a directed edge and returns its id.
-    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, capacity: f64) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity: f64,
+    ) -> Result<EdgeId, GraphError> {
         if src.0 >= self.num_nodes {
             return Err(GraphError::NodeOutOfRange { node: src.0, num_nodes: self.num_nodes });
         }
@@ -242,10 +247,7 @@ impl Graph {
     ///
     /// If several parallel edges exist, the first inserted one is returned.
     pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
-        self.out_edges[src.0]
-            .iter()
-            .copied()
-            .find(|&e| self.edges[e.0].dst == dst)
+        self.out_edges[src.0].iter().copied().find(|&e| self.edges[e.0].dst == dst)
     }
 
     /// Returns `true` if there is at least one directed edge `src -> dst`.

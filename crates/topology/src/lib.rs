@@ -51,8 +51,8 @@ mod proptests {
 
     fn arbitrary_connected_graph() -> impl Strategy<Value = Graph> {
         // Ring of n nodes plus some random chords, random capacities.
-        (3usize..10, proptest::collection::vec((0usize..10, 0usize..10, 1u32..100), 0..12)).prop_map(
-            |(n, chords)| {
+        (3usize..10, proptest::collection::vec((0usize..10, 0usize..10, 1u32..100), 0..12))
+            .prop_map(|(n, chords)| {
                 let mut g = Graph::new(n);
                 for i in 0..n {
                     g.add_bidirectional(NodeId(i), NodeId((i + 1) % n), 10.0).unwrap();
@@ -64,8 +64,7 @@ mod proptests {
                     }
                 }
                 g
-            },
-        )
+            })
     }
 
     proptest! {

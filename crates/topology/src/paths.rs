@@ -86,10 +86,7 @@ impl Path {
 
     /// Path capacity: the minimum capacity over the traversed edges.
     pub fn capacity(&self, graph: &Graph) -> f64 {
-        self.edges
-            .iter()
-            .map(|&e| graph.capacity(e))
-            .fold(f64::INFINITY, f64::min)
+        self.edges.iter().map(|&e| graph.capacity(e)).fold(f64::INFINITY, f64::min)
     }
 
     /// Sum of `weight(edge)` over the path's edges.
@@ -165,7 +162,7 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
         g.add_edge(NodeId(2), NodeId(0), 1.0).unwrap();
         g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap(); // parallel edge
-        // 0 -> 1 -> 2 -> 0 revisits node 0.
+                                                        // 0 -> 1 -> 2 -> 0 revisits node 0.
         assert!(Path::from_edges(&g, vec![EdgeId(0), EdgeId(1), EdgeId(2)]).is_none());
     }
 

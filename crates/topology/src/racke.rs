@@ -69,11 +69,7 @@ pub fn racke_paths(graph: &Graph, src: NodeId, dst: NodeId, config: &RackeConfig
 ///
 /// The result is indexed in the same SD-pair order as [`Graph::sd_pairs`].
 pub fn racke_paths_all_pairs(graph: &Graph, config: &RackeConfig) -> Vec<Vec<Path>> {
-    graph
-        .sd_pairs()
-        .into_iter()
-        .map(|(s, d)| racke_paths(graph, s, d, config))
-        .collect()
+    graph.sd_pairs().into_iter().map(|(s, d)| racke_paths(graph, s, d, config)).collect()
 }
 
 #[cfg(test)]

@@ -155,7 +155,13 @@ pub fn k_shortest_paths(
 }
 
 /// Yen's algorithm with an arbitrary non-negative edge-cost function.
-pub fn k_shortest_paths_with_cost<F>(graph: &Graph, src: NodeId, dst: NodeId, k: usize, cost: F) -> Vec<Path>
+pub fn k_shortest_paths_with_cost<F>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    cost: F,
+) -> Vec<Path>
 where
     F: Fn(EdgeId) -> f64,
 {
@@ -164,10 +170,11 @@ where
     }
     let banned_nodes_none = vec![false; graph.num_nodes()];
     let banned_edges_none = vec![false; graph.num_edges()];
-    let first = match dijkstra_with_bans(graph, src, dst, &cost, &banned_nodes_none, &banned_edges_none) {
-        Some(p) => p,
-        None => return Vec::new(),
-    };
+    let first =
+        match dijkstra_with_bans(graph, src, dst, &cost, &banned_nodes_none, &banned_edges_none) {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
     let mut result: Vec<Path> = vec![first];
     // Candidate set: (cost, node-sequence) to get deterministic ordering.
     let mut candidates: Vec<(f64, Path)> = Vec::new();
@@ -204,7 +211,8 @@ where
                 banned_nodes[node.index()] = true;
             }
 
-            let spur = dijkstra_with_bans(graph, spur_node, dst, &cost, &banned_nodes, &banned_edges);
+            let spur =
+                dijkstra_with_bans(graph, spur_node, dst, &cost, &banned_nodes, &banned_edges);
             if let Some(spur_path) = spur {
                 // Total path = root edges + spur edges.
                 let mut edges: Vec<EdgeId> = last.edges()[..i].to_vec();
@@ -272,7 +280,8 @@ mod tests {
         let mut banned_edges = vec![false; g.num_edges()];
         banned_edges[1] = true; // forbid 1 -> 3
         let banned_nodes = vec![false; g.num_nodes()];
-        let p = dijkstra_with_bans(&g, NodeId(0), NodeId(3), |_| 1.0, &banned_nodes, &banned_edges).unwrap();
+        let p = dijkstra_with_bans(&g, NodeId(0), NodeId(3), |_| 1.0, &banned_nodes, &banned_edges)
+            .unwrap();
         assert!(!p.uses_edge(EdgeId(1)));
     }
 

@@ -277,7 +277,11 @@ mod tests {
         let t = pod_trace(&g, &PodTrafficConfig { num_snapshots: 300, ..Default::default() });
         assert_eq!(t.len(), 300);
         let stats = cosine_similarity_analysis(&t, 12);
-        assert!(stats.median > 0.9, "PoD traffic should be fairly stable (median {})", stats.median);
+        assert!(
+            stats.median > 0.9,
+            "PoD traffic should be fairly stable (median {})",
+            stats.median
+        );
     }
 
     #[test]
@@ -314,7 +318,11 @@ mod tests {
         let db = pod_trace(&g, &PodTrafficConfig { num_snapshots: 10, ..Default::default() });
         let web = pod_trace(
             &g,
-            &PodTrafficConfig { num_snapshots: 10, flavor: ClusterFlavor::Web, ..Default::default() },
+            &PodTrafficConfig {
+                num_snapshots: 10,
+                flavor: ClusterFlavor::Web,
+                ..Default::default()
+            },
         );
         assert_ne!(db, web);
         let other_seed =

@@ -73,7 +73,7 @@ mod proptests {
         fn cosine_similarity_is_bounded_and_symmetric(a in arbitrary_matrix()) {
             let b = a.scaled(0.5);
             let s = a.cosine_similarity(&b);
-            prop_assert!(s <= 1.0 + 1e-12 && s >= -1e-12);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&s));
             // A positively scaled copy has similarity 1 (unless the matrix is all-zero).
             if a.total() > 0.0 {
                 prop_assert!((s - 1.0).abs() < 1e-9);
@@ -104,7 +104,7 @@ mod proptests {
         fn spearman_is_bounded(v in proptest::collection::vec(0.0f64..100.0, 2..30)) {
             let w: Vec<f64> = v.iter().map(|x| x * 2.0 + 1.0).collect();
             let r = stats::spearman_rank_correlation(&v, &w);
-            prop_assert!(r <= 1.0 + 1e-9 && r >= -1.0 - 1e-9);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
         }
     }
 }

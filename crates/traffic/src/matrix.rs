@@ -29,7 +29,10 @@ impl DemandMatrix {
     /// rejected.
     pub fn from_dense(num_nodes: usize, mut data: Vec<f64>) -> Result<Self, MatrixError> {
         if data.len() != num_nodes * num_nodes {
-            return Err(MatrixError::WrongLength { expected: num_nodes * num_nodes, got: data.len() });
+            return Err(MatrixError::WrongLength {
+                expected: num_nodes * num_nodes,
+                got: data.len(),
+            });
         }
         for (idx, v) in data.iter().enumerate() {
             if !v.is_finite() || *v < 0.0 {
@@ -117,7 +120,10 @@ impl DemandMatrix {
                 if s != d {
                     let v = *it.next().expect("length checked above");
                     if !v.is_finite() || v < 0.0 {
-                        return Err(MatrixError::InvalidDemand { index: s * num_nodes + d, value: v });
+                        return Err(MatrixError::InvalidDemand {
+                            index: s * num_nodes + d,
+                            value: v,
+                        });
                     }
                     m.set(s, d, v);
                 }
@@ -137,12 +143,8 @@ impl DemandMatrix {
     /// Per-entry linear combination `self + scale * other`, clamped at zero.
     pub fn axpy(&self, scale: f64, other: &DemandMatrix) -> DemandMatrix {
         assert_eq!(self.num_nodes, other.num_nodes, "matrices must have the same size");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a + scale * b).max(0.0))
-            .collect();
+        let data =
+            self.data.iter().zip(&other.data).map(|(a, b)| (a + scale * b).max(0.0)).collect();
         DemandMatrix { num_nodes: self.num_nodes, data }
     }
 
@@ -233,7 +235,11 @@ pub struct TrafficTrace {
 
 impl TrafficTrace {
     /// Builds a trace.  All matrices must have the same node count.
-    pub fn new(name: impl Into<String>, interval_seconds: f64, matrices: Vec<DemandMatrix>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        interval_seconds: f64,
+        matrices: Vec<DemandMatrix>,
+    ) -> Self {
         let n = matrices.first().map(|m| m.num_nodes()).unwrap_or(0);
         assert!(
             matrices.iter().all(|m| m.num_nodes() == n),

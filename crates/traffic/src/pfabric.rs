@@ -138,8 +138,10 @@ mod tests {
     #[test]
     fn flow_sizes_follow_cdf_shape() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let samples: Vec<f64> = (0..20_000).map(|_| sample_web_search_flow_size(&mut rng)).collect();
-        let below_100kb = samples.iter().filter(|s| **s <= 0.1).count() as f64 / samples.len() as f64;
+        let samples: Vec<f64> =
+            (0..20_000).map(|_| sample_web_search_flow_size(&mut rng)).collect();
+        let below_100kb =
+            samples.iter().filter(|s| **s <= 0.1).count() as f64 / samples.len() as f64;
         // CDF says ~57% of flows are below ~100 KB.
         assert!((0.45..0.70).contains(&below_100kb), "fraction below 100KB = {below_100kb}");
         let max = samples.iter().cloned().fold(0.0, f64::max);
@@ -181,7 +183,10 @@ mod tests {
         off_diag.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = off_diag[off_diag.len() / 2];
         let max = *off_diag.last().unwrap();
-        assert!(max < 3.0 * median, "pair usage should be roughly uniform (max {max}, median {median})");
+        assert!(
+            max < 3.0 * median,
+            "pair usage should be roughly uniform (max {max}, median {median})"
+        );
     }
 
     #[test]

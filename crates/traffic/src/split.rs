@@ -79,7 +79,11 @@ pub struct WindowDataset {
 impl WindowDataset {
     /// Builds all samples whose target index lies in `range` and whose full
     /// history window also lies inside the trace.
-    pub fn from_trace(trace: &TrafficTrace, window: usize, range: std::ops::Range<usize>) -> WindowDataset {
+    pub fn from_trace(
+        trace: &TrafficTrace,
+        window: usize,
+        range: std::ops::Range<usize>,
+    ) -> WindowDataset {
         assert!(window >= 1, "window must be at least 1");
         let mut samples = Vec::new();
         for t in range {
@@ -88,7 +92,11 @@ impl WindowDataset {
             }
             let history: Vec<DemandMatrix> =
                 (t - window..t).map(|h| trace.matrix(h).clone()).collect();
-            samples.push(WindowSample { target_index: t, history, target: trace.matrix(t).clone() });
+            samples.push(WindowSample {
+                target_index: t,
+                history,
+                target: trace.matrix(t).clone(),
+            });
         }
         WindowDataset { window, samples }
     }

@@ -78,7 +78,7 @@ struct PairProfile {
 pub fn wan_trace(graph: &Graph, config: &WanTrafficConfig) -> TrafficTrace {
     let n = graph.num_nodes();
     let base = gravity_matrix(graph, config.load_factor);
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x0_7ea_57);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x0007_ea57);
 
     // Assign per-pair profiles.  Burst-prone pairs are selected at random;
     // their mean traffic is also skewed so variance heterogeneity is large.
@@ -95,7 +95,11 @@ pub fn wan_trace(graph: &Graph, config: &WanTrafficConfig) -> TrafficTrace {
             profiles.push(PairProfile {
                 mean,
                 noise: config.noise * rng.gen_range(0.5..1.5),
-                burst_prob: if bursty { config.burst_probability * rng.gen_range(0.5..2.0) } else { 0.0 },
+                burst_prob: if bursty {
+                    config.burst_probability * rng.gen_range(0.5..2.0)
+                } else {
+                    0.0
+                },
                 burst_low: config.burst_magnitude.0,
                 burst_high: config.burst_magnitude.1,
             });
@@ -171,7 +175,10 @@ mod tests {
         let var = per_pair_variance(&t);
         let max = var.iter().cloned().fold(0.0, f64::max);
         let min_nonzero = var.iter().cloned().filter(|v| *v > 0.0).fold(f64::INFINITY, f64::min);
-        assert!(max / min_nonzero > 10.0, "per-pair variance should span at least an order of magnitude");
+        assert!(
+            max / min_nonzero > 10.0,
+            "per-pair variance should span at least an order of magnitude"
+        );
     }
 
     #[test]

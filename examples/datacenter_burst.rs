@@ -40,7 +40,11 @@ fn main() {
     let dote_cong = congestion_event_rate(&dote_norm, CONGESTION_THRESHOLD);
 
     println!("\nnormalized MLU (vs. omniscient):");
-    println!("  FIGRET: mean {:.3}, congestion events {:.1}%", mean(&figret_norm), figret_cong * 100.0);
+    println!(
+        "  FIGRET: mean {:.3}, congestion events {:.1}%",
+        mean(&figret_norm),
+        figret_cong * 100.0
+    );
     println!("  DOTE  : mean {:.3}, congestion events {:.1}%", mean(&dote_norm), dote_cong * 100.0);
     if dote_cong > 0.0 {
         println!(

@@ -18,7 +18,7 @@ fn main() {
     println!("GEANT link-failure study (normalized vs. failure-aware oracle)");
     println!("{:<12} {:>10} {:>10} {:>10}", "scheme", "1 failure", "2 failures", "3 failures");
 
-    let schemes = vec![
+    let schemes = [
         ("FIGRET", Scheme::Figret(learning.clone())),
         ("DOTE", Scheme::Dote(FigretConfig { robustness_weight: 0.0, ..learning })),
         ("Des TE", Scheme::Desensitization(DesensitizationSettings::default())),

@@ -37,8 +37,11 @@ fn main() {
         report.wall_seconds,
         report.final_loss().unwrap()
     );
-    let mut dote =
-        FigretModel::new(&paths, &variances, FigretConfig { robustness_weight: 0.0, ..config.clone() });
+    let mut dote = FigretModel::new(
+        &paths,
+        &variances,
+        FigretConfig { robustness_weight: 0.0, ..config.clone() },
+    );
     dote.train(&dataset);
 
     // 4. Evaluate on the last 25%: average MLU normalized by the omniscient optimum.
@@ -51,7 +54,8 @@ fn main() {
         }
         let history: Vec<_> = (t - window..t).map(|h| trace.matrix(h).clone()).collect();
         let demand = trace.matrix(t);
-        let omni = omniscient_config(&paths, demand, SolverEngine::Auto).expect("omniscient solves");
+        let omni =
+            omniscient_config(&paths, demand, SolverEngine::Auto).expect("omniscient solves");
         sums[0] += max_link_utilization(&paths, &figret.predict(&paths, &history), demand);
         sums[1] += max_link_utilization(&paths, &dote.predict(&paths, &history), demand);
         sums[2] += max_link_utilization(&paths, &TeConfig::uniform(&paths), demand);

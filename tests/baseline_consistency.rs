@@ -26,10 +26,15 @@ fn omniscient_prediction_and_desensitization_are_ordered_sensibly() {
     let realized = trace.matrix(t);
 
     let omni = omniscient_config(&paths, realized, SolverEngine::Lp).unwrap();
-    let pred = prediction_config(&paths, &history, Predictor::LastSnapshot, SolverEngine::Lp).unwrap();
-    let des =
-        desensitization_config(&paths, &history, &DesensitizationSettings::default(), SolverEngine::Lp)
-            .unwrap();
+    let pred =
+        prediction_config(&paths, &history, Predictor::LastSnapshot, SolverEngine::Lp).unwrap();
+    let des = desensitization_config(
+        &paths,
+        &history,
+        &DesensitizationSettings::default(),
+        SolverEngine::Lp,
+    )
+    .unwrap();
 
     let omni_mlu = max_link_utilization(&paths, &omni, realized);
     let pred_mlu = max_link_utilization(&paths, &pred, realized);

@@ -1,0 +1,346 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use — the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, [`Just`], [`collection::vec`], [`ProptestConfig::with_cases`]
+//! and the [`proptest!`] / `prop_assert*` macros — on top of a seeded ChaCha
+//! stream.  Unlike upstream proptest there is no shrinking: a failing case
+//! panics with the normal assertion message, and the stream is deterministic
+//! per test name, so failures reproduce exactly.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use rand::{Rng, SampleRange, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The random source handed to strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Creates the deterministic generator for a named test.
+pub fn new_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(hash)
+}
+
+/// Test-runner configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of randomized cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` randomized cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating values of a type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then samples from the strategy `f`
+    /// builds from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleRange + Clone> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies (the `proptest::collection` module).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec()`]: a fixed `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// `(min, max_exclusive)` bounds of the generated length.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// A vector of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty length range");
+        VecStrategy { element, min, max_exclusive }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.min + 1 == self.max_exclusive {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max_exclusive)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)` item
+/// becomes a normal `#[test]` running the body over sampled cases.
+///
+/// The `#[test]` attribute is matched as part of the item's attribute list and
+/// re-emitted verbatim, so the generated zero-argument function is a normal
+/// Rust test.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::new_rng(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])+
+                fn $name( $($pat in $strat),+ ) $body
+            )+
+        }
+    };
+}
+
+/// The names a `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = new_rng("ranges");
+        for _ in 0..200 {
+            let n = (3usize..10).sample(&mut rng);
+            assert!((3..10).contains(&n));
+            let (a, b) = (0usize..5, -1.0f64..1.0).sample(&mut rng);
+            assert!(a < 5 && (-1.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_lengths() {
+        let mut rng = new_rng("vecs");
+        for _ in 0..100 {
+            let v = collection::vec(0.0f64..1.0, 1..40).sample(&mut rng);
+            assert!((1..40).contains(&v.len()));
+            let fixed = collection::vec(0usize..3, 7usize).sample(&mut rng);
+            assert_eq!(fixed.len(), 7);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = new_rng("compose");
+        let strat = (2usize..5)
+            .prop_flat_map(|n| collection::vec(0.0f64..1.0, n).prop_map(move |v| (n, v)));
+        for _ in 0..50 {
+            let (n, v) = strat.sample(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+        assert_eq!(Just(41).sample(&mut rng) + 1, 42);
+    }
+
+    #[test]
+    fn same_test_name_reproduces_the_stream() {
+        let a: Vec<usize> = {
+            let mut rng = new_rng("repro");
+            (0..10).map(|_| (0usize..1000).sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = new_rng("repro");
+            (0..10).map(|_| (0usize..1000).sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, metadata and multiple arguments.
+        #[test]
+        fn macro_generates_working_tests(
+            (n, scale) in (1usize..4, 1.0f64..2.0),
+            v in collection::vec(0.0f64..1.0, 3),
+        ) {
+            prop_assert!((1..4).contains(&n));
+            prop_assert_eq!(v.len(), 3);
+            prop_assert_ne!(scale, 0.0);
+        }
+    }
+}

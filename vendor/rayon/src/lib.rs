@@ -1,0 +1,370 @@
+//! Minimal offline stand-in for the `rayon` crate.
+//!
+//! Implements the slice/`Vec`/range parallel-iterator subset the workspace
+//! uses on top of `std::thread::scope`.  Combinators evaluate eagerly and
+//! preserve item order, and the terminal reductions (`sum`, `reduce`,
+//! `collect`) fold the already-ordered results sequentially, so every
+//! pipeline is deterministic regardless of how many worker threads run —
+//! the property the training and evaluation layers rely on for per-seed
+//! reproducibility.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (like upstream rayon) or
+//! `std::thread::available_parallelism`.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Worker threads currently alive across every parallel call.  There is no
+/// shared pool, so nested parallelism (a `par_iter` inside a `par_iter`)
+/// reserves against this budget and degrades to serial execution once
+/// [`current_num_threads`] workers are live, instead of multiplying threads.
+/// The accounting is approximate (load then add, no CAS loop) — a brief
+/// overshoot under races is harmless, unbounded growth is what this prevents.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Releases a worker-budget reservation on drop, including during unwinding,
+/// so a panicking task cannot leak budget and serialize later calls.
+struct WorkerReservation(usize);
+
+impl WorkerReservation {
+    fn acquire(threads: usize) -> WorkerReservation {
+        ACTIVE_WORKERS.fetch_add(threads, Ordering::Relaxed);
+        WorkerReservation(threads)
+    }
+}
+
+impl Drop for WorkerReservation {
+    fn drop(&mut self) {
+        ACTIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+    }
+}
+
+/// Number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || ACTIVE_WORKERS.load(Ordering::Relaxed) >= current_num_threads()
+    {
+        return (a(), b());
+    }
+    let _reservation = WorkerReservation::acquire(1);
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Maps `f` over `items` using up to [`current_num_threads`] scoped threads,
+/// preserving item order in the output.
+fn parallel_map<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let budget = current_num_threads().saturating_sub(ACTIVE_WORKERS.load(Ordering::Relaxed));
+    let threads = budget.min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<I> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let _reservation = WorkerReservation::acquire(threads);
+    let outputs: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Preserve the worker's original panic payload (an expect()
+                // message from a solver, say) instead of masking it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": combinators run in parallel immediately and
+/// buffer their ordered results.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync + Send>(self, f: F) -> ParIter<R> {
+        ParIter { items: parallel_map(self.items, &f) }
+    }
+
+    /// Keeps only items for which `f` returns `Some`, preserving order.
+    pub fn filter_map<R: Send, F: Fn(T) -> Option<R> + Sync + Send>(self, f: F) -> ParIter<R> {
+        ParIter { items: parallel_map(self.items, &f).into_iter().flatten().collect() }
+    }
+
+    /// Keeps only items matching the predicate, preserving order.
+    pub fn filter<F: Fn(&T) -> bool + Sync + Send>(self, f: F) -> ParIter<T> {
+        ParIter {
+            items: parallel_map(self.items, &|t| if f(&t) { Some(t) } else { None })
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Maps every item to an iterator and concatenates the results in order.
+    pub fn flat_map<R, II, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        II: IntoIterator<Item = R> + Send,
+        F: Fn(T) -> II + Sync + Send,
+    {
+        let nested: Vec<Vec<R>> = parallel_map(self.items, &|t| f(t).into_iter().collect());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Runs `f` on every item in parallel (no result).
+    pub fn for_each<F: Fn(T) + Sync + Send>(self, f: F) {
+        let _ = parallel_map(self.items, &|t| f(t));
+    }
+
+    /// Collects the ordered items into any [`FromIterator`] collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items **in index order** (deterministic for floats).
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Folds the items **in index order** with `op`, starting from
+    /// `identity()` (deterministic for floats).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Number of buffered items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Compatibility no-op (the eager model has no splitting granularity).
+    pub fn with_min_len(self, _len: usize) -> ParIter<T> {
+        self
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// Conversion of `&collection` into a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced by the iterator (a reference).
+    type Item: Send + 'a;
+
+    /// Borrowing counterpart of [`IntoParallelIterator::into_par_iter`].
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Parallel operations on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of at most `size` elements.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks(size).collect() }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges_and_vecs() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[99], 99 * 99);
+        let owned: Vec<String> =
+            vec!["a".to_string(), "b".to_string()].into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(owned, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn sum_and_reduce_are_deterministic() {
+        let v: Vec<f64> = (0..5000).map(|i| (i as f64).sin()).collect();
+        let serial: f64 = v.iter().sum();
+        let parallel: f64 = v.par_iter().map(|x| *x).sum();
+        assert_eq!(serial, parallel, "ordered reduction must match serial bit-for-bit");
+        let reduced = v.par_iter().map(|x| *x).reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(serial, reduced);
+    }
+
+    #[test]
+    fn chunks_filter_flat_map_enumerate() {
+        let v: Vec<usize> = (0..10).collect();
+        let chunk_sums: Vec<usize> = v.par_chunks(3).map(|c| c.iter().sum::<usize>()).collect();
+        assert_eq!(chunk_sums, vec![3, 12, 21, 9]);
+        let evens: Vec<usize> = v.clone().into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, vec![0, 2, 4, 6, 8]);
+        let doubled: Vec<usize> = v.clone().into_par_iter().flat_map(|x| vec![x, x]).collect();
+        assert_eq!(doubled.len(), 20);
+        let indexed: Vec<(usize, usize)> = v.into_par_iter().enumerate().collect();
+        assert_eq!(indexed[7], (7, 7));
+    }
+
+    #[test]
+    fn nested_parallelism_stays_bounded_and_correct() {
+        // A par_iter inside a par_iter must not multiply threads without
+        // bound, and must still produce ordered, correct results.
+        let outer: Vec<usize> = (0..8).collect();
+        let sums: Vec<usize> = outer
+            .par_iter()
+            .map(|&o| (0..100usize).into_par_iter().map(|i| o * 100 + i).sum::<usize>())
+            .collect();
+        for (o, s) in sums.iter().enumerate() {
+            assert_eq!(*s, (0..100).map(|i| o * 100 + i).sum::<usize>());
+        }
+        // No budget assertion here: the test harness runs tests concurrently,
+        // so other parallel tests may legitimately hold reservations.
+    }
+
+    #[test]
+    fn worker_panic_payload_is_preserved() {
+        let result = std::panic::catch_unwind(|| {
+            let v: Vec<usize> = (0..64).collect();
+            v.par_iter().for_each(|&i| {
+                if i == 63 {
+                    panic!("original payload {i}");
+                }
+            });
+        });
+        let payload = result.expect_err("the worker panic must propagate");
+        let message = payload.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("original payload 63"), "got: {message}");
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+        assert!(current_num_threads() >= 1);
+    }
+}
