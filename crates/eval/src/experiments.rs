@@ -16,8 +16,12 @@ use figret_traffic::{
 };
 use rayon::prelude::*;
 
-use crate::report::{ascii_box, print_csv_series, print_quality_panel, print_table};
-use crate::runner::{omniscient_series, run_scheme, EvalOptions, Scheme};
+use crate::report::{
+    ascii_box, lp_work_columns, lp_work_header, print_csv_series, print_quality_panel, print_table,
+};
+use crate::runner::{
+    omniscient_series, omniscient_series_with_stats, run_scheme, EvalOptions, Scheme,
+};
 use crate::scenario::{Scenario, ScenarioOptions};
 
 /// Options shared by every experiment binary.
@@ -440,6 +444,7 @@ pub fn table2_time(options: &ExperimentOptions) {
     let eval = options.eval_options();
     let topologies = vec![Topology::Geant, Topology::MetaDbTor, Topology::MetaWebTor];
     let mut rows = Vec::new();
+    let mut work_rows = Vec::new();
     for topology in topologies {
         let scenario = Scenario::build(topology, &options.scenario_options());
         let figret_run = run_scheme(&scenario, &Scheme::Figret(options.learning_config()), &eval);
@@ -449,6 +454,15 @@ pub fn table2_time(options: &ExperimentOptions) {
             &Scheme::Desensitization(DesensitizationSettings::default()),
             &eval,
         );
+        let (_, omni_stats) = omniscient_series_with_stats(&scenario, &eval);
+        let mut omni_row = vec![scenario.name.clone(), "Omniscient".to_string()];
+        omni_row.extend(lp_work_columns(&omni_stats));
+        work_rows.push(omni_row);
+        for run in [&pred_run, &des_run] {
+            let mut row = vec![scenario.name.clone(), run.scheme.clone()];
+            row.extend(lp_work_columns(&run.lp_stats));
+            work_rows.push(row);
+        }
         let oblivious_feasible = scenario.paths.num_pairs() <= 600;
         rows.push(vec![
             format!(
@@ -480,6 +494,13 @@ pub fn table2_time(options: &ExperimentOptions) {
             "Des/FIGRET speedup",
         ],
         &rows,
+    );
+    let mut work_header = vec!["network", "scheme"];
+    work_header.extend(lp_work_header());
+    print_table(
+        "Table 2 — LP solver work (warm-started template series)",
+        &work_header,
+        &work_rows,
     );
 }
 

@@ -2,6 +2,7 @@
 //! plots, so every experiment binary prints the same rows/series the paper's
 //! tables and figures report.
 
+use figret_solvers::SeriesStats;
 use figret_te::SchemeQuality;
 use figret_traffic::DistributionSummary;
 
@@ -55,6 +56,24 @@ pub fn summary_columns(s: &DistributionSummary) -> Vec<String> {
 /// Header matching [`summary_columns`].
 pub fn summary_header() -> Vec<&'static str> {
     vec!["mean", "p25", "median", "p75", "p99", "max"]
+}
+
+/// Formats a series' accumulated LP solver work as table columns; pairs with
+/// [`lp_work_header`].  `warm` counts solves seeded from the previous
+/// snapshot's basis (vs. cold two-phase solves).
+pub fn lp_work_columns(stats: &SeriesStats) -> Vec<String> {
+    vec![
+        format!("{}", stats.solves),
+        format!("{}/{}", stats.warm_solves, stats.solves),
+        format!("{}", stats.totals.phase1_iterations),
+        format!("{}", stats.totals.phase2_iterations),
+        format!("{}", stats.totals.refactorizations),
+    ]
+}
+
+/// Header matching [`lp_work_columns`].
+pub fn lp_work_header() -> Vec<&'static str> {
+    vec!["solves", "warm", "ph1 pivots", "ph2 pivots", "reinversions"]
 }
 
 /// Prints the per-scheme quality rows of a Figure 5-style panel.
@@ -126,6 +145,13 @@ mod tests {
         print_csv_series("series", &[1.0, 2.0]);
         let q = SchemeQuality::from_normalized("X", &[1.0, 1.5, 2.5]);
         print_quality_panel("panel", &[q]);
+    }
+
+    #[test]
+    fn lp_work_columns_match_header() {
+        let stats = SeriesStats::default();
+        assert_eq!(lp_work_columns(&stats).len(), lp_work_header().len());
+        assert_eq!(lp_work_columns(&stats)[1], "0/0");
     }
 
     #[test]

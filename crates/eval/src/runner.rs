@@ -2,14 +2,21 @@
 //! and collect per-snapshot MLUs plus timing, the raw material of every table
 //! and figure.
 //!
-//! Evaluation is embarrassingly parallel across snapshots, and the runners
-//! exploit that: LP-based schemes solve their per-snapshot programs on a
-//! rayon pool, learned schemes emit all configurations with one batch-major
-//! forward pass, and the MLU evaluations fan out per snapshot.  Results are
-//! collected in snapshot order (stable reduction), so every series is
-//! deterministic regardless of worker-thread count.  Timing fields report
-//! summed per-snapshot compute time (CPU time, not wall-clock, once solves
-//! overlap).
+//! LP-based schemes run their snapshot series through a warm-started
+//! [`MluTemplate`]: the program structure is built once, each snapshot swaps
+//! in the demand-dependent coefficients and seeds from the previous
+//! snapshot's optimal basis, so a series of `T` snapshots costs one cold
+//! solve plus `T − 1` (much cheaper) warm re-solves.  The series is solved
+//! sequentially — warm starting is inherently order-dependent — which also
+//! makes it deterministic by construction; when a probe prefix shows that no
+//! seed survives on a trace (heavily bursty on/off demands), the remainder
+//! of the series falls back to the per-snapshot rayon fan-out of one-shot
+//! solves.  Learned schemes emit all
+//! configurations with one batch-major forward pass and evaluate MLUs on the
+//! rayon pool; iterative-engine fallbacks keep the old per-snapshot
+//! parallelism.  Timing fields report summed per-snapshot compute time.
+//! Accumulated LP solver work (pivots per phase, reinversions, warm-start
+//! acceptance) is threaded into [`SchemeRun::lp_stats`] for the reports.
 
 use std::time::Instant;
 
@@ -18,9 +25,9 @@ use rayon::prelude::*;
 use figret::{FigretConfig, FigretModel, TealLikeModel};
 use figret_solvers::{
     cope_config, desensitization_config, fault_aware_desensitization_config,
-    heuristic_fine_grained_config, omniscient_config, prediction_config, CopeSettings,
+    heuristic_fine_grained_config, omniscient_config, predict, prediction_config, CopeSettings,
     CuttingPlaneSettings, DesensitizationSettings, HeuristicBound, HoseModel, MluProblem,
-    Predictor, SolverEngine,
+    MluTemplate, Predictor, SeriesStats, SolverEngine, HEURISTIC_PREDICTOR,
 };
 use figret_te::{
     available_paths, max_link_utilization, normalize_by, reroute_around_failures, SchemeQuality,
@@ -137,6 +144,9 @@ pub struct SchemeRun {
     pub precompute_seconds: f64,
     /// Mean per-snapshot solution time (NN forward pass or LP solve), seconds.
     pub mean_solve_seconds: f64,
+    /// Accumulated LP solver work over the series (all-zero for learned and
+    /// iterative-engine schemes, which perform no simplex pivots).
+    pub lp_stats: SeriesStats,
 }
 
 impl SchemeRun {
@@ -163,29 +173,52 @@ fn apply_failure(
     }
 }
 
+/// Whether the options' engine solves this scenario's min-MLU instances with
+/// the exact LP (and hence whether the warm-started template path applies).
+fn engine_uses_lp(scenario: &Scenario, options: &EvalOptions) -> bool {
+    options.engine.uses_lp(scenario.paths.num_paths(), false)
+}
+
 /// The omniscient (oracle) MLU series over the evaluated snapshots.  With a
 /// failure scenario, the oracle also knows the failures and optimizes only
-/// over the surviving paths.  Snapshots solve in parallel; the series is
-/// returned in snapshot order.
+/// over the surviving paths.  The series is returned in snapshot order.
 pub fn omniscient_series(scenario: &Scenario, options: &EvalOptions) -> Vec<f64> {
+    omniscient_series_with_stats(scenario, options).0
+}
+
+/// [`omniscient_series`] plus the accumulated LP solver work.  On the LP
+/// engine the series runs through one warm-started [`MluTemplate`] (one cold
+/// solve, then per-snapshot warm re-solves); the iterative engine keeps the
+/// per-snapshot rayon fan-out and reports all-zero stats.
+pub fn omniscient_series_with_stats(
+    scenario: &Scenario,
+    options: &EvalOptions,
+) -> (Vec<f64>, SeriesStats) {
     let indices = options.eval_indices(scenario);
-    indices
-        .par_iter()
-        .map(|&t| {
-            let demand = scenario.trace.matrix(t);
-            let config = match &options.failure {
-                None => omniscient_config(&scenario.paths, demand, options.engine)
-                    .expect("omniscient LP must be solvable"),
-                Some(f) => {
-                    let problem = MluProblem::new(&scenario.paths, demand.flatten_pairs())
-                        .with_available(available_paths(&scenario.paths, f));
-                    figret_solvers::solve_min_mlu(&problem, options.engine)
-                        .expect("fault-aware omniscient LP must be solvable")
-                }
-            };
-            max_link_utilization(&scenario.paths, &config, demand)
-        })
-        .collect()
+    let availability = options.failure.as_ref().map(|f| available_paths(&scenario.paths, f));
+    let one_shot = |t: usize| {
+        let demand = scenario.trace.matrix(t);
+        match &availability {
+            None => omniscient_config(&scenario.paths, demand, options.engine)
+                .expect("omniscient LP must be solvable"),
+            Some(alive) => {
+                let problem = MluProblem::new(&scenario.paths, demand.flatten_pairs())
+                    .with_available(alive.clone());
+                figret_solvers::solve_min_mlu(&problem, options.engine)
+                    .expect("fault-aware omniscient LP must be solvable")
+            }
+        }
+    };
+    let (series, _, _, stats) = lp_series_or_parallel(
+        scenario,
+        &indices,
+        &None, // the oracle's availability mask already encodes the failure
+        engine_uses_lp(scenario, options),
+        || MluTemplate::with_options(&scenario.paths, None, availability.clone()),
+        |t| scenario.trace.matrix(t).flatten_pairs(),
+        one_shot,
+    );
+    (series, stats)
 }
 
 /// Evaluates one configuration per snapshot in parallel: times `solve`, applies
@@ -213,6 +246,104 @@ where
     let solve_seconds = results.iter().map(|(s, _)| s).sum();
     let mlus = results.into_iter().map(|(_, m)| m).collect();
     (mlus, solve_seconds)
+}
+
+/// Runs one warm-started template over the snapshot series (sequentially —
+/// each solve seeds from the previous snapshot's basis): times the demand
+/// assembly + solve, applies the optional failure rerouting, and computes the
+/// per-snapshot MLU against the realized matrix.  Returns the MLU series in
+/// snapshot order, the summed solve time and the accumulated solver work.
+fn per_snapshot_template<F>(
+    scenario: &Scenario,
+    indices: &[usize],
+    failure: &Option<FailureScenario>,
+    template: &mut MluTemplate,
+    demand_of: F,
+) -> (Vec<f64>, f64, SeriesStats)
+where
+    F: Fn(usize) -> Vec<f64>,
+{
+    let mut stats = SeriesStats::default();
+    let mut solve_seconds = 0.0;
+    let mut mlus = Vec::with_capacity(indices.len());
+    for &t in indices {
+        let start = Instant::now();
+        let demand = demand_of(t);
+        let (config, solve_stats) = template
+            .solve(&scenario.paths, &demand)
+            .expect("templated min-MLU LP must be solvable");
+        solve_seconds += start.elapsed().as_secs_f64();
+        stats.record(&solve_stats);
+        let config = apply_failure(scenario, &config, failure);
+        mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
+    }
+    (mlus, solve_seconds, stats)
+}
+
+/// Sequential template solves before deciding whether warm starting pays on
+/// this trace (see [`lp_series_or_parallel`]).
+const WARM_PROBE_SNAPSHOTS: usize = 4;
+
+/// One LP-based scheme arm of [`run_scheme`]: the warm-started sequential
+/// template series when the engine resolves to the LP, the per-snapshot
+/// parallel one-shot fallback otherwise.  `demand_of` assembles the solved
+/// demand for a snapshot (template path); `fallback` computes the full
+/// configuration (one-shot / iterative path).
+///
+/// Warm starting is inherently sequential, so it is only worth giving up the
+/// per-snapshot rayon fan-out when seeds are actually accepted: the first
+/// [`WARM_PROBE_SNAPSHOTS`] solves run through the template, and if *no*
+/// re-solve accepted its seed (heavily bursty traces — the damage gate
+/// rejects every basis) the remaining snapshots run on the parallel one-shot
+/// path instead.  The decision is made from deterministic sequential state,
+/// so results stay deterministic.
+///
+/// Returns `(mlu series, summed per-snapshot solve seconds, one-off
+/// template-construction seconds, accumulated solver work)` — construction
+/// is precomputation, not per-snapshot work (the old one-shot path rebuilt
+/// the program inside every timed solve; the template path must not hide
+/// that cost entirely nor book it per snapshot).
+#[allow(clippy::too_many_arguments)]
+fn lp_series_or_parallel<F, G>(
+    scenario: &Scenario,
+    indices: &[usize],
+    failure: &Option<FailureScenario>,
+    use_lp: bool,
+    make_template: impl FnOnce() -> MluTemplate,
+    demand_of: F,
+    fallback: G,
+) -> (Vec<f64>, f64, f64, SeriesStats)
+where
+    F: Fn(usize) -> Vec<f64>,
+    G: Fn(usize) -> TeConfig + Sync,
+{
+    if !use_lp {
+        let (series, secs) = per_snapshot_parallel(scenario, indices, failure, fallback);
+        return (series, secs, 0.0, SeriesStats::default());
+    }
+    let start = Instant::now();
+    let mut template = make_template();
+    let precompute_seconds = start.elapsed().as_secs_f64();
+    let probe_len = indices.len().min(WARM_PROBE_SNAPSHOTS);
+    let (probe, rest) = indices.split_at(probe_len);
+    let (mut series, mut secs, mut stats) =
+        per_snapshot_template(scenario, probe, failure, &mut template, &demand_of);
+    if !rest.is_empty() {
+        if stats.warm_solves > 0 {
+            let (more, more_secs, more_stats) =
+                per_snapshot_template(scenario, rest, failure, &mut template, &demand_of);
+            series.extend(more);
+            secs += more_secs;
+            stats.merge(&more_stats);
+        } else {
+            // No seed survived the probe: finish on the parallel one-shot
+            // path (same optima; `stats` then covers the probe prefix only).
+            let (more, more_secs) = per_snapshot_parallel(scenario, rest, failure, fallback);
+            series.extend(more);
+            secs += more_secs;
+        }
+    }
+    (series, secs, precompute_seconds, stats)
 }
 
 /// Evaluates precomputed configurations (one per snapshot, in order) in
@@ -245,8 +376,11 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
     let window = options.window;
     let mlus: Vec<f64>;
     let mut solve_seconds = 0.0;
-    let mut precompute_seconds = 0.0;
+    // Every scheme arm assigns its own precomputation time exactly once.
+    let precompute_seconds;
+    let mut lp_stats = SeriesStats::default();
     let train_variances = per_pair_variance_range(&scenario.trace, scenario.split.train.clone());
+    let use_lp = engine_uses_lp(scenario, options);
 
     match scheme {
         Scheme::Figret(cfg) | Scheme::Dote(cfg) => {
@@ -285,40 +419,85 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
             mlus = evaluate_configs_parallel(scenario, &indices, &configs, &options.failure);
         }
         Scheme::Desensitization(settings) => {
-            let (series, secs) = per_snapshot_parallel(scenario, &indices, &options.failure, |t| {
-                let history = history_window(scenario, t, window);
-                desensitization_config(&scenario.paths, &history, settings, options.engine)
-                    .expect("Des TE must be solvable")
-            });
+            let (series, secs, pre, stats) = lp_series_or_parallel(
+                scenario,
+                &indices,
+                &options.failure,
+                use_lp,
+                || MluTemplate::for_desensitization(&scenario.paths, settings),
+                |t| {
+                    let history = history_window(scenario, t, window);
+                    predict(&history, settings.predictor).flatten_pairs()
+                },
+                |t| {
+                    let history = history_window(scenario, t, window);
+                    desensitization_config(&scenario.paths, &history, settings, options.engine)
+                        .expect("Des TE must be solvable")
+                },
+            );
             mlus = series;
             solve_seconds = secs;
+            precompute_seconds = pre;
+            lp_stats = stats;
         }
         Scheme::FaultAwareDesensitization(settings) => {
             let scenario_failure = options.failure.clone().unwrap_or_else(FailureScenario::none);
             // The fault-aware LP already routes around the failures, so no
             // post-hoc rerouting is applied.
-            let (series, secs) = per_snapshot_parallel(scenario, &indices, &None, |t| {
-                let history = history_window(scenario, t, window);
-                fault_aware_desensitization_config(
-                    &scenario.paths,
-                    &history,
-                    settings,
-                    &scenario_failure,
-                    options.engine,
-                )
-                .expect("FA Des TE must be solvable")
-            });
+            let (series, secs, pre, stats) = lp_series_or_parallel(
+                scenario,
+                &indices,
+                &None,
+                use_lp,
+                || {
+                    MluTemplate::for_fault_aware_desensitization(
+                        &scenario.paths,
+                        settings,
+                        &scenario_failure,
+                    )
+                },
+                |t| {
+                    let history = history_window(scenario, t, window);
+                    predict(&history, settings.predictor).flatten_pairs()
+                },
+                |t| {
+                    let history = history_window(scenario, t, window);
+                    fault_aware_desensitization_config(
+                        &scenario.paths,
+                        &history,
+                        settings,
+                        &scenario_failure,
+                        options.engine,
+                    )
+                    .expect("FA Des TE must be solvable")
+                },
+            );
             mlus = series;
             solve_seconds = secs;
+            precompute_seconds = pre;
+            lp_stats = stats;
         }
         Scheme::Prediction(predictor) => {
-            let (series, secs) = per_snapshot_parallel(scenario, &indices, &options.failure, |t| {
-                let history = history_window(scenario, t, window);
-                prediction_config(&scenario.paths, &history, *predictor, options.engine)
-                    .expect("prediction TE must be solvable")
-            });
+            let (series, secs, pre, stats) = lp_series_or_parallel(
+                scenario,
+                &indices,
+                &options.failure,
+                use_lp,
+                || MluTemplate::new(&scenario.paths),
+                |t| {
+                    let history = history_window(scenario, t, window);
+                    predict(&history, *predictor).flatten_pairs()
+                },
+                |t| {
+                    let history = history_window(scenario, t, window);
+                    prediction_config(&scenario.paths, &history, *predictor, options.engine)
+                        .expect("prediction TE must be solvable")
+                },
+            );
             mlus = series;
             solve_seconds = secs;
+            precompute_seconds = pre;
+            lp_stats = stats;
         }
         Scheme::Oblivious | Scheme::Cope => {
             let hose = HoseModel::fit(&scenario.trace, scenario.split.train.clone(), 1.0);
@@ -343,19 +522,38 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
             mlus = evaluate_configs_parallel(scenario, &indices, &configs, &options.failure);
         }
         Scheme::HeuristicFineGrained(bound) => {
-            let (series, secs) = per_snapshot_parallel(scenario, &indices, &options.failure, |t| {
-                let history = history_window(scenario, t, window);
-                heuristic_fine_grained_config(
-                    &scenario.paths,
-                    &history,
-                    &train_variances,
-                    *bound,
-                    options.engine,
-                )
-                .expect("heuristic fine-grained TE must be solvable")
-            });
+            let (series, secs, pre, stats) = lp_series_or_parallel(
+                scenario,
+                &indices,
+                &options.failure,
+                use_lp,
+                || {
+                    MluTemplate::for_heuristic_fine_grained(
+                        &scenario.paths,
+                        &train_variances,
+                        *bound,
+                    )
+                },
+                |t| {
+                    let history = history_window(scenario, t, window);
+                    predict(&history, HEURISTIC_PREDICTOR).flatten_pairs()
+                },
+                |t| {
+                    let history = history_window(scenario, t, window);
+                    heuristic_fine_grained_config(
+                        &scenario.paths,
+                        &history,
+                        &train_variances,
+                        *bound,
+                        options.engine,
+                    )
+                    .expect("heuristic fine-grained TE must be solvable")
+                },
+            );
             mlus = series;
             solve_seconds = secs;
+            precompute_seconds = pre;
+            lp_stats = stats;
         }
     }
 
@@ -366,6 +564,7 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
         mlus,
         precompute_seconds,
         mean_solve_seconds: mean_solve,
+        lp_stats,
     }
 }
 
@@ -476,6 +675,37 @@ mod tests {
         let p2 = run_scheme(&scenario, &Scheme::Prediction(Predictor::LastSnapshot), &options);
         assert_eq!(p1.mlus, p2.mlus);
         assert_eq!(p1.indices, p2.indices);
+    }
+
+    #[test]
+    fn lp_schemes_report_solver_work_and_warm_start() {
+        let scenario = small_scenario();
+        let options = fast_options();
+        for scheme in [
+            Scheme::Prediction(Predictor::LastSnapshot),
+            Scheme::Desensitization(DesensitizationSettings::default()),
+        ] {
+            let run = run_scheme(&scenario, &scheme, &options);
+            assert_eq!(run.lp_stats.solves, run.indices.len(), "{}", run.scheme);
+            assert!(run.lp_stats.totals.iterations > 0, "{} must report pivots", run.scheme);
+            assert!(
+                run.lp_stats.warm_solves >= run.lp_stats.solves / 2,
+                "{}: warm starts must dominate the series ({:?})",
+                run.scheme,
+                run.lp_stats
+            );
+            assert_eq!(
+                run.lp_stats.totals.iterations,
+                run.lp_stats.totals.phase1_iterations + run.lp_stats.totals.phase2_iterations
+            );
+        }
+        // The omniscient series reports its solver work too.
+        let (series, stats) = omniscient_series_with_stats(&scenario, &options);
+        assert_eq!(stats.solves, series.len());
+        assert!(stats.totals.iterations > 0);
+        // Static precomputed schemes perform no per-snapshot LP solves.
+        let oblivious = run_scheme(&scenario, &Scheme::Oblivious, &options);
+        assert_eq!(oblivious.lp_stats, figret_solvers::SeriesStats::default());
     }
 
     #[test]

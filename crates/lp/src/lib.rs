@@ -1,9 +1,20 @@
 //! # figret-lp
 //!
-//! A self-contained dense two-phase simplex solver used by the LP-based TE
-//! baselines (omniscient, prediction-based, desensitization-based, oblivious
-//! and COPE).  The paper uses Gurobi; this crate is the offline substitute
-//! documented in DESIGN.md §5.
+//! A self-contained LP toolkit used by the LP-based TE baselines (omniscient,
+//! prediction-based, desensitization-based, oblivious and COPE).  The paper
+//! uses Gurobi; this crate is the offline substitute documented in
+//! DESIGN.md §5.  Two interchangeable solvers share the modelling API:
+//!
+//! * [`revised`] — the default engine ([`solve`]): a sparse revised simplex
+//!   with a CSR constraint matrix, an eta-file (product-form) basis inverse
+//!   and warm starting across structurally identical programs;
+//! * [`simplex`] — the original dense two-phase tableau, kept as the
+//!   independent reference implementation ([`solve_dense`]); property tests
+//!   below assert the two agree on randomized programs.
+//!
+//! Snapshot series re-solve near-identical programs back to back; the
+//! [`template::LpTemplate`] API builds the program structure once and re-solves
+//! with in-place value updates plus basis warm starts.
 //!
 //! # Example
 //!
@@ -23,12 +34,18 @@
 #![warn(missing_docs)]
 
 pub mod problem;
+pub mod revised;
 pub mod simplex;
 pub mod solution;
+pub mod sparse;
+pub mod template;
 
 pub use problem::{Constraint, Direction, LinearProgram, Relation};
-pub use simplex::solve;
+pub use revised::{solve, solve_with_basis, Basis};
+pub use simplex::solve as solve_dense;
 pub use solution::{LpError, Solution, SolveStats};
+pub use sparse::{ColumnView, CsrMatrix};
+pub use template::{CoeffHandle, LpTemplate};
 
 #[cfg(test)]
 mod proptests {
@@ -66,6 +83,57 @@ mod proptests {
         })
     }
 
+    /// Randomized *sparse* programs with mixed relations.  Rows touch a random
+    /// subset of the variables (sparsity masks), every variable is upper
+    /// bounded (no unbounded cases), and `>=`/`=` rows may make an instance
+    /// infeasible — both solvers must then agree on that verdict.
+    fn arbitrary_sparse_lp() -> impl Strategy<Value = LinearProgram> {
+        (2usize..8, 1usize..8).prop_flat_map(|(nvars, nrows)| {
+            (
+                proptest::collection::vec(-3.0f64..5.0, nvars),
+                proptest::collection::vec(
+                    (
+                        proptest::collection::vec(0.0f64..1.0, nvars), // sparsity mask
+                        proptest::collection::vec(0.2f64..3.0, nvars), // coefficients
+                        0.0f64..3.0,                                   // relation selector
+                        0.0f64..4.0,                                   // rhs scale
+                    ),
+                    nrows,
+                ),
+            )
+                .prop_map(move |(obj, rows)| {
+                    let mut lp = LinearProgram::new(Direction::Minimize);
+                    for c in &obj {
+                        lp.add_variable(*c);
+                    }
+                    for v in 0..nvars {
+                        lp.add_constraint(vec![(v, 1.0)], Relation::LessEq, 10.0);
+                    }
+                    for (mask, coeffs, rel, rhs) in rows {
+                        let sparse: Vec<(usize, f64)> = mask
+                            .iter()
+                            .zip(&coeffs)
+                            .enumerate()
+                            .filter(|(_, (m, _))| **m < 0.4) // ~40% fill
+                            .map(|(i, (_, c))| (i, *c))
+                            .collect();
+                        if sparse.is_empty() {
+                            continue;
+                        }
+                        let relation = if rel < 1.0 {
+                            Relation::LessEq
+                        } else if rel < 2.0 {
+                            Relation::GreaterEq
+                        } else {
+                            Relation::Equal
+                        };
+                        lp.add_constraint(sparse, relation, rhs);
+                    }
+                    lp
+                })
+        })
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -78,6 +146,63 @@ mod proptests {
             prop_assert!(sol.objective_value <= 1e-6);
             // Objective value must match the returned point.
             prop_assert!((lp.objective_value(&sol.values) - sol.objective_value).abs() < 1e-9);
+            // Pivot accounting must add up.
+            prop_assert!(sol.stats.iterations
+                == sol.stats.phase1_iterations + sol.stats.phase2_iterations);
+        }
+
+        /// Tentpole equivalence: the sparse revised simplex and the dense
+        /// tableau must agree — same feasibility verdict, and when solvable,
+        /// objectives within 1e-6 with both points feasible.
+        #[test]
+        fn sparse_revised_agrees_with_dense_tableau(lp in arbitrary_sparse_lp()) {
+            let sparse = revised::solve(&lp);
+            let dense = simplex::solve(&lp);
+            match (&sparse, &dense) {
+                (Ok(s), Ok(d)) => {
+                    prop_assert!(lp.is_feasible(&s.values, 1e-6),
+                        "revised solution infeasible");
+                    prop_assert!(lp.is_feasible(&d.values, 1e-6),
+                        "dense solution infeasible");
+                    prop_assert!((s.objective_value - d.objective_value).abs() < 1e-6,
+                        "objectives diverge: revised {} vs dense {}",
+                        s.objective_value, d.objective_value);
+                }
+                (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+                (a, b) => prop_assert!(false, "verdicts diverge: revised {a:?} vs dense {b:?}"),
+            }
+        }
+
+        /// Warm-start-equals-cold-start: over a sequence of perturbed RHS
+        /// values, a template (warm) solve and a from-scratch (cold) solve of
+        /// the same program must produce the same optimum.
+        #[test]
+        fn warm_start_equals_cold_start_over_rhs_sequences(
+            nvars in 2usize..5,
+            scales in proptest::collection::vec(0.2f64..4.0, 1usize..6),
+        ) {
+            // min Σ (1 + i) x_i  s.t.  Σ x_i = s (perturbed), x_i <= 3 s.
+            let mut lp = LinearProgram::new(Direction::Minimize);
+            for i in 0..nvars {
+                lp.add_variable(1.0 + i as f64);
+            }
+            let all: Vec<(usize, f64)> = (0..nvars).map(|i| (i, 1.0)).collect();
+            lp.add_constraint(all, Relation::Equal, 1.0);
+            for v in 0..nvars {
+                lp.add_constraint(vec![(v, 1.0)], Relation::LessEq, 3.0);
+            }
+            let mut template = LpTemplate::new(lp.clone());
+            for (step, s) in scales.iter().enumerate() {
+                template.set_rhs(0, *s);
+                for v in 0..nvars {
+                    template.set_rhs(1 + v, 3.0 * s);
+                }
+                let warm = template.solve().expect("template solve must succeed");
+                let cold = revised::solve(template.lp()).expect("cold solve must succeed");
+                prop_assert!((warm.objective_value - cold.objective_value).abs() < 1e-6,
+                    "step {step}: warm {} vs cold {}", warm.objective_value, cold.objective_value);
+                prop_assert!(template.lp().is_feasible(&warm.values, 1e-6));
+            }
         }
     }
 }

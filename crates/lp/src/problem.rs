@@ -4,8 +4,9 @@
 //! TE, desensitization TE, oblivious/COPE subproblems) with Gurobi.  This crate
 //! provides a small, self-contained replacement: problems are expressed as
 //! `min/max cᵀx` subject to sparse linear rows `aᵀx {≤,=,≥} b` with all
-//! variables non-negative, and solved with a dense two-phase simplex
-//! ([`crate::simplex`]).
+//! variables non-negative, and solved with a sparse revised simplex
+//! ([`crate::revised`]; the dense two-phase tableau of [`crate::simplex`]
+//! remains as the reference implementation).
 //!
 //! All TE formulations used in this repository only need non-negative
 //! variables, so variable bounds other than `x ≥ 0` are expressed as rows.
@@ -85,6 +86,19 @@ impl LinearProgram {
             assert!(c.is_finite(), "constraint coefficient must be finite");
         }
         self.constraints.push(Constraint { coeffs, relation, rhs });
+    }
+
+    /// Rewrites the value of one stored coefficient entry (template path; the
+    /// sparsity pattern of the constraint is unchanged).
+    pub(crate) fn set_constraint_coefficient(&mut self, row: usize, entry: usize, value: f64) {
+        assert!(value.is_finite(), "constraint coefficient must be finite");
+        self.constraints[row].coeffs[entry].1 = value;
+    }
+
+    /// Rewrites the right-hand side of a constraint (template path).
+    pub(crate) fn set_constraint_rhs(&mut self, row: usize, value: f64) {
+        assert!(value.is_finite(), "constraint RHS must be finite");
+        self.constraints[row].rhs = value;
     }
 
     /// Number of variables.

@@ -1,0 +1,1319 @@
+//! Sparse revised simplex with an eta-file basis and warm starts.
+//!
+//! Where [`crate::simplex`] rewrites a dense `(m+1)×(n+m+1)` tableau on every
+//! pivot, this solver keeps the constraint matrix in CSR ([`crate::sparse`])
+//! and represents the basis inverse as a product of eta matrices (product-form
+//! of the inverse, PFI):
+//!
+//! * **BTRAN** (`y = Bᵀ⁻¹ c_B`) prices the simplex multipliers, then reduced
+//!   costs are computed against the *sparse columns only*;
+//! * **FTRAN** (`w = B⁻¹ a_q`) transforms just the entering column;
+//! * each pivot appends one eta vector instead of touching every row, and the
+//!   factorization is rebuilt from the basis columns ("reinversion") every
+//!   [`REFACTOR_INTERVAL`] updates, which also restores numerical accuracy.
+//!
+//! TE min-MLU programs are extremely sparse (a path touches a handful of
+//! links), so per-iteration work drops from `O(m·n)` to roughly
+//! `O(nnz + m + |eta file|)`.  Pricing computes every reduced cost with one
+//! sequential CSR sweep (`d = c − Aᵀy`), and reinversion is event-driven
+//! (singleton columns pivot without etas, sparse FTRANs only visit the etas
+//! they excite), so both scale with the nonzeros actually involved.
+//!
+//! Cold solves avoid phase 1 where the shape allows it: a **crash basis**
+//! assigns each equality row a structural column exclusive to it (a path's
+//! split ratio lives in exactly one conservation row), a **lift step** enters
+//! the min-max variable (θ) at the worst-ratio row — which makes the whole
+//! crash point feasible in one pivot — and dual-simplex repair mops up
+//! whatever is left.  When the crash does not fit (`≥` rows, no exclusive
+//! columns) the classic two-phase method runs instead.
+//!
+//! The module also exposes **warm starts** ([`solve_with_basis`]): a solve can
+//! seed from the optimal [`Basis`] of a structurally identical program (same
+//! rows, columns and sparsity pattern — only coefficient values and RHS may
+//! differ).  A seeded solve skips phase 1: if the old basis went primal
+//! infeasible under the new data (the usual case after a coefficient swap), a
+//! bounded **dual-simplex repair** — with basis repair for columns that
+//! collapsed when a pair's demand dropped to zero — restores `x_B ≥ 0` in a
+//! few pivots before primal phase 2 finishes the solve.  Unusable seeds —
+//! wrong shape, singular, damage too wide (many on/off pairs toggled), repair
+//! gives up — silently fall back to a cold solve, so warm starting never
+//! changes the result, only the work.
+
+use crate::problem::{Direction, LinearProgram, Relation};
+use crate::solution::{LpError, Solution, SolveStats};
+use crate::sparse::{ColumnView, CsrMatrix};
+
+/// Numeric tolerance used for optimality and feasibility tests.
+const EPS: f64 = 1e-9;
+/// Non-improving iterations after which pricing switches to Bland's rule.
+const STALL_LIMIT: usize = 200;
+/// Basis updates between reinversions of the eta file.
+const REFACTOR_INTERVAL: usize = 128;
+/// A warm basis is accepted if its basic values are no more negative than this.
+const WARM_TOL: f64 = 1e-7;
+/// Smallest pivot magnitude accepted during reinversion.
+const REINVERT_PIVOT_TOL: f64 = 1e-10;
+/// Smallest transformed-coefficient magnitude admissible as a dual-repair
+/// pivot.  Dual pivots run on a seeded (possibly ill-conditioned) basis, so
+/// the bar is far above [`EPS`] — near-zero alphas are factorization noise.
+const DUAL_PIVOT_TOL: f64 = 1e-7;
+
+/// An optimal (or at least feasible) simplex basis, reusable as a warm start
+/// for a structurally identical program (see [`solve_with_basis`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Basic column of each constraint row.
+    cols: Vec<usize>,
+    /// Total column count of the standard form the basis belongs to, used to
+    /// reject bases from differently shaped programs.
+    total_cols: usize,
+}
+
+impl Basis {
+    /// Number of constraint rows the basis covers.
+    pub fn num_rows(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+/// One eta matrix: identity except for column `pivot`.
+#[derive(Debug, Clone)]
+struct Eta {
+    pivot: usize,
+    /// Diagonal entry `1 / w[pivot]`.
+    diag: f64,
+    /// Off-diagonal entries `(row, -w[row] / w[pivot])`.
+    entries: Vec<(usize, f64)>,
+}
+
+/// Product-form factorization of the basis inverse: `B⁻¹ = E_k · … · E_1`.
+#[derive(Debug, Clone, Default)]
+struct EtaFile {
+    etas: Vec<Eta>,
+    nnz: usize,
+}
+
+impl EtaFile {
+    /// `x := B⁻¹ x` (apply etas oldest-first).
+    fn ftran(&self, x: &mut [f64]) {
+        for eta in &self.etas {
+            let t = x[eta.pivot];
+            if t != 0.0 {
+                x[eta.pivot] = eta.diag * t;
+                for &(i, v) in &eta.entries {
+                    x[i] += v * t;
+                }
+            }
+        }
+    }
+
+    /// `y := B⁻ᵀ y` (apply transposed etas newest-first).
+    fn btran(&self, y: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut acc = eta.diag * y[eta.pivot];
+            for &(i, v) in &eta.entries {
+                acc += v * y[i];
+            }
+            y[eta.pivot] = acc;
+        }
+    }
+
+    /// `x := B⁻¹ x` for a *sparse* `x`, event-driven: instead of walking the
+    /// whole file (O(#etas) even when almost all are no-ops), only etas whose
+    /// pivot row actually carries value are applied, discovered through
+    /// `eta_of_row` (row → file index of the eta pivoting there, `usize::MAX`
+    /// if none) and drained in file order via a min-heap.  Applying in
+    /// ascending file order reproduces the dense FTRAN exactly: an eta whose
+    /// pivot first becomes nonzero *after* its turn would not have been
+    /// re-applied by the sequential walk either.
+    ///
+    /// `touched` holds the support of `x` and is extended as values spread.
+    /// Indices can repeat when a value cancels to exactly zero and is later
+    /// rewritten — consumers must tolerate that (zeroing twice is free;
+    /// [`EtaFile::push_from`] zeroes as it drains).
+    fn ftran_sparse(&self, x: &mut [f64], touched: &mut Vec<usize>, eta_of_row: &[usize]) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+        for &r in touched.iter() {
+            if eta_of_row[r] != usize::MAX {
+                heap.push(Reverse(eta_of_row[r]));
+            }
+        }
+        let mut last = usize::MAX;
+        while let Some(Reverse(idx)) = heap.pop() {
+            if idx == last {
+                continue; // duplicate heap entry
+            }
+            last = idx;
+            let eta = &self.etas[idx];
+            let t = x[eta.pivot];
+            if t == 0.0 {
+                continue;
+            }
+            x[eta.pivot] = eta.diag * t;
+            for &(i, v) in &eta.entries {
+                if x[i] == 0.0 {
+                    touched.push(i);
+                    if eta_of_row[i] != usize::MAX && eta_of_row[i] > idx {
+                        heap.push(Reverse(eta_of_row[i]));
+                    }
+                }
+                x[i] += v * t;
+            }
+        }
+    }
+
+    /// Appends the eta produced by pivoting the FTRAN'd entering column `w`
+    /// on row `pivot`.
+    fn push(&mut self, pivot: usize, w: &[f64]) {
+        let inv = 1.0 / w[pivot];
+        let mut entries = Vec::new();
+        for (i, &v) in w.iter().enumerate() {
+            if i != pivot && v != 0.0 {
+                entries.push((i, -v * inv));
+            }
+        }
+        self.nnz += entries.len() + 1;
+        self.etas.push(Eta { pivot, diag: inv, entries });
+    }
+
+    /// [`EtaFile::push`] over a sparse support: only `support` indices are
+    /// read, and each is zeroed as it is consumed, which both cleans the
+    /// scratch vector for the caller and makes duplicate support indices
+    /// (see [`EtaFile::ftran_sparse`]) read as zero on second sight.
+    fn push_from(&mut self, pivot: usize, w: &mut [f64], support: &[usize]) {
+        let inv = 1.0 / w[pivot];
+        let mut entries = Vec::new();
+        for &i in support {
+            let v = w[i];
+            w[i] = 0.0;
+            if i != pivot && v != 0.0 {
+                entries.push((i, -v * inv));
+            }
+        }
+        self.nnz += entries.len() + 1;
+        self.etas.push(Eta { pivot, diag: inv, entries });
+    }
+
+    /// Appends a pure scaling eta (`x[pivot] *= 1/v`): the elimination step
+    /// of a singleton column with entry `v` on an unpivoted row.
+    fn push_diagonal(&mut self, pivot: usize, v: f64) {
+        self.nnz += 1;
+        self.etas.push(Eta { pivot, diag: 1.0 / v, entries: Vec::new() });
+    }
+}
+
+/// The program in computational standard form: `min cᵀx  s.t.  Ax = b, x ≥ 0`
+/// with slack, surplus and artificial columns appended and `b ≥ 0`.
+#[derive(Debug)]
+pub(crate) struct StandardForm {
+    pub(crate) matrix: CsrMatrix,
+    view: ColumnView,
+    pub(crate) rhs: Vec<f64>,
+    /// Number of structural (original) variables.
+    num_vars: usize,
+    /// First artificial column (artificials occupy `art_start..total_cols`).
+    art_start: usize,
+    total_cols: usize,
+    /// Initial identity basis: the slack or artificial column of each row.
+    initial_basis: Vec<usize>,
+    /// Whether each row was sign-flipped during normalization (`rhs < 0` in
+    /// the source program); template updates must re-apply the flip.
+    pub(crate) flipped: Vec<bool>,
+    /// Post-normalization relation of each row (crash-basis construction).
+    relations: Vec<Relation>,
+}
+
+impl StandardForm {
+    pub(crate) fn build(lp: &LinearProgram) -> StandardForm {
+        let n = lp.num_vars();
+        let m = lp.num_constraints();
+        let mut num_slack = 0usize;
+        let mut num_artificial = 0usize;
+        for c in lp.constraints() {
+            let relation = if c.rhs < 0.0 { c.relation.flipped() } else { c.relation };
+            match relation {
+                Relation::LessEq => num_slack += 1,
+                Relation::GreaterEq => {
+                    num_slack += 1;
+                    num_artificial += 1;
+                }
+                Relation::Equal => num_artificial += 1,
+            }
+        }
+        let art_start = n + num_slack;
+        let total_cols = art_start + num_artificial;
+
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        let mut initial_basis = Vec::with_capacity(m);
+        let mut flipped = Vec::with_capacity(m);
+        let mut relations = Vec::with_capacity(m);
+        let mut next_slack = n;
+        let mut next_art = art_start;
+        for c in lp.constraints() {
+            let flip = c.rhs < 0.0;
+            flipped.push(flip);
+            let sign = if flip { -1.0 } else { 1.0 };
+            let relation = if flip { c.relation.flipped() } else { c.relation };
+            relations.push(relation);
+            let mut row: Vec<(usize, f64)> = c.coeffs.iter().map(|&(i, v)| (i, sign * v)).collect();
+            match relation {
+                Relation::LessEq => {
+                    row.push((next_slack, 1.0));
+                    initial_basis.push(next_slack);
+                    next_slack += 1;
+                }
+                Relation::GreaterEq => {
+                    row.push((next_slack, -1.0));
+                    next_slack += 1;
+                    row.push((next_art, 1.0));
+                    initial_basis.push(next_art);
+                    next_art += 1;
+                }
+                Relation::Equal => {
+                    row.push((next_art, 1.0));
+                    initial_basis.push(next_art);
+                    next_art += 1;
+                }
+            }
+            rows.push(row);
+            rhs.push(sign * c.rhs);
+        }
+        let matrix = CsrMatrix::from_rows(total_cols, &rows);
+        let view = matrix.column_view();
+        StandardForm {
+            matrix,
+            view,
+            rhs,
+            num_vars: n,
+            art_start,
+            total_cols,
+            initial_basis,
+            flipped,
+            relations,
+        }
+    }
+
+    pub(crate) fn num_rows(&self) -> usize {
+        self.rhs.len()
+    }
+}
+
+impl Relation {
+    fn flipped(self) -> Relation {
+        match self {
+            Relation::LessEq => Relation::GreaterEq,
+            Relation::GreaterEq => Relation::LessEq,
+            Relation::Equal => Relation::Equal,
+        }
+    }
+}
+
+/// Why [`Simplex::optimize`] stopped.
+enum Outcome {
+    Optimal,
+    Unbounded,
+}
+
+/// Revised simplex state over one standard form.
+struct Simplex<'a> {
+    form: &'a StandardForm,
+    /// Basic column of each row.
+    basis: Vec<usize>,
+    is_basic: Vec<bool>,
+    fact: EtaFile,
+    /// Current basic values (`x_B = B⁻¹ b`); kept ≥ 0 during primal
+    /// iterations, temporarily negative during dual (warm-repair) pivots.
+    xb: Vec<f64>,
+    updates_since_refactor: usize,
+    /// `fact.nnz` right after the last reinversion: the refactor trigger
+    /// watches the *growth* of the eta file (update etas appended since),
+    /// not its absolute size — a basis whose factorization is inherently
+    /// dense must not refactorize on every pivot.
+    nnz_after_refactor: usize,
+    stats: SolveStats,
+    /// Dense scratch of length `m` (FTRAN results).
+    work: Vec<f64>,
+    /// Dense scratch of length `m` (BTRAN results: multipliers / unit rows).
+    y: Vec<f64>,
+    /// Dense scratch of length `total_cols` (reduced costs per pricing sweep).
+    reduced: Vec<f64>,
+}
+
+impl<'a> Simplex<'a> {
+    /// Starts from the all-slack/artificial identity basis (`x_B = b`).
+    fn cold(form: &'a StandardForm) -> Simplex<'a> {
+        let m = form.num_rows();
+        let mut is_basic = vec![false; form.total_cols];
+        for &c in &form.initial_basis {
+            is_basic[c] = true;
+        }
+        Simplex {
+            form,
+            basis: form.initial_basis.clone(),
+            is_basic,
+            fact: EtaFile::default(),
+            xb: form.rhs.clone(),
+            updates_since_refactor: 0,
+            nnz_after_refactor: 0,
+            stats: SolveStats::default(),
+            work: vec![0.0; m],
+            y: vec![0.0; m],
+            reduced: vec![0.0; form.total_cols],
+        }
+    }
+
+    /// Starts from a caller-provided basis.  Returns `None` if the basis does
+    /// not fit the form, is singular under the current coefficient values, or
+    /// leaves an artificial variable basic at a nonzero value — in all of
+    /// which cases the caller should solve cold instead.  The returned state
+    /// may be primal *infeasible* (negative basic values) when coefficients
+    /// changed since the basis was optimal; [`Simplex::dual_repair`] restores
+    /// feasibility before primal iterations run.
+    fn warm(form: &'a StandardForm, warm: &Basis) -> Option<Simplex<'a>> {
+        if warm.cols.len() != form.num_rows() || warm.total_cols != form.total_cols {
+            return None;
+        }
+        let mut simplex = Simplex::cold(form);
+        simplex.basis = warm.cols.clone();
+        simplex.is_basic = vec![false; form.total_cols];
+        for &c in &simplex.basis {
+            if c >= form.total_cols || simplex.is_basic[c] {
+                return None; // out of range or duplicated column
+            }
+            simplex.is_basic[c] = true;
+        }
+        if simplex.refactorize_with(true).is_err() {
+            return None;
+        }
+        // A degenerate optimum can leave artificials basic at value zero;
+        // after the value swap they reappear at arbitrary values.  Pivot them
+        // out onto structural/slack columns where possible (negative results
+        // are repaired by the dual pivots that follow).  Artificials that
+        // cannot leave sit on redundant rows and must be at ~zero, or the
+        // seed point violates original rows in a way dual pivots on
+        // structural/slack columns cannot repair.
+        if simplex.basis.iter().any(|&b| b >= form.art_start) {
+            simplex.drive_out_artificials();
+        }
+        for (r, &v) in simplex.xb.iter().enumerate() {
+            if simplex.basis[r] >= form.art_start && v.abs() > WARM_TOL {
+                return None;
+            }
+        }
+        simplex.stats.warm_started = true;
+        Some(simplex)
+    }
+
+    /// Builds a **crash basis** that avoids phase 1 on programs shaped like
+    /// the TE LPs: every `=` row gets a structural column appearing in *that
+    /// equality row only* (a path's split-ratio variable lives in exactly one
+    /// conservation row), every `≤` row keeps its slack.  The result is
+    /// block-triangular and nonsingular but usually primal infeasible (the
+    /// crash routing overloads edges while θ sits at zero) — which
+    /// [`Simplex::dual_repair`] then fixes, typically in very few pivots
+    /// because one entering θ-column lifts every violated row at once.
+    /// Returns `None` when the shape does not fit (`≥` rows, an equality row
+    /// without an exclusive column, singular numerics); the caller then runs
+    /// the ordinary two-phase solve.
+    fn crash(form: &'a StandardForm) -> Option<Simplex<'a>> {
+        // Count equality-row appearances of every structural column.
+        let mut equal_rows: Vec<usize> = Vec::new();
+        let mut appearances = vec![0usize; form.num_vars];
+        for (r, relation) in form.relations.iter().enumerate() {
+            match relation {
+                Relation::GreaterEq => return None,
+                Relation::Equal => {
+                    equal_rows.push(r);
+                    let (cols, vals) = form.matrix.row(r);
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        if c < form.num_vars && v.abs() > EPS {
+                            appearances[c] += 1;
+                        }
+                    }
+                }
+                Relation::LessEq => {}
+            }
+        }
+        if equal_rows.is_empty() {
+            return None; // the all-slack basis is already artificial-free
+        }
+        let mut simplex = Simplex::cold(form);
+        for &r in &equal_rows {
+            let (cols, vals) = form.matrix.row(r);
+            let pick = cols.iter().zip(vals).find(|(&c, &v)| {
+                c < form.num_vars && v.abs() > EPS && appearances[c] == 1 && !simplex.is_basic[c]
+            });
+            let (&c, _) = pick?;
+            // Swap the row's artificial for the exclusive structural column.
+            simplex.is_basic[simplex.basis[r]] = false;
+            simplex.is_basic[c] = true;
+            simplex.basis[r] = c;
+        }
+        if simplex.refactorize().is_err() {
+            return None;
+        }
+        simplex.lift_to_feasibility(&appearances);
+        Some(simplex)
+    }
+
+    /// One-shot feasibility lift for the crash basis.  The crash point is
+    /// infeasible exactly where the crash routing overloads `≤` rows, and a
+    /// min-max objective variable (θ in min-MLU: a structural column that
+    /// appears in no equality row, with negative coefficients in the
+    /// overloaded rows) can absorb *all* of those violations at once: enter
+    /// it with step `t* = max_{w_i<0} x_i/w_i` — the largest lower bound its
+    /// column imposes — provided no positive-coefficient row blocks below
+    /// `t*`.  One FTRAN + `O(m)` per candidate; purely an accelerator, the
+    /// dual repair that follows handles whatever is left.
+    fn lift_to_feasibility(&mut self, equality_appearances: &[usize]) {
+        if self.xb.iter().all(|&v| v >= -WARM_TOL) {
+            return;
+        }
+        for q in 0..self.form.num_vars {
+            if self.is_basic[q] || equality_appearances[q] != 0 {
+                continue;
+            }
+            if self.form.view.col_nnz(q) == 0 {
+                continue;
+            }
+            self.work.iter_mut().for_each(|v| *v = 0.0);
+            for (r, v) in self.form.view.column(&self.form.matrix, q) {
+                self.work[r] = v;
+            }
+            self.fact.ftran(&mut self.work);
+            // Smallest step that clears every lower bound the column imposes.
+            let mut t = 0.0f64;
+            let mut pivot_row: Option<usize> = None;
+            for (r, &w) in self.work.iter().enumerate() {
+                if w < -DUAL_PIVOT_TOL {
+                    let bound = self.xb[r] / w;
+                    if bound > t {
+                        t = bound;
+                        pivot_row = Some(r);
+                    }
+                }
+            }
+            let r = match pivot_row {
+                Some(r) => r,
+                None => continue,
+            };
+            // Blocked if a positive-coefficient row runs negative, or if a
+            // negative row is not actually cleared (w ≈ 0 there).
+            let feasible_after = self.xb.iter().zip(self.work.iter()).all(|(&x, &w)| {
+                let after = x - t * w;
+                after >= -WARM_TOL
+            });
+            if !feasible_after {
+                continue;
+            }
+            self.pivot_signed(q, r, t);
+            self.stats.phase1_iterations += 1;
+            for v in self.xb.iter_mut() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            return;
+        }
+    }
+
+    /// Dual-simplex repair: after the template path swaps coefficient values
+    /// (or a crash basis is built), the basis is usually still *dual*
+    /// (near-)feasible but primal infeasible — some basic values went
+    /// negative.  Classic dual pivots (leaving row = most negative basic
+    /// value, entering column = minimum reduced-cost ratio over the row's
+    /// negative transformed coefficients) restore `x_B ≥ 0` in a handful of
+    /// iterations when the perturbation is small.  Returns `Ok(true)` once
+    /// feasible, `Ok(false)` to give up (the caller falls back to a cold
+    /// two-phase solve); pivots are counted into `phase1_iterations` since
+    /// the repair replaces phase 1.
+    ///
+    /// With `gated`, heavily damaged seeds bail out instantly: when a large
+    /// share of the rows is infeasible the seed is not "the previous optimum
+    /// slightly perturbed" but a different program (e.g. many on/off pairs
+    /// toggled between snapshots), and grinding dual pivots through it costs
+    /// more than the cold solve it would replace.  Both the warm and the
+    /// crash path run gated — the crash lift usually clears every violated
+    /// row beforehand, so a crash point that is still widely infeasible
+    /// (e.g. binding bound rows θ cannot lift) goes straight to two-phase.
+    /// `gated = false` is kept for callers that know the damage is shallow.
+    fn dual_repair(&mut self, costs: &[f64], gated: bool) -> Result<bool, LpError> {
+        let m = self.form.num_rows();
+        let max_pivots = m + 100;
+        let mut rho = vec![0.0; m];
+        let mut candidates: Vec<(usize, f64, f64)> = Vec::new();
+        // When pricing and FTRAN disagree (eta-file drift), one reinversion
+        // retry is allowed before the attempt is abandoned; any successful
+        // pivot re-arms the retry.
+        let damage = self.xb.iter().filter(|v| **v < -WARM_TOL).count();
+        let max_pivots = if gated {
+            if damage > 32.max(m / 16) {
+                return Ok(false);
+            }
+            max_pivots.min(8 * damage + 64)
+        } else {
+            max_pivots
+        };
+        let mut fresh_factorization = false;
+        let mut pivots = 0usize;
+        while pivots < max_pivots {
+            // Leaving row: most negative basic value.
+            let mut leaving: Option<usize> = None;
+            let mut most_negative = -WARM_TOL;
+            for (r, &v) in self.xb.iter().enumerate() {
+                if v < most_negative {
+                    most_negative = v;
+                    leaving = Some(r);
+                }
+            }
+            let r = match leaving {
+                Some(r) => r,
+                None => {
+                    // Feasible; flush the remaining sub-tolerance noise.
+                    for v in self.xb.iter_mut() {
+                        if *v < 0.0 {
+                            *v = 0.0;
+                        }
+                    }
+                    return Ok(true);
+                }
+            };
+            // Simplex multipliers for reduced costs: y = Bᵀ⁻¹ c_B.
+            for (i, &b) in self.basis.iter().enumerate() {
+                self.y[i] = costs[b];
+            }
+            self.fact.btran(&mut self.y);
+            // Row r of B⁻¹A: rho = Bᵀ⁻¹ e_r, then alpha_j = rhoᵀ a_j.
+            rho.iter_mut().for_each(|v| *v = 0.0);
+            rho[r] = 1.0;
+            self.fact.btran(&mut rho);
+            // Entering column: minimum d_j / -alpha_j over alpha_j < 0 among
+            // the non-artificial columns (ties go to the lowest index via the
+            // strict `<` scan).  Reduced costs are clamped at zero — after a
+            // coefficient swap the seed may be slightly dual infeasible, and
+            // the primal phase that follows cleans that up.
+            // Pass 1: admissible candidates and the row's largest pivot
+            // magnitude.  Pass 2: threshold ratio test — only pivots within
+            // a fraction of that magnitude are eligible (a tiny alpha under
+            // a large infeasibility means a huge step `t = x_B[r]/alpha`
+            // that blows the iterate up), then minimum reduced-cost ratio,
+            // largest |alpha| among (near-)ties: min-MLU programs are
+            // massively dual degenerate (nearly all costs are zero), so most
+            // ratios tie at zero and the stable pivot wins.
+            candidates.clear();
+            let mut max_abs_alpha = 0.0f64;
+            for c in 0..self.form.art_start {
+                if self.is_basic[c] {
+                    continue;
+                }
+                let alpha = self.form.view.column_dot(&self.form.matrix, c, &rho);
+                if alpha < -DUAL_PIVOT_TOL {
+                    let d = (costs[c] - self.form.view.column_dot(&self.form.matrix, c, &self.y))
+                        .max(0.0);
+                    candidates.push((c, alpha, d));
+                    max_abs_alpha = max_abs_alpha.max(-alpha);
+                }
+            }
+            let mut entering: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_alpha = 0.0f64;
+            for &(c, alpha, d) in &candidates {
+                if -alpha < 0.05 * max_abs_alpha {
+                    continue;
+                }
+                let ratio = d / -alpha;
+                let take =
+                    ratio < best_ratio - EPS || (ratio < best_ratio + EPS && -alpha > best_alpha);
+                if take {
+                    best_ratio = ratio.min(best_ratio);
+                    best_alpha = -alpha;
+                    entering = Some(c);
+                }
+            }
+            let q = match entering {
+                Some(q) => q,
+                None => {
+                    if fresh_factorization {
+                        return Ok(false); // row unsatisfiable under this seed
+                    }
+                    self.refactorize_with(true)?;
+                    fresh_factorization = true;
+                    continue;
+                }
+            };
+            // FTRAN the entering column and pivot on row r (t > 0 since both
+            // x_B[r] and the pivot element are negative).  A pricing/FTRAN
+            // disagreement means the eta file has drifted: reinvert and retry.
+            self.work.iter_mut().for_each(|v| *v = 0.0);
+            for (row, v) in self.form.view.column(&self.form.matrix, q) {
+                self.work[row] = v;
+            }
+            self.fact.ftran(&mut self.work);
+            if self.work[r] >= -DUAL_PIVOT_TOL {
+                if fresh_factorization {
+                    return Ok(false);
+                }
+                self.refactorize_with(true)?;
+                fresh_factorization = true;
+                continue;
+            }
+            let t = self.xb[r] / self.work[r];
+            self.pivot_signed(q, r, t);
+            self.stats.phase1_iterations += 1;
+            pivots += 1;
+            fresh_factorization = false;
+            if self.should_refactorize() {
+                self.refactorize_with(true)?;
+            }
+        }
+        Ok(false)
+    }
+
+    /// Rebuilds the eta file from the current basis columns ("reinversion")
+    /// and recomputes `x_B` from the RHS.  Unit columns are pivoted first and
+    /// the remaining columns are processed sparsest-first to limit fill-in;
+    /// pivot rows are chosen by largest magnitude for stability.  The
+    /// row-association of the basis is updated to match the pivot assignment.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        self.refactorize_with(false)
+    }
+
+    /// [`Simplex::refactorize`], optionally with **basis repair**: when a
+    /// column proves linearly dependent (no admissible pivot row), drop it
+    /// and substitute the slack/artificial unit column of a still-unpivoted
+    /// row.  A warm-start seed regularly needs this — e.g. when a pair's
+    /// demand drops to zero, the edge-row coefficients of its basic paths
+    /// vanish and two of the seed's columns collapse onto each other.  Repair
+    /// is only sound for seeds (cold-path reinversions hitting singularity
+    /// are genuine numerical breakdown and keep the hard error).
+    fn refactorize_with(&mut self, repair: bool) -> Result<(), LpError> {
+        let m = self.form.num_rows();
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&pos| (self.form.view.col_nnz(self.basis[pos]), self.basis[pos]));
+        let mut fact = EtaFile::default();
+        let mut pivoted = vec![false; m];
+        let mut new_basis = vec![0usize; m];
+        let mut dropped: Vec<usize> = Vec::new();
+        // In repair mode a near-zero pivot is better replaced than kept: it
+        // would put a huge multiplier into the eta file, and BTRAN/FTRAN then
+        // drift apart on the repaired basis.
+        let pivot_tol = if repair { 1e-8 } else { REINVERT_PIVOT_TOL };
+        let work = &mut self.work;
+        let mut touched: Vec<usize> = Vec::with_capacity(m);
+        // File index of the eta pivoting each row (event-driven FTRAN).
+        let mut eta_of_row = vec![usize::MAX; m];
+        for &pos in &order {
+            let col = self.basis[pos];
+            // Singleton fast path: a column with one stored entry `v` at an
+            // unpivoted row `r` is untouched by FTRAN (no eta can pivot at an
+            // unpivoted row), so it pivots `r` directly — and when `v = 1`
+            // (every slack/artificial) it needs no eta at all.
+            if self.form.view.col_nnz(col) == 1 {
+                let (r, v) =
+                    self.form.view.column(&self.form.matrix, col).next().expect("one entry");
+                if !pivoted[r] && v.abs() > pivot_tol {
+                    if v != 1.0 {
+                        fact.push_diagonal(r, v);
+                        eta_of_row[r] = fact.etas.len() - 1;
+                    }
+                    pivoted[r] = true;
+                    new_basis[r] = col;
+                    continue;
+                }
+            }
+            touched.clear();
+            for (r, v) in self.form.view.column(&self.form.matrix, col) {
+                work[r] = v;
+                touched.push(r);
+            }
+            fact.ftran_sparse(work, &mut touched, &eta_of_row);
+            let mut pivot = None;
+            let mut best = pivot_tol;
+            for &r in &touched {
+                let v = work[r];
+                if !pivoted[r] && v.abs() > best {
+                    best = v.abs();
+                    pivot = Some(r);
+                }
+            }
+            match (pivot, repair) {
+                (Some(p), _) => {
+                    fact.push_from(p, work, &touched);
+                    eta_of_row[p] = fact.etas.len() - 1;
+                    pivoted[p] = true;
+                    new_basis[p] = col;
+                }
+                (None, true) => dropped.push(col),
+                (None, false) => {
+                    for &r in &touched {
+                        work[r] = 0.0;
+                    }
+                    return Err(LpError::Numerical); // singular basis
+                }
+            }
+            for &r in &touched {
+                work[r] = 0.0;
+            }
+        }
+        // Repair: every dropped column leaves one row unpivoted; its
+        // slack/artificial unit column (+1 in exactly that row, and never
+        // currently basic — had it been processed above, it would have
+        // pivoted that very row) completes the basis.  FTRAN leaves a unit
+        // vector of an unpivoted row untouched (no eta pivots there), so the
+        // substitution needs no eta at all.
+        for &col in &dropped {
+            self.is_basic[col] = false;
+        }
+        if !dropped.is_empty() {
+            for r in 0..m {
+                if !pivoted[r] {
+                    let unit = self.form.initial_basis[r];
+                    debug_assert!(!self.is_basic[unit]);
+                    self.is_basic[unit] = true;
+                    pivoted[r] = true;
+                    new_basis[r] = unit;
+                }
+            }
+        }
+        self.basis = new_basis;
+        self.nnz_after_refactor = fact.nnz;
+        self.fact = fact;
+        self.updates_since_refactor = 0;
+        self.stats.refactorizations += 1;
+        // Restore x_B = B⁻¹ b with the fresh factorization.
+        self.xb.copy_from_slice(&self.form.rhs);
+        self.fact.ftran(&mut self.xb);
+        for v in self.xb.iter_mut() {
+            if *v < 0.0 && *v > -WARM_TOL {
+                *v = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    fn objective(&self, costs: &[f64]) -> f64 {
+        self.basis.iter().zip(&self.xb).map(|(&c, &x)| costs[c] * x).sum()
+    }
+
+    /// Reinversion trigger: a fixed update interval, or the update etas
+    /// appended since the last reinversion outgrowing the base factorization
+    /// by `16m` nonzeros (absolute size would loop on dense bases).
+    fn should_refactorize(&self) -> bool {
+        self.updates_since_refactor >= REFACTOR_INTERVAL
+            || self.fact.nnz - self.nnz_after_refactor > 16 * self.form.num_rows() + 1024
+    }
+
+    /// Runs the revised simplex with the given costs until optimality.
+    /// Columns at `limit..` (the artificials in phase 2) may not enter.
+    /// Returns the outcome; pivots are counted into `pivots`.
+    fn optimize(
+        &mut self,
+        costs: &[f64],
+        limit: usize,
+        max_iterations: usize,
+        pivots: &mut usize,
+    ) -> Result<Outcome, LpError> {
+        let m = self.form.num_rows();
+        let mut stall = 0usize;
+        let mut last_objective = self.objective(costs);
+        for _ in 0..max_iterations {
+            let use_bland = stall >= STALL_LIMIT;
+            // Simplex multipliers: y = Bᵀ⁻¹ c_B.
+            for (r, &b) in self.basis.iter().enumerate() {
+                self.y[r] = costs[b];
+            }
+            self.fact.btran(&mut self.y);
+            // Pricing: all reduced costs at once via one sequential CSR
+            // sweep (`d = c − Aᵀy`) — far cheaper than per-column indirected
+            // dot products, and it keeps exact Dantzig semantics.  Dantzig
+            // takes the most negative reduced cost, Bland the first; entering
+            // ties go to the lowest column index (scan order).
+            self.reduced[..limit].copy_from_slice(&costs[..limit]);
+            for r in 0..m {
+                let yr = self.y[r];
+                if yr != 0.0 {
+                    let (cols, vals) = self.form.matrix.row(r);
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        if c < limit {
+                            self.reduced[c] -= yr * v;
+                        }
+                    }
+                }
+            }
+            let mut entering: Option<usize> = None;
+            let mut best = -EPS;
+            for c in 0..limit {
+                if self.is_basic[c] {
+                    continue;
+                }
+                let d = self.reduced[c];
+                if d < -EPS {
+                    if use_bland {
+                        entering = Some(c);
+                        break;
+                    }
+                    if d < best {
+                        best = d;
+                        entering = Some(c);
+                    }
+                }
+            }
+            let entering = match entering {
+                Some(c) => c,
+                None => return Ok(Outcome::Optimal),
+            };
+            // FTRAN: w = B⁻¹ a_entering.
+            self.work.iter_mut().for_each(|v| *v = 0.0);
+            for (r, v) in self.form.view.column(&self.form.matrix, entering) {
+                self.work[r] = v;
+            }
+            self.fact.ftran(&mut self.work);
+            // Ratio test.  In Dantzig mode degenerate ties go to the largest
+            // pivot element (numerically stable and less prone to stalling on
+            // TE degeneracy); in Bland mode they deterministically pick the
+            // lowest basic column index, preserving the anti-cycling
+            // guarantee the stall switch relies on.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_pivot = 0.0f64;
+            for r in 0..m {
+                let a = self.work[r];
+                if a > EPS {
+                    let ratio = self.xb[r] / a;
+                    let take = match leaving {
+                        None => true,
+                        Some(l) => {
+                            ratio < best_ratio - EPS
+                                || ((ratio - best_ratio).abs() <= EPS
+                                    && if use_bland {
+                                        self.basis[r] < self.basis[l]
+                                    } else {
+                                        a > best_pivot
+                                    })
+                        }
+                    };
+                    if take {
+                        best_ratio = ratio.min(best_ratio);
+                        best_pivot = a;
+                        leaving = Some(r);
+                    }
+                }
+            }
+            let leaving = match leaving {
+                Some(r) => r,
+                None => return Ok(Outcome::Unbounded),
+            };
+            self.pivot(entering, leaving, best_ratio.max(0.0));
+            *pivots += 1;
+            if self.should_refactorize() {
+                self.refactorize()?;
+            }
+            let objective = self.objective(costs);
+            if (objective - last_objective).abs() <= EPS {
+                stall += 1;
+            } else {
+                stall = 0;
+                last_objective = objective;
+            }
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    /// Applies the basis change `entering ↔ basis[leaving]` with step `t`,
+    /// using the FTRAN result currently held in `self.work`.  Values are kept
+    /// signed — dual pivots legitimately drive entries through negative
+    /// territory; primal callers use [`Simplex::pivot`].
+    fn pivot_signed(&mut self, entering: usize, leaving: usize, t: f64) {
+        if t != 0.0 {
+            for (x, &w) in self.xb.iter_mut().zip(self.work.iter()) {
+                if w != 0.0 {
+                    *x -= t * w;
+                }
+            }
+        }
+        self.xb[leaving] = t;
+        self.is_basic[self.basis[leaving]] = false;
+        self.is_basic[entering] = true;
+        self.basis[leaving] = entering;
+        self.fact.push(leaving, &self.work);
+        self.updates_since_refactor += 1;
+    }
+
+    /// Primal pivot: like [`Simplex::pivot_signed`], then clamps the
+    /// numerical noise below zero (the ratio test keeps true values ≥ 0).
+    fn pivot(&mut self, entering: usize, leaving: usize, t: f64) {
+        self.pivot_signed(entering, leaving, t);
+        for x in self.xb.iter_mut() {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+    }
+
+    /// Tries to pivot basic artificial variables out of the basis.  Rows
+    /// where no structural or slack column has a nonzero transformed
+    /// coefficient are redundant and keep their artificial.  After phase 1
+    /// the swapped-in values are ~zero; on the warm path they can be any
+    /// sign (`pivot_signed`), to be repaired by the dual pivots that follow.
+    fn drive_out_artificials(&mut self) {
+        let m = self.form.num_rows();
+        for r in 0..m {
+            if self.basis[r] < self.form.art_start {
+                continue;
+            }
+            // Row r of B⁻¹A over the non-artificial columns: rho = Bᵀ⁻¹ e_r.
+            self.y.iter_mut().for_each(|v| *v = 0.0);
+            self.y[r] = 1.0;
+            self.fact.btran(&mut self.y);
+            let replacement = (0..self.form.art_start).find(|&c| {
+                !self.is_basic[c]
+                    && self.form.view.column_dot(&self.form.matrix, c, &self.y).abs() > 1e-7
+            });
+            if let Some(c) = replacement {
+                self.work.iter_mut().for_each(|v| *v = 0.0);
+                for (row, v) in self.form.view.column(&self.form.matrix, c) {
+                    self.work[row] = v;
+                }
+                self.fact.ftran(&mut self.work);
+                if self.work[r].abs() > 1e-9 {
+                    let t = self.xb[r] / self.work[r];
+                    self.pivot_signed(c, r, t);
+                }
+            }
+        }
+    }
+
+    fn into_solution(self, lp: &LinearProgram) -> (Solution, Basis) {
+        let mut values = vec![0.0; self.form.num_vars];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < self.form.num_vars {
+                values[b] = self.xb[r].max(0.0);
+            }
+        }
+        let objective_value = lp.objective_value(&values);
+        let mut stats = self.stats;
+        stats.iterations = stats.phase1_iterations + stats.phase2_iterations;
+        let basis = Basis { cols: self.basis, total_cols: self.form.total_cols };
+        (Solution { values, objective_value, stats }, basis)
+    }
+}
+
+/// Builds the phase-2 cost vector (original objective, negated when
+/// maximizing; zeros on slack and artificial columns).
+fn phase2_costs(lp: &LinearProgram, form: &StandardForm) -> Vec<f64> {
+    let sign = match lp.direction() {
+        Direction::Minimize => 1.0,
+        Direction::Maximize => -1.0,
+    };
+    let mut costs = vec![0.0; form.total_cols];
+    for (c, &coeff) in lp.objective().iter().enumerate() {
+        costs[c] = sign * coeff;
+    }
+    costs
+}
+
+/// Solves a linear program with the sparse revised simplex (cold start).
+pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
+    solve_with_basis(lp, None).map(|(solution, _)| solution)
+}
+
+/// Solves a linear program with the sparse revised simplex, optionally warm
+/// starting from the basis of a previous solve of a **structurally
+/// identical** program (same rows, columns and sparsity pattern; coefficient
+/// values and RHS may differ).  Returns the solution together with the final
+/// basis, which can seed the next solve in a series.
+///
+/// An unusable warm basis (wrong shape, singular or primal infeasible under
+/// the new data) silently falls back to a cold two-phase solve —
+/// `stats.warm_started` reports which path ran.
+pub fn solve_with_basis(
+    lp: &LinearProgram,
+    warm: Option<&Basis>,
+) -> Result<(Solution, Basis), LpError> {
+    if lp.num_vars() == 0 {
+        return Err(LpError::Empty);
+    }
+    let form = StandardForm::build(lp);
+    solve_on_form(lp, &form, warm)
+}
+
+/// Runs the two-phase (or warm-started) revised simplex on an already-built
+/// standard form whose values must mirror `lp` (the template path, which
+/// rewrites coefficients in place instead of rebuilding the form per solve).
+pub(crate) fn solve_on_form(
+    lp: &LinearProgram,
+    form: &StandardForm,
+    warm: Option<&Basis>,
+) -> Result<(Solution, Basis), LpError> {
+    let max_iterations = (50 * (form.num_rows() + form.total_cols)).max(1000);
+    let costs = phase2_costs(lp, form);
+    // Work spent in abandoned warm/crash attempts, folded into the eventual
+    // solution's stats so series reporting counts what was actually done.
+    let mut abandoned = SolveStats::default();
+
+    if let Some(warm_basis) = warm {
+        if let Some(mut simplex) = Simplex::warm(form, warm_basis) {
+            // The seed is usually primal infeasible after a value swap; dual
+            // pivots repair it (replacing phase 1).  Any trouble — repair
+            // gives up, iteration trouble, numerics — falls back to cold.
+            if matches!(simplex.dual_repair(&costs, true), Ok(true)) {
+                let mut pivots = 0usize;
+                let outcome = simplex.optimize(&costs, form.art_start, max_iterations, &mut pivots);
+                simplex.stats.phase2_iterations = pivots;
+                simplex.stats.iterations =
+                    simplex.stats.phase1_iterations + simplex.stats.phase2_iterations;
+                match outcome {
+                    Ok(Outcome::Optimal) => {
+                        let (solution, basis) = simplex.into_solution(lp);
+                        // The warm path skipped phase 1, so double-check the
+                        // point; numerical trouble falls back to a cold solve.
+                        if lp.is_feasible(&solution.values, 1e-6) {
+                            return Ok((solution, basis));
+                        }
+                        abandoned.absorb(&solution.stats);
+                    }
+                    // A seeded basis can be subtly corrupted (e.g. an
+                    // artificial left basic at a nonzero value after repair),
+                    // making phase 2 see a relaxation; only the cold solve
+                    // may declare unboundedness.  Fall through to cold.
+                    Ok(Outcome::Unbounded) | Err(_) => abandoned.absorb(&simplex.stats),
+                }
+            } else {
+                simplex.stats.iterations = simplex.stats.phase1_iterations;
+                abandoned.absorb(&simplex.stats);
+            }
+        }
+    }
+
+    // ---- Crash start: skip phase 1 outright on TE-shaped programs. ----
+    // A successful crash + dual repair yields a provably feasible basis (no
+    // artificial is basic), so phase 2 from it is sound; any trouble falls
+    // through to the ordinary two-phase solve below, which also owns the
+    // infeasibility verdict.
+    if form.total_cols > form.art_start {
+        if let Some(mut simplex) = Simplex::crash(form) {
+            // Gated repair: the lift usually clears every violated row, so a
+            // crash point that is still widely infeasible (e.g. binding
+            // sensitivity-bound rows the min-max variable cannot lift) is
+            // cheaper to hand to the two-phase method than to grind on.
+            if matches!(simplex.dual_repair(&costs, true), Ok(true)) {
+                let mut pivots = 0usize;
+                let outcome = simplex.optimize(&costs, form.art_start, max_iterations, &mut pivots);
+                simplex.stats.phase2_iterations = pivots;
+                simplex.stats.iterations =
+                    simplex.stats.phase1_iterations + simplex.stats.phase2_iterations;
+                match outcome {
+                    Ok(Outcome::Optimal) => {
+                        let (mut solution, basis) = simplex.into_solution(lp);
+                        if lp.is_feasible(&solution.values, 1e-6) {
+                            solution.stats.absorb(&abandoned);
+                            return Ok((solution, basis));
+                        }
+                        abandoned.absorb(&solution.stats);
+                    }
+                    // See the warm path: the two-phase solve below owns the
+                    // unboundedness (and infeasibility) verdicts.
+                    Ok(Outcome::Unbounded) | Err(_) => abandoned.absorb(&simplex.stats),
+                }
+            } else {
+                simplex.stats.iterations = simplex.stats.phase1_iterations;
+                abandoned.absorb(&simplex.stats);
+            }
+        }
+    }
+
+    let mut simplex = Simplex::cold(form);
+    // ---- Phase 1: minimize the sum of the artificial variables. ----
+    if form.total_cols > form.art_start {
+        let mut phase1_costs = vec![0.0; form.total_cols];
+        for c in form.art_start..form.total_cols {
+            phase1_costs[c] = 1.0;
+        }
+        let mut pivots = 0usize;
+        let outcome =
+            simplex.optimize(&phase1_costs, form.total_cols, max_iterations, &mut pivots)?;
+        simplex.stats.phase1_iterations = pivots;
+        if matches!(outcome, Outcome::Unbounded) {
+            // Phase 1 is bounded below by zero; unbounded means breakdown.
+            return Err(LpError::Numerical);
+        }
+        simplex.stats.phase1_objective = simplex.objective(&phase1_costs);
+        if simplex.stats.phase1_objective > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        simplex.drive_out_artificials();
+    }
+    // ---- Phase 2: minimize the original objective. ----
+    let mut pivots = 0usize;
+    let outcome = simplex.optimize(&costs, form.art_start, max_iterations, &mut pivots)?;
+    simplex.stats.phase2_iterations = pivots;
+    if matches!(outcome, Outcome::Unbounded) {
+        return Err(LpError::Unbounded);
+    }
+    let (mut solution, basis) = simplex.into_solution(lp);
+    solution.stats.absorb(&abandoned);
+    Ok((solution, basis))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Direction, LinearProgram, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn matches_dense_on_the_textbook_maximization() {
+        let mut lp = LinearProgram::new(Direction::Maximize);
+        let x = lp.add_variable(3.0);
+        let y = lp.add_variable(5.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Relation::LessEq, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0);
+        let sol = solve(&lp).unwrap();
+        assert_close(sol.objective_value, 36.0);
+        assert_close(sol.values[x], 2.0);
+        assert_close(sol.values[y], 6.0);
+        assert!(sol.stats.phase2_iterations > 0);
+        assert!(!sol.stats.warm_started);
+    }
+
+    #[test]
+    fn handles_equalities_geq_and_negative_rhs() {
+        let mut lp = LinearProgram::new(Direction::Minimize);
+        let x = lp.add_variable(2.0);
+        let y = lp.add_variable(3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 10.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 3.0);
+        lp.add_constraint(vec![(x, -1.0), (y, -1.0)], Relation::LessEq, -4.0);
+        let sol = solve(&lp).unwrap();
+        assert_close(sol.objective_value, 20.0);
+        assert!(sol.stats.phase1_iterations > 0);
+        assert!((sol.stats.phase1_objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible_and_unbounded() {
+        let mut lp = LinearProgram::new(Direction::Minimize);
+        let x = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 2.0);
+        assert!(matches!(solve(&lp), Err(LpError::Infeasible)));
+
+        let mut lp = LinearProgram::new(Direction::Maximize);
+        let x = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 1.0);
+        assert!(matches!(solve(&lp), Err(LpError::Unbounded)));
+
+        let lp = LinearProgram::new(Direction::Minimize);
+        assert!(matches!(solve(&lp), Err(LpError::Empty)));
+    }
+
+    #[test]
+    fn degenerate_and_redundant_programs_terminate() {
+        let mut lp = LinearProgram::new(Direction::Maximize);
+        let x = lp.add_variable(10.0);
+        let y = lp.add_variable(-57.0);
+        let z = lp.add_variable(-9.0);
+        let w = lp.add_variable(-24.0);
+        lp.add_constraint(vec![(x, 0.5), (y, -5.5), (z, -2.5), (w, 9.0)], Relation::LessEq, 0.0);
+        lp.add_constraint(vec![(x, 0.5), (y, -1.5), (z, -0.5), (w, 1.0)], Relation::LessEq, 0.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 1.0);
+        let sol = solve(&lp).unwrap();
+        assert_close(sol.objective_value, 1.0);
+
+        let mut lp = LinearProgram::new(Direction::Minimize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 2.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Equal, 1.0);
+        let sol = solve(&lp).unwrap();
+        assert_close(sol.objective_value, 2.0);
+        assert_close(sol.values[x], 1.0);
+    }
+
+    #[test]
+    fn min_mlu_toy_instance() {
+        let mut lp = LinearProgram::new(Direction::Minimize);
+        let theta = lp.add_variable(1.0);
+        let f1 = lp.add_variable(0.0);
+        let f2 = lp.add_variable(0.0);
+        lp.add_constraint(vec![(f1, 1.0), (f2, 1.0)], Relation::Equal, 3.0);
+        lp.add_constraint(vec![(f1, 1.0), (theta, -1.0)], Relation::LessEq, 0.0);
+        lp.add_constraint(vec![(f2, 1.0), (theta, -2.0)], Relation::LessEq, 0.0);
+        let sol = solve(&lp).unwrap();
+        assert_close(sol.objective_value, 1.0);
+        assert_close(sol.values[f1], 1.0);
+        assert_close(sol.values[f2], 2.0);
+    }
+
+    #[test]
+    fn warm_start_reuses_the_previous_basis() {
+        // Solve, perturb the RHS, re-solve warm: the result must match a cold
+        // solve and the warm path must actually run.
+        let mut lp = LinearProgram::new(Direction::Minimize);
+        let theta = lp.add_variable(1.0);
+        let f1 = lp.add_variable(0.0);
+        let f2 = lp.add_variable(0.0);
+        lp.add_constraint(vec![(f1, 1.0), (f2, 1.0)], Relation::Equal, 3.0);
+        lp.add_constraint(vec![(f1, 1.0), (theta, -1.0)], Relation::LessEq, 0.0);
+        lp.add_constraint(vec![(f2, 1.0), (theta, -2.0)], Relation::LessEq, 0.0);
+        let (_, basis) = solve_with_basis(&lp, None).unwrap();
+
+        let mut perturbed = LinearProgram::new(Direction::Minimize);
+        let theta = perturbed.add_variable(1.0);
+        let f1 = perturbed.add_variable(0.0);
+        let f2 = perturbed.add_variable(0.0);
+        perturbed.add_constraint(vec![(f1, 1.0), (f2, 1.0)], Relation::Equal, 4.5);
+        perturbed.add_constraint(vec![(f1, 1.0), (theta, -1.0)], Relation::LessEq, 0.0);
+        perturbed.add_constraint(vec![(f2, 1.0), (theta, -2.0)], Relation::LessEq, 0.0);
+        let (warm_sol, _) = solve_with_basis(&perturbed, Some(&basis)).unwrap();
+        let cold_sol = solve(&perturbed).unwrap();
+        assert_close(warm_sol.objective_value, cold_sol.objective_value);
+        assert_close(warm_sol.objective_value, 1.5);
+        assert!(warm_sol.stats.warm_started, "warm basis must be accepted here");
+        assert_eq!(warm_sol.stats.phase1_iterations, 0);
+    }
+
+    #[test]
+    fn mismatched_warm_basis_falls_back_to_cold() {
+        let mut lp = LinearProgram::new(Direction::Minimize);
+        let x = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 2.0);
+        let (_, basis) = solve_with_basis(&lp, None).unwrap();
+
+        let mut other = LinearProgram::new(Direction::Minimize);
+        let a = other.add_variable(1.0);
+        let b = other.add_variable(1.0);
+        other.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::GreaterEq, 4.0);
+        let (sol, _) = solve_with_basis(&other, Some(&basis)).unwrap();
+        assert_close(sol.objective_value, 4.0);
+        assert!(!sol.stats.warm_started);
+    }
+
+    #[test]
+    fn refactorization_keeps_long_solves_accurate() {
+        // A chain program large enough to force several reinversions.
+        let n = 300;
+        let mut lp = LinearProgram::new(Direction::Minimize);
+        let vars: Vec<usize> = (0..n).map(|i| lp.add_variable(1.0 + (i % 7) as f64)).collect();
+        for i in 0..n {
+            let mut coeffs = vec![(vars[i], 1.0)];
+            if i + 1 < n {
+                coeffs.push((vars[i + 1], 0.5));
+            }
+            lp.add_constraint(coeffs, Relation::GreaterEq, 1.0);
+        }
+        let sol = solve(&lp).unwrap();
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+        assert!(sol.stats.refactorizations > 0, "expected at least one reinversion");
+        let dense = crate::simplex::solve(&lp).unwrap();
+        assert_close(sol.objective_value, dense.objective_value);
+    }
+}

@@ -10,9 +10,10 @@
 //!    negating the costs), with artificial columns excluded from entering.
 //!
 //! Pivoting uses Dantzig's rule with an automatic switch to Bland's rule after
-//! a stall, which guarantees termination.  The solver is dense and intended for
-//! the moderate problem sizes of the paper's small/medium topologies; the
-//! larger TE instances use the iterative solver in `figret-solvers`.
+//! a stall, which guarantees termination.  Since the sparse revised simplex
+//! ([`crate::revised`]) became the default engine this dense tableau is kept
+//! as the independent reference implementation: the property tests in
+//! `lib.rs` assert the two agree on randomized programs.
 
 use crate::problem::{Direction, LinearProgram, Relation};
 use crate::solution::{LpError, Solution, SolveStats};
@@ -68,12 +69,18 @@ impl Tableau {
     /// Runs the simplex on the current objective row until optimality.
     /// `allow_artificial` controls whether artificial columns may enter.
     /// Returns `Ok(true)` on optimality, `Ok(false)` on unboundedness.
-    fn optimize(&mut self, allow_artificial: bool, max_iterations: usize) -> Result<bool, LpError> {
+    /// Pivots are counted into `pivots`.
+    fn optimize(
+        &mut self,
+        allow_artificial: bool,
+        max_iterations: usize,
+        pivots: &mut usize,
+    ) -> Result<bool, LpError> {
         let m = self.basis.len();
         let obj = m; // index of the objective row
         let mut stall = 0usize;
         let mut last_objective = self.rows[obj][self.cols];
-        for iteration in 0..max_iterations {
+        for _ in 0..max_iterations {
             let use_bland = stall >= STALL_LIMIT;
             // Entering column: most negative reduced cost (Dantzig) or the
             // first negative one (Bland).
@@ -97,18 +104,25 @@ impl Tableau {
                 Some(c) => c,
                 None => return Ok(true), // optimal
             };
-            // Ratio test.
+            // Ratio test.  A strictly smaller ratio always wins; degenerate
+            // ties deterministically pick the row whose basic variable has the
+            // lowest column index, in Dantzig and Bland mode alike (the
+            // Bland-mode half of the anti-cycling guarantee).
             let mut leaving: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
             for r in 0..m {
                 let a = self.rows[r][entering];
                 if a > EPS {
                     let ratio = self.rhs(r) / a;
-                    let better = ratio < best_ratio - EPS
-                        || (use_bland
-                            && (ratio - best_ratio).abs() <= EPS
-                            && leaving.map(|l| self.basis[r] < self.basis[l]).unwrap_or(true));
-                    if better || leaving.is_none() && ratio < best_ratio {
+                    let take = match leaving {
+                        None => true,
+                        Some(l) => {
+                            ratio < best_ratio - EPS
+                                || ((ratio - best_ratio).abs() <= EPS
+                                    && self.basis[r] < self.basis[l])
+                        }
+                    };
+                    if take {
                         best_ratio = ratio;
                         leaving = Some(r);
                     }
@@ -119,6 +133,7 @@ impl Tableau {
                 None => return Ok(false), // unbounded
             };
             self.pivot(leaving, entering);
+            *pivots += 1;
             let objective = self.rows[obj][self.cols];
             if (objective - last_objective).abs() <= EPS {
                 stall += 1;
@@ -126,7 +141,6 @@ impl Tableau {
                 stall = 0;
                 last_objective = objective;
             }
-            let _ = iteration;
         }
         Err(LpError::IterationLimit)
     }
@@ -208,7 +222,7 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     rows.push(vec![0.0; cols + 1]);
 
     let mut tableau = Tableau { rows, cols, basis, art_start, num_vars: n };
-    let max_iterations = 50 * (m + cols).max(1000);
+    let max_iterations = (50 * (m + cols)).max(1000);
     let mut stats = SolveStats::default();
 
     // ---- Phase 1 ----
@@ -232,7 +246,9 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
                 }
             }
         }
-        let finished = tableau.optimize(true, max_iterations)?;
+        let mut pivots = 0usize;
+        let finished = tableau.optimize(true, max_iterations, &mut pivots)?;
+        stats.phase1_iterations = pivots;
         if !finished {
             // Phase 1 is always bounded below by zero; unbounded here means a
             // numerical problem.
@@ -278,7 +294,9 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
             }
         }
     }
-    let finished = tableau.optimize(false, max_iterations)?;
+    let mut pivots = 0usize;
+    let finished = tableau.optimize(false, max_iterations, &mut pivots)?;
+    stats.phase2_iterations = pivots;
     if !finished {
         return Err(LpError::Unbounded);
     }
@@ -292,7 +310,7 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
         }
     }
     let objective_value = lp.objective_value(&values);
-    stats.iterations = 0; // not tracked per pivot; reserved for future use
+    stats.iterations = stats.phase1_iterations + stats.phase2_iterations;
     Ok(Solution { values, objective_value, stats })
 }
 

@@ -5,10 +5,32 @@ use std::fmt;
 /// Diagnostic counters reported by the solver.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SolveStats {
-    /// Number of simplex pivots performed (0 if not tracked).
+    /// Total number of simplex pivots performed (phase 1 + phase 2).
     pub iterations: usize,
+    /// Pivots spent in phase 1 (driving artificials to zero); 0 when the
+    /// solve needed no phase 1 or was warm started.
+    pub phase1_iterations: usize,
+    /// Pivots spent in phase 2 (optimizing the original objective).
+    pub phase2_iterations: usize,
+    /// Basis reinversions performed by the revised simplex (always 0 for the
+    /// dense tableau solver, which carries no factorization).
+    pub refactorizations: usize,
+    /// Whether the solve was seeded from a previous basis and the seed was
+    /// accepted (see [`crate::revised::solve_with_basis`]).
+    pub warm_started: bool,
     /// Optimal value of the phase-1 objective (sum of artificials).
     pub phase1_objective: f64,
+}
+
+impl SolveStats {
+    /// Accumulates the counters of another solve (series reporting).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.iterations += other.iterations;
+        self.phase1_iterations += other.phase1_iterations;
+        self.phase2_iterations += other.phase2_iterations;
+        self.refactorizations += other.refactorizations;
+        self.phase1_objective += other.phase1_objective;
+    }
 }
 
 /// An optimal solution of a linear program.
@@ -69,6 +91,35 @@ mod tests {
     fn stats_default_is_zero() {
         let s = SolveStats::default();
         assert_eq!(s.iterations, 0);
+        assert_eq!(s.phase1_iterations, 0);
+        assert_eq!(s.phase2_iterations, 0);
+        assert_eq!(s.refactorizations, 0);
+        assert!(!s.warm_started);
         assert_eq!(s.phase1_objective, 0.0);
+    }
+
+    #[test]
+    fn stats_absorb_sums_counters() {
+        let mut a = SolveStats {
+            iterations: 3,
+            phase1_iterations: 1,
+            phase2_iterations: 2,
+            refactorizations: 1,
+            warm_started: false,
+            phase1_objective: 0.0,
+        };
+        let b = SolveStats {
+            iterations: 5,
+            phase1_iterations: 0,
+            phase2_iterations: 5,
+            refactorizations: 2,
+            warm_started: true,
+            phase1_objective: 0.0,
+        };
+        a.absorb(&b);
+        assert_eq!(a.iterations, 8);
+        assert_eq!(a.phase1_iterations, 1);
+        assert_eq!(a.phase2_iterations, 7);
+        assert_eq!(a.refactorizations, 3);
     }
 }

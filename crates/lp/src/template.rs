@@ -1,0 +1,218 @@
+//! Warm-started re-solving of structurally identical programs.
+//!
+//! Snapshot series (omniscient TE, Des TE, prediction TE over a trace) solve
+//! the *same* linear program over and over with only demand-dependent
+//! coefficients and right-hand sides changing.  [`LpTemplate`] exploits that:
+//! the standard form — slack/artificial layout, CSR pattern, column view — is
+//! built **once**, per-solve updates rewrite values in place through
+//! [`CoeffHandle`]s, and every solve after the first is seeded from the
+//! previous optimum's [`crate::revised::Basis`].  A series of `T` snapshots
+//! thus costs one cold two-phase solve plus `T − 1` warm re-solves, each of
+//! which typically needs a handful of pivots (the same amortization idea as
+//! semi-oblivious TE systems that re-optimize over slowly drifting matrices).
+//!
+//! Invariants: the variable set, objective, constraint pattern and every
+//! constraint's *relation* are frozen at construction; only coefficient values
+//! and right-hand sides may change, and a right-hand side must keep the sign
+//! it had at construction (the sign decides the slack/artificial layout).
+//! Warm starting never changes results — an unusable basis silently falls
+//! back to a cold solve (`stats.warm_started` reports which path ran).
+
+use crate::problem::LinearProgram;
+use crate::revised::{solve_on_form, Basis, StandardForm};
+use crate::solution::{LpError, Solution};
+
+/// A stable handle to one constraint coefficient of a template, resolved once
+/// via [`LpTemplate::coefficient`] and then valid for the template's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoeffHandle {
+    row: usize,
+    /// Index into the constraint's sparse coefficient list.
+    entry: usize,
+    /// Position in the CSR value array of the standard form.
+    csr_pos: usize,
+}
+
+/// A linear program whose structure is fixed but whose demand-dependent
+/// values are rewritten between solves, with basis warm starting across
+/// solves.  See the module docs for the invariants.
+#[derive(Debug)]
+pub struct LpTemplate {
+    lp: LinearProgram,
+    form: StandardForm,
+    basis: Option<Basis>,
+}
+
+impl LpTemplate {
+    /// Builds the template (standard form + column view) from a fully
+    /// assembled program.  Constraints must not contain duplicate variable
+    /// entries — the CSR layer would merge them, making coefficient handles
+    /// ambiguous.
+    pub fn new(lp: LinearProgram) -> LpTemplate {
+        assert!(lp.num_vars() > 0, "cannot build a template over an empty program");
+        for (r, c) in lp.constraints().iter().enumerate() {
+            let mut vars: Vec<usize> = c.coeffs.iter().map(|&(v, _)| v).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert!(
+                vars.len() == c.coeffs.len(),
+                "constraint {r} has duplicate variable entries; merge them before templating"
+            );
+        }
+        let form = StandardForm::build(&lp);
+        LpTemplate { lp, form, basis: None }
+    }
+
+    /// The handle of the coefficient of `var` in constraint `row`, if that
+    /// entry is stored.  Coefficients that should vary across solves must be
+    /// present (possibly as an explicit `0.0`) when the template is built.
+    pub fn coefficient(&self, row: usize, var: usize) -> Option<CoeffHandle> {
+        let entry = self.lp.constraints()[row].coeffs.iter().position(|&(v, _)| v == var)?;
+        let csr_pos = self.form.matrix.position(row, var)?;
+        Some(CoeffHandle { row, entry, csr_pos })
+    }
+
+    /// Rewrites one constraint coefficient (pattern unchanged).
+    pub fn set_coefficient(&mut self, handle: CoeffHandle, value: f64) {
+        let sign = if self.form.flipped[handle.row] { -1.0 } else { 1.0 };
+        self.lp.set_constraint_coefficient(handle.row, handle.entry, value);
+        self.form.matrix.set_value(handle.csr_pos, sign * value);
+    }
+
+    /// Rewrites the right-hand side of constraint `row`.  The new value must
+    /// have the sign class the row was built with (a sign change would alter
+    /// the slack/artificial layout).
+    pub fn set_rhs(&mut self, row: usize, value: f64) {
+        let flipped = self.form.flipped[row];
+        assert!(
+            if flipped { value <= 0.0 } else { value >= 0.0 },
+            "RHS update {value} changes the sign class of row {row}; rebuild the template instead"
+        );
+        self.lp.set_constraint_rhs(row, value);
+        self.form.rhs[row] = if flipped { -value } else { value };
+    }
+
+    /// Solves the template's current program, seeding from the previous
+    /// solve's optimal basis when one is available.  On success the final
+    /// basis is stored as the seed for the next solve.
+    pub fn solve(&mut self) -> Result<Solution, LpError> {
+        let (solution, basis) = solve_on_form(&self.lp, &self.form, self.basis.as_ref())?;
+        self.basis = Some(basis);
+        Ok(solution)
+    }
+
+    /// Drops the stored basis, forcing the next solve to run cold.
+    pub fn clear_basis(&mut self) {
+        self.basis = None;
+    }
+
+    /// Whether the next solve will attempt a warm start.
+    pub fn has_warm_basis(&self) -> bool {
+        self.basis.is_some()
+    }
+
+    /// The template's current program (updates applied).
+    pub fn lp(&self) -> &LinearProgram {
+        &self.lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Direction, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// The toy min-MLU program with the per-pair demand as a mutable RHS and
+    /// the per-path demand coefficients as mutable entries.
+    fn toy_template() -> (LpTemplate, CoeffHandle, CoeffHandle) {
+        let mut lp = LinearProgram::new(Direction::Minimize);
+        let theta = lp.add_variable(1.0);
+        let f1 = lp.add_variable(0.0);
+        let f2 = lp.add_variable(0.0);
+        lp.add_constraint(vec![(f1, 1.0), (f2, 1.0)], Relation::Equal, 3.0);
+        lp.add_constraint(vec![(f1, 1.0), (theta, -1.0)], Relation::LessEq, 0.0);
+        lp.add_constraint(vec![(f2, 1.0), (theta, -2.0)], Relation::LessEq, 0.0);
+        let template = LpTemplate::new(lp);
+        let h1 = template.coefficient(1, f1).unwrap();
+        let h2 = template.coefficient(2, f2).unwrap();
+        (template, h1, h2)
+    }
+
+    #[test]
+    fn resolves_and_warm_starts_across_rhs_updates() {
+        let (mut template, _, _) = toy_template();
+        let first = template.solve().unwrap();
+        assert_close(first.objective_value, 1.0);
+        assert!(!first.stats.warm_started);
+        assert!(template.has_warm_basis());
+        // Scale the demand: theta scales linearly.
+        template.set_rhs(0, 4.5);
+        let second = template.solve().unwrap();
+        assert_close(second.objective_value, 1.5);
+        assert!(second.stats.warm_started, "second solve must reuse the basis");
+        assert_eq!(second.stats.phase1_iterations, 0);
+    }
+
+    #[test]
+    fn coefficient_updates_are_applied_to_both_views() {
+        let (mut template, h1, _) = toy_template();
+        template.solve().unwrap();
+        // Double the utilization weight of f1: as if its demand doubled.
+        template.set_coefficient(h1, 2.0);
+        let sol = template.solve().unwrap();
+        // f1 + f2 = 3, 2 f1 <= theta, f2 <= 2 theta  =>  theta = 1.2 at
+        // f1 = 0.6, f2 = 2.4.
+        assert_close(sol.objective_value, 1.2);
+        assert!(template.lp().is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn clear_basis_forces_a_cold_solve() {
+        let (mut template, _, _) = toy_template();
+        template.solve().unwrap();
+        template.clear_basis();
+        assert!(!template.has_warm_basis());
+        let sol = template.solve().unwrap();
+        assert!(!sol.stats.warm_started);
+        assert_close(sol.objective_value, 1.0);
+    }
+
+    #[test]
+    fn missing_coefficient_positions_are_none() {
+        let (template, _, _) = toy_template();
+        assert!(template.coefficient(1, 2).is_none(), "f2 does not appear in row 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "sign class")]
+    fn rhs_sign_flips_are_rejected() {
+        let (mut template, _, _) = toy_template();
+        template.set_rhs(0, -1.0);
+    }
+
+    #[test]
+    fn flipped_rows_update_consistently() {
+        // A row stated with negative RHS (x + y >= 4 written as -x - y <= -4)
+        // is sign-flipped internally; updates must stay consistent.
+        let mut lp = LinearProgram::new(Direction::Minimize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(2.0);
+        lp.add_constraint(vec![(x, -1.0), (y, -1.0)], Relation::LessEq, -4.0);
+        let mut template = LpTemplate::new(lp);
+        let sol = template.solve().unwrap();
+        assert_close(sol.objective_value, 4.0);
+        template.set_rhs(0, -6.0);
+        let sol = template.solve().unwrap();
+        assert_close(sol.objective_value, 6.0);
+        let h = template.coefficient(0, x).unwrap();
+        template.set_coefficient(h, -2.0);
+        let sol = template.solve().unwrap();
+        // 2x + y >= 6, min x + 2y  =>  x = 3, y = 0.
+        assert_close(sol.objective_value, 3.0);
+        assert!(template.lp().is_feasible(&sol.values, 1e-6));
+    }
+}

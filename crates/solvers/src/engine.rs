@@ -6,16 +6,18 @@
 //! sensitivity bounds (desensitization-based TE) and path availability
 //! (fault-aware variants).  This module provides two interchangeable engines:
 //!
-//! * [`SolverEngine::Lp`] — the exact formulation solved with the dense
-//!   simplex of `figret-lp` (the substitute for Gurobi);
+//! * [`SolverEngine::Lp`] — the exact formulation solved with the sparse
+//!   revised simplex of `figret-lp` (the substitute for Gurobi; DESIGN.md §5);
 //! * [`SolverEngine::Iterative`] — a projected-gradient solver on the smooth
-//!   MLU surrogate (`logsumexp`), which scales to the larger topologies where
-//!   a dense simplex is impractical.  The problem is convex, so with enough
-//!   iterations the result is near-optimal.
+//!   MLU surrogate (`logsumexp`), which scales to the very large topologies
+//!   where even a sparse simplex becomes impractical.  The problem is convex,
+//!   so with enough iterations the result is near-optimal.
 //!
-//! [`SolverEngine::Auto`] picks the LP for small instances and the iterative
-//! engine otherwise, mirroring how the paper restricts its heaviest baselines
-//! to the smaller topologies.
+//! [`SolverEngine::Auto`] picks the LP for small and medium instances and the
+//! iterative engine otherwise, mirroring how the paper restricts its heaviest
+//! baselines to the smaller topologies.  Snapshot *series* should prefer
+//! [`crate::template::MluTemplate`], which builds the LP structure once and
+//! warm starts every re-solve from the previous optimum's basis.
 
 use figret_lp::{Direction, LinearProgram, LpError, Relation};
 use figret_nn::{Adam, AdamConfig, Graph, Optimizer, Tensor};
@@ -35,7 +37,26 @@ pub enum SolverEngine {
 
 /// Instances with at most this many candidate paths use the LP under
 /// [`SolverEngine::Auto`].
-pub const AUTO_LP_PATH_LIMIT: usize = 2000;
+///
+/// Calibration: the dense tableau solver could afford ~2000 paths; the sparse
+/// revised simplex solves the same ToR-scale programs ≥5× faster cold (and
+/// another ≥10× when warm started through [`crate::template::MluTemplate`]),
+/// so the crossover against the iterative engine moved outward — see
+/// BENCH_pr4.json and DESIGN.md §5.
+pub const AUTO_LP_PATH_LIMIT: usize = 6000;
+
+impl SolverEngine {
+    /// Whether this engine solves an instance with the exact LP (`true`) or
+    /// the iterative surrogate (`false`).  Capped demand matrices are only
+    /// expressible in the LP, so they force the LP under [`SolverEngine::Auto`].
+    pub fn uses_lp(&self, num_paths: usize, has_capped_demands: bool) -> bool {
+        match self {
+            SolverEngine::Lp => true,
+            SolverEngine::Iterative(_) => false,
+            SolverEngine::Auto => has_capped_demands || num_paths <= AUTO_LP_PATH_LIMIT,
+        }
+    }
+}
 
 /// Hyper-parameters of the iterative engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,13 +123,13 @@ impl<'a> MluProblem<'a> {
         self
     }
 
-    fn is_available(&self, path: usize) -> bool {
+    pub(crate) fn is_available(&self, path: usize) -> bool {
         self.available.as_ref().map(|a| a[path]).unwrap_or(true)
     }
 
     /// Loosens the per-pair bounds just enough that a feasible split exists
     /// (`Σ_p min(1, bound · C_p) ≥ 1` over the available paths of each pair).
-    fn feasible_bounds(&self) -> Option<Vec<f64>> {
+    pub(crate) fn feasible_bounds(&self) -> Option<Vec<f64>> {
         let bounds = self.sensitivity_bounds.as_ref()?;
         let mut out = bounds.clone();
         for pair in 0..self.paths.num_pairs() {
@@ -167,20 +188,14 @@ pub fn solve_min_mlu(
     if problem.demands.is_empty() {
         return Err(SolveError::NoDemand);
     }
-    match engine {
-        SolverEngine::Lp => solve_lp(problem),
-        SolverEngine::Iterative(settings) => Ok(solve_iterative(problem, settings)),
-        SolverEngine::Auto => {
-            if problem.paths.num_paths() <= AUTO_LP_PATH_LIMIT && problem.capped_demands.is_empty()
-            {
-                solve_lp(problem)
-            } else if !problem.capped_demands.is_empty() {
-                // Capped demands are only expressible in the LP.
-                solve_lp(problem)
-            } else {
-                Ok(solve_iterative(problem, IterativeSettings::default()))
-            }
-        }
+    if engine.uses_lp(problem.paths.num_paths(), !problem.capped_demands.is_empty()) {
+        solve_lp(problem)
+    } else {
+        let settings = match engine {
+            SolverEngine::Iterative(settings) => settings,
+            _ => IterativeSettings::default(),
+        };
+        Ok(solve_iterative(problem, settings))
     }
 }
 
@@ -337,7 +352,11 @@ pub fn solve_iterative(problem: &MluProblem<'_>, settings: IterativeSettings) ->
 }
 
 /// Zeroes unavailable paths and renormalizes.
-fn apply_availability(paths: &PathSet, mut raw: Vec<f64>, available: Option<&[bool]>) -> TeConfig {
+pub(crate) fn apply_availability(
+    paths: &PathSet,
+    mut raw: Vec<f64>,
+    available: Option<&[bool]>,
+) -> TeConfig {
     if let Some(avail) = available {
         for (r, a) in raw.iter_mut().zip(avail) {
             if !a {

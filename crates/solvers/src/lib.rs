@@ -36,6 +36,7 @@
 pub mod engine;
 pub mod oblivious;
 pub mod schemes;
+pub mod template;
 
 pub use engine::{
     normalized_bound_to_absolute, solve_iterative, solve_lp, solve_min_mlu, IterativeSettings,
@@ -46,10 +47,12 @@ pub use oblivious::{
     HoseModel, ObliviousResult,
 };
 pub use schemes::{
-    desensitization_config, fault_aware_desensitization_config, heuristic_bounds,
-    heuristic_fine_grained_config, omniscient_config, predict, prediction_config,
-    DesensitizationSettings, HeuristicBound, Predictor,
+    desensitization_bounds, desensitization_config, fault_aware_desensitization_config,
+    heuristic_absolute_bounds, heuristic_bounds, heuristic_fine_grained_config, omniscient_config,
+    predict, prediction_config, DesensitizationSettings, HeuristicBound, Predictor,
+    HEURISTIC_PREDICTOR,
 };
+pub use template::{MluTemplate, SeriesStats};
 
 #[cfg(test)]
 mod proptests {

@@ -92,6 +92,16 @@ impl Default for DesensitizationSettings {
     }
 }
 
+/// The per-pair sensitivity bounds desensitization-based TE applies, in
+/// absolute units — the single source of the scheme's bound policy, shared by
+/// the one-shot configs here and the series templates
+/// ([`crate::template::MluTemplate::for_desensitization`]).
+pub fn desensitization_bounds(paths: &PathSet, settings: &DesensitizationSettings) -> Vec<f64> {
+    let min_cap = paths.edge_capacities().iter().cloned().fold(f64::INFINITY, f64::min);
+    let bound_abs = normalized_bound_to_absolute(settings.sensitivity_bound, min_cap);
+    vec![bound_abs; paths.num_pairs()]
+}
+
 /// Desensitization-based TE (Google Jupiter's hedging mechanism).
 pub fn desensitization_config(
     paths: &PathSet,
@@ -99,11 +109,9 @@ pub fn desensitization_config(
     settings: &DesensitizationSettings,
     engine: SolverEngine,
 ) -> Result<TeConfig, SolveError> {
-    let min_cap = paths.edge_capacities().iter().cloned().fold(f64::INFINITY, f64::min);
-    let bound_abs = normalized_bound_to_absolute(settings.sensitivity_bound, min_cap);
     let predicted = predict(history, settings.predictor);
     let problem = MluProblem::new(paths, predicted.flatten_pairs())
-        .with_sensitivity_bounds(vec![bound_abs; paths.num_pairs()]);
+        .with_sensitivity_bounds(desensitization_bounds(paths, settings));
     solve_min_mlu(&problem, engine)
 }
 
@@ -117,11 +125,9 @@ pub fn fault_aware_desensitization_config(
     scenario: &FailureScenario,
     engine: SolverEngine,
 ) -> Result<TeConfig, SolveError> {
-    let min_cap = paths.edge_capacities().iter().cloned().fold(f64::INFINITY, f64::min);
-    let bound_abs = normalized_bound_to_absolute(settings.sensitivity_bound, min_cap);
     let predicted = predict(history, settings.predictor);
     let problem = MluProblem::new(paths, predicted.flatten_pairs())
-        .with_sensitivity_bounds(vec![bound_abs; paths.num_pairs()])
+        .with_sensitivity_bounds(desensitization_bounds(paths, settings))
         .with_available(available_paths(paths, scenario));
     solve_min_mlu(&problem, engine)
 }
@@ -176,6 +182,26 @@ pub fn heuristic_bounds(variances: &[f64], heuristic: HeuristicBound) -> Vec<f64
     bounds
 }
 
+/// The predictor heuristic fine-grained TE optimizes for (the same window
+/// peak the plain desensitization scheme hedges against).
+pub const HEURISTIC_PREDICTOR: Predictor = Predictor::WindowPeak;
+
+/// The per-pair heuristic bounds in absolute units — the single source of the
+/// Appendix C bound policy, shared by [`heuristic_fine_grained_config`] and
+/// [`crate::template::MluTemplate::for_heuristic_fine_grained`].
+pub fn heuristic_absolute_bounds(
+    paths: &PathSet,
+    variances: &[f64],
+    heuristic: HeuristicBound,
+) -> Vec<f64> {
+    assert_eq!(variances.len(), paths.num_pairs(), "one variance per SD pair is required");
+    let min_cap = paths.edge_capacities().iter().cloned().fold(f64::INFINITY, f64::min);
+    heuristic_bounds(variances, heuristic)
+        .into_iter()
+        .map(|b| normalized_bound_to_absolute(b, min_cap))
+        .collect()
+}
+
 /// Desensitization-based TE with fine-grained (per-pair) heuristic bounds —
 /// the Appendix C variant that retrofits FIGRET's idea onto Google's scheme.
 pub fn heuristic_fine_grained_config(
@@ -185,13 +211,8 @@ pub fn heuristic_fine_grained_config(
     heuristic: HeuristicBound,
     engine: SolverEngine,
 ) -> Result<TeConfig, SolveError> {
-    assert_eq!(variances.len(), paths.num_pairs(), "one variance per SD pair is required");
-    let min_cap = paths.edge_capacities().iter().cloned().fold(f64::INFINITY, f64::min);
-    let bounds: Vec<f64> = heuristic_bounds(variances, heuristic)
-        .into_iter()
-        .map(|b| normalized_bound_to_absolute(b, min_cap))
-        .collect();
-    let predicted = predict(history, Predictor::WindowPeak);
+    let bounds = heuristic_absolute_bounds(paths, variances, heuristic);
+    let predicted = predict(history, HEURISTIC_PREDICTOR);
     let problem = MluProblem::new(paths, predicted.flatten_pairs()).with_sensitivity_bounds(bounds);
     solve_min_mlu(&problem, engine)
 }

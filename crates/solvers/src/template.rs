@@ -1,0 +1,368 @@
+//! Warm-started min-MLU templates for snapshot series.
+//!
+//! Every LP-based scheme evaluated over a trace (omniscient TE, prediction
+//! TE, desensitization TE) solves one min-MLU program *per snapshot*, and
+//! consecutive programs differ only in the demand values: the path set, the
+//! conservation rows, the sensitivity bounds and the availability mask are
+//! all fixed for the series.  [`MluTemplate`] builds the program structure
+//! once per (path set, bounds, availability) — the demand-dependent
+//! coefficients are registered as [`figret_lp::CoeffHandle`]s, including the
+//! explicit zeros of currently-silent pairs so the sparsity pattern never
+//! changes — and each snapshot re-solve rewrites those values in place and
+//! warm starts from the previous snapshot's optimal basis
+//! ([`figret_lp::LpTemplate`]).  A series of `T` snapshots costs one cold
+//! solve plus `T − 1` warm re-solves (typically a few pivots each, since
+//! consecutive demand matrices are highly similar — the paper's Figure 4).
+//!
+//! Results are bit-identical in objective to [`crate::solve_lp`] on the same
+//! instance up to solver tolerance: the template formulation only adds
+//! explicitly stored zero coefficients, which do not change the feasible set.
+
+use figret_lp::{CoeffHandle, Direction, LinearProgram, LpTemplate, Relation, SolveStats};
+use figret_te::{available_paths, PathSet, TeConfig};
+use figret_topology::FailureScenario;
+
+use crate::engine::{apply_availability, MluProblem, SolveError};
+use crate::schemes::{
+    desensitization_bounds, heuristic_absolute_bounds, DesensitizationSettings, HeuristicBound,
+};
+
+/// A min-MLU program whose structure is built once and re-solved per snapshot
+/// with warm starts; see the module docs.
+#[derive(Debug)]
+pub struct MluTemplate {
+    template: LpTemplate,
+    /// One entry per demand-dependent coefficient: the handle of path `p`'s
+    /// coefficient in an edge row, and the SD pair whose demand feeds it.
+    demand_entries: Vec<(CoeffHandle, usize)>,
+    ratio_vars: Vec<usize>,
+    num_pairs: usize,
+    available: Option<Vec<bool>>,
+}
+
+impl MluTemplate {
+    /// A plain min-MLU template (no sensitivity bounds, all paths available):
+    /// the omniscient / prediction-TE series.
+    pub fn new(paths: &PathSet) -> MluTemplate {
+        MluTemplate::with_options(paths, None, None)
+    }
+
+    /// Template for a desensitization-TE series — bound policy taken from
+    /// [`crate::schemes::desensitization_bounds`], so the series and the
+    /// one-shot [`crate::schemes::desensitization_config`] always agree.
+    pub fn for_desensitization(paths: &PathSet, settings: &DesensitizationSettings) -> MluTemplate {
+        MluTemplate::with_options(paths, Some(desensitization_bounds(paths, settings)), None)
+    }
+
+    /// Template for a fault-aware desensitization-TE series (matches
+    /// [`crate::schemes::fault_aware_desensitization_config`]).
+    pub fn for_fault_aware_desensitization(
+        paths: &PathSet,
+        settings: &DesensitizationSettings,
+        scenario: &FailureScenario,
+    ) -> MluTemplate {
+        MluTemplate::with_options(
+            paths,
+            Some(desensitization_bounds(paths, settings)),
+            Some(available_paths(paths, scenario)),
+        )
+    }
+
+    /// Template for an Appendix C heuristic fine-grained series (matches
+    /// [`crate::schemes::heuristic_fine_grained_config`]; optimize for
+    /// [`crate::schemes::HEURISTIC_PREDICTOR`] demands).
+    pub fn for_heuristic_fine_grained(
+        paths: &PathSet,
+        variances: &[f64],
+        heuristic: HeuristicBound,
+    ) -> MluTemplate {
+        MluTemplate::with_options(
+            paths,
+            Some(heuristic_absolute_bounds(paths, variances, heuristic)),
+            None,
+        )
+    }
+
+    /// Builds the template with the series-static options: optional per-pair
+    /// sensitivity bounds (absolute units, as in
+    /// [`MluProblem::with_sensitivity_bounds`]) and an optional path
+    /// availability mask.  The bound relaxation matches [`crate::solve_lp`].
+    pub fn with_options(
+        paths: &PathSet,
+        sensitivity_bounds: Option<Vec<f64>>,
+        available: Option<Vec<bool>>,
+    ) -> MluTemplate {
+        // Reuse MluProblem's feasibility relaxation so template and one-shot
+        // solves agree exactly; the dummy demand never reaches the LP.
+        let mut probe = MluProblem::new(paths, vec![0.0; paths.num_pairs()]);
+        probe.sensitivity_bounds = sensitivity_bounds;
+        probe.available = available.clone();
+        let bounds = probe.feasible_bounds();
+
+        let mut lp = LinearProgram::new(Direction::Minimize);
+        let theta = lp.add_variable(1.0);
+        let ratio_vars: Vec<usize> = (0..paths.num_paths()).map(|_| lp.add_variable(0.0)).collect();
+
+        // Per-pair conservation over the available paths.
+        for pair in 0..paths.num_pairs() {
+            let coeffs: Vec<(usize, f64)> = paths
+                .paths_of_pair(pair)
+                .filter(|&p| probe.is_available(p))
+                .map(|p| (ratio_vars[p], 1.0))
+                .collect();
+            if coeffs.is_empty() {
+                continue;
+            }
+            lp.add_constraint(coeffs, Relation::Equal, 1.0);
+        }
+        // Failed paths carry nothing.
+        for p in 0..paths.num_paths() {
+            if !probe.is_available(p) {
+                lp.add_constraint(vec![(ratio_vars[p], 1.0)], Relation::LessEq, 0.0);
+            }
+        }
+        // Edge rows: every available path on the edge appears with an
+        // explicit (initially zero) demand coefficient so the pattern covers
+        // any demand matrix; the capacity coefficient on theta is static.
+        // `(row, path)` pairs are recorded to resolve handles after `lp` is
+        // frozen into the template.
+        let mut edge_rows: Vec<(usize, usize)> = Vec::new();
+        for e in 0..paths.num_edges() {
+            let mut coeffs: Vec<(usize, f64)> = Vec::new();
+            let mut row_paths: Vec<usize> = Vec::new();
+            for &p in paths.paths_on_edge(e) {
+                if probe.is_available(p) {
+                    coeffs.push((ratio_vars[p], 0.0));
+                    row_paths.push(p);
+                }
+            }
+            if coeffs.is_empty() {
+                continue;
+            }
+            coeffs.push((theta, -paths.edge_capacities()[e]));
+            let row = lp.num_constraints();
+            lp.add_constraint(coeffs, Relation::LessEq, 0.0);
+            edge_rows.extend(row_paths.into_iter().map(|p| (row, p)));
+        }
+        // Sensitivity bounds: r_p <= bound(pair) * C_p where binding.
+        if let Some(bounds) = bounds {
+            for p in 0..paths.num_paths() {
+                if !probe.is_available(p) {
+                    continue;
+                }
+                let pair = paths.pair_of_path(p);
+                let limit = bounds[pair] * paths.path_capacity(p);
+                if limit < 1.0 {
+                    lp.add_constraint(vec![(ratio_vars[p], 1.0)], Relation::LessEq, limit);
+                }
+            }
+        }
+
+        let template = LpTemplate::new(lp);
+        let demand_entries: Vec<(CoeffHandle, usize)> = edge_rows
+            .into_iter()
+            .map(|(row, p)| {
+                let handle = template
+                    .coefficient(row, ratio_vars[p])
+                    .expect("edge-row coefficients are stored by construction");
+                (handle, paths.pair_of_path(p))
+            })
+            .collect();
+        MluTemplate {
+            template,
+            demand_entries,
+            ratio_vars,
+            num_pairs: paths.num_pairs(),
+            available,
+        }
+    }
+
+    /// Solves the template for one demand matrix (`flatten_pairs` order),
+    /// warm starting from the previous snapshot's basis when available.
+    /// Returns the split-ratio configuration plus the solve's counters
+    /// (`stats.warm_started` reports whether the seed was accepted).
+    pub fn solve(
+        &mut self,
+        paths: &PathSet,
+        demand_pairs: &[f64],
+    ) -> Result<(TeConfig, SolveStats), SolveError> {
+        assert_eq!(demand_pairs.len(), self.num_pairs, "one demand per SD pair is required");
+        for &(handle, pair) in &self.demand_entries {
+            self.template.set_coefficient(handle, demand_pairs[pair].max(0.0));
+        }
+        let solution = self.template.solve().map_err(SolveError::Lp)?;
+        let raw: Vec<f64> = self.ratio_vars.iter().map(|&v| solution.values[v]).collect();
+        let config = apply_availability(paths, raw, self.available.as_deref());
+        Ok((config, solution.stats))
+    }
+
+    /// Whether the next solve will attempt a warm start.
+    pub fn has_warm_basis(&self) -> bool {
+        self.template.has_warm_basis()
+    }
+
+    /// Drops the stored basis, forcing the next solve to run cold.
+    pub fn clear_basis(&mut self) {
+        self.template.clear_basis();
+    }
+}
+
+/// Accumulated solver-work counters over a series of template (or one-shot)
+/// solves, threaded into the evaluation reports.  Callers that abandon the
+/// template path mid-series (e.g. eval's parallel fallback when no warm seed
+/// is accepted) record only the solves that ran through the template.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SeriesStats {
+    /// Number of LP solves recorded.
+    pub solves: usize,
+    /// How many of them ran from an accepted warm basis.
+    pub warm_solves: usize,
+    /// Summed per-solve counters (pivots per phase, reinversions).
+    pub totals: SolveStats,
+}
+
+impl SeriesStats {
+    /// Records one solve.
+    pub fn record(&mut self, stats: &SolveStats) {
+        self.solves += 1;
+        if stats.warm_started {
+            self.warm_solves += 1;
+        }
+        self.totals.absorb(stats);
+    }
+
+    /// Merges another accumulator (parallel shards).
+    pub fn merge(&mut self, other: &SeriesStats) {
+        self.solves += other.solves;
+        self.warm_solves += other.warm_solves;
+        self.totals.absorb(&other.totals);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{solve_min_mlu, SolverEngine};
+    use crate::schemes::{desensitization_config, DesensitizationSettings};
+    use figret_te::{available_paths, max_link_utilization_pairs};
+    use figret_topology::{random_link_failures, Topology, TopologySpec};
+    use figret_traffic::DemandMatrix;
+
+    fn pod_paths() -> PathSet {
+        let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
+        PathSet::k_shortest(&g, 3)
+    }
+
+    fn demand_series(ps: &PathSet, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|t| {
+                (0..ps.num_pairs())
+                    .map(|i| 10.0 + 3.0 * (((t + i) % 5) as f64) + t as f64)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn template_matches_one_shot_lp_across_a_series() {
+        let ps = pod_paths();
+        let mut template = MluTemplate::new(&ps);
+        let mut stats = SeriesStats::default();
+        for (t, demand) in demand_series(&ps, 6).iter().enumerate() {
+            let (config, solve_stats) = template.solve(&ps, demand).unwrap();
+            stats.record(&solve_stats);
+            let one_shot =
+                solve_min_mlu(&MluProblem::new(&ps, demand.clone()), SolverEngine::Lp).unwrap();
+            let a = max_link_utilization_pairs(&ps, &config, demand);
+            let b = max_link_utilization_pairs(&ps, &one_shot, demand);
+            assert!((a - b).abs() < 1e-6, "snapshot {t}: template {a} vs one-shot {b}");
+        }
+        assert_eq!(stats.solves, 6);
+        assert!(stats.warm_solves >= 4, "most re-solves must warm start ({stats:?})");
+        assert_eq!(
+            stats.totals.iterations,
+            stats.totals.phase1_iterations + stats.totals.phase2_iterations
+        );
+    }
+
+    #[test]
+    fn warm_resolves_do_less_work_than_cold() {
+        let ps = pod_paths();
+        let series = demand_series(&ps, 5);
+        let mut template = MluTemplate::new(&ps);
+        let (_, cold) = template.solve(&ps, &series[0]).unwrap();
+        assert!(!cold.warm_started);
+        let mut warm_pivots = 0usize;
+        for demand in &series[1..] {
+            let (_, s) = template.solve(&ps, demand).unwrap();
+            assert!(s.warm_started);
+            warm_pivots = warm_pivots.max(s.iterations);
+        }
+        // On a pod-sized instance the crash-started cold solve is itself only
+        // a handful of pivots, so "fewer than cold" is not meaningful; what
+        // matters is that every warm re-solve stays a small constant amount
+        // of work instead of re-running a full solve.
+        assert!(
+            warm_pivots <= cold.iterations + 16,
+            "warm re-solves ({warm_pivots} pivots) must stay near the cold solve ({})",
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn template_with_bounds_matches_desensitization_config() {
+        let ps = pod_paths();
+        let history: Vec<DemandMatrix> = (0..4)
+            .map(|t| {
+                let mut d = DemandMatrix::zeros(4);
+                for s in 0..4 {
+                    for dd in 0..4 {
+                        if s != dd {
+                            d.set(s, dd, 15.0 + 4.0 * ((t + s * dd) % 3) as f64);
+                        }
+                    }
+                }
+                d
+            })
+            .collect();
+        let settings = DesensitizationSettings::default();
+        let mut template = MluTemplate::for_desensitization(&ps, &settings);
+        let predicted = crate::predict(&history, settings.predictor);
+        let (config, _) = template.solve(&ps, &predicted.flatten_pairs()).unwrap();
+        let reference = desensitization_config(&ps, &history, &settings, SolverEngine::Lp).unwrap();
+        let d = history.last().unwrap().flatten_pairs();
+        let a = max_link_utilization_pairs(&ps, &config, &d);
+        let b = max_link_utilization_pairs(&ps, &reference, &d);
+        assert!((a - b).abs() < 1e-6, "template {a} vs desensitization_config {b}");
+    }
+
+    #[test]
+    fn template_with_availability_pins_failed_paths() {
+        let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
+        let ps = PathSet::k_shortest(&g, 3);
+        let scenario = random_link_failures(&g, 1, 5).unwrap();
+        let alive = available_paths(&ps, &scenario);
+        let mut template = MluTemplate::with_options(&ps, None, Some(alive.clone()));
+        let demand = demand_series(&ps, 1).remove(0);
+        let (config, _) = template.solve(&ps, &demand).unwrap();
+        for p in 0..ps.num_paths() {
+            if !alive[p] {
+                assert_eq!(config.ratio(p), 0.0, "failed path {p} must carry nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_demand_snapshots_are_handled() {
+        let ps = pod_paths();
+        let mut template = MluTemplate::new(&ps);
+        let zeros = vec![0.0; ps.num_pairs()];
+        let (config, _) = template.solve(&ps, &zeros).unwrap();
+        let mlu = max_link_utilization_pairs(&ps, &config, &zeros);
+        assert!(mlu.abs() < 1e-9);
+        // And a normal demand right after.
+        let demand = demand_series(&ps, 1).remove(0);
+        let (config, _) = template.solve(&ps, &demand).unwrap();
+        assert!(max_link_utilization_pairs(&ps, &config, &demand).is_finite());
+    }
+}
