@@ -1,0 +1,98 @@
+//! serve_step_latency — per-decision latency of the online TE controller.
+//!
+//! Benchmarks one full controller tick (forecast → candidate → policy gates
+//! → deploy → ingest) on GEANT and on the (reduced) ToR-level DB fabric,
+//! for both engines:
+//!
+//! * `step_lp` — the candidate is a warm-started LP re-solve through the
+//!   min-MLU template (what the controller pays after a fallback);
+//! * `step_model` — the candidate is one forward pass of a trained FIGRET
+//!   model (the fast path; audits disabled so no LP is touched).
+//!
+//! The policy is `always_update`, so every tick pays the full decision cost
+//! — the worst case a serving deployment budgets for.  Recorded to
+//! `BENCH_pr5.json` via `CRITERION_JSON`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use figret::{FigretConfig, FigretModel};
+use figret_bench::bench_setup;
+use figret_serve::{PredictorKind, ReconfigPolicy, ServeController};
+use figret_traffic::{per_pair_variance_range, DemandMatrix, WindowDataset};
+
+const WINDOW: usize = 8;
+
+fn cycling_demands(scenario: &figret_bench::Scenario) -> Vec<DemandMatrix> {
+    let t = scenario.trace.len();
+    (t - 6..t).map(|h| scenario.trace.matrix(h).clone()).collect()
+}
+
+fn warmed_lp_controller(scenario: &figret_bench::Scenario) -> ServeController {
+    let mut controller = ServeController::lp(
+        &scenario.paths,
+        WINDOW,
+        PredictorKind::LastValue.build(),
+        ReconfigPolicy::always_update(),
+    );
+    for t in 0..WINDOW {
+        controller.observe(scenario.trace.matrix(t));
+    }
+    controller
+}
+
+fn warmed_model_controller(scenario: &figret_bench::Scenario) -> ServeController {
+    let variances = per_pair_variance_range(&scenario.trace, scenario.split.train.clone());
+    let dataset = WindowDataset::from_trace(&scenario.trace, WINDOW, scenario.split.train.clone());
+    let mut model = FigretModel::new(
+        &scenario.paths,
+        &variances,
+        FigretConfig { history_window: WINDOW, epochs: 2, ..FigretConfig::fast_test() },
+    );
+    model.train(&dataset);
+    let mut controller = ServeController::learned(
+        &scenario.paths,
+        model,
+        PredictorKind::LastValue.build(),
+        ReconfigPolicy::always_update(),
+    );
+    for t in 0..WINDOW {
+        controller.observe(scenario.trace.matrix(t));
+    }
+    controller
+}
+
+fn serve_step_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_step_latency");
+    group.sample_size(20);
+
+    for topology in [figret_topology::Topology::Geant, figret_topology::Topology::MetaDbTor] {
+        let scenario = bench_setup(topology, 120);
+        let demands = cycling_demands(&scenario);
+
+        let mut lp = warmed_lp_controller(&scenario);
+        let mut cursor = 0usize;
+        group.bench_with_input(BenchmarkId::new("step_lp", scenario.name.clone()), &(), |b, _| {
+            b.iter(|| {
+                cursor = (cursor + 1) % demands.len();
+                lp.step(&demands[cursor])
+            })
+        });
+
+        let mut learned = warmed_model_controller(&scenario);
+        let mut cursor = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("step_model", scenario.name.clone()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    cursor = (cursor + 1) % demands.len();
+                    learned.step(&demands[cursor])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serve_step_latency);
+criterion_main!(benches);

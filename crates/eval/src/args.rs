@@ -1,0 +1,272 @@
+//! Shared command-line flag parsing for the experiment binaries.
+//!
+//! Every binary under `src/bin/` accepts the same core flags (`--fast`,
+//! `--snapshots N`, …) and some add their own; before this module each
+//! parser re-implemented the same scan-and-match loop and panicked on a
+//! malformed numeric argument.  [`FlagSet`] is the one shared
+//! implementation: flags are *declared* (name, default, help line), parsing
+//! returns a typed [`FlagValues`], and any user error — unknown flag,
+//! missing or malformed value — produces a proper usage message instead of
+//! a panic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The type and default of one declared flag.
+#[derive(Debug, Clone)]
+enum FlagDefault {
+    /// Boolean switch (present / absent).
+    Switch,
+    /// `--flag N` with an unsigned integer value.
+    Number(usize),
+    /// `--flag X` with a floating-point value.
+    Float(f64),
+    /// `--flag S` with a free-form string value.
+    Text(String),
+}
+
+/// A declarative set of command-line flags; see the module docs.
+#[derive(Debug, Clone)]
+pub struct FlagSet {
+    program: String,
+    about: String,
+    /// Declaration order, for the usage message.
+    order: Vec<(String, FlagDefault, String)>,
+}
+
+impl FlagSet {
+    /// An empty flag set for `program` (shown in the usage message).
+    pub fn new(program: &str, about: &str) -> FlagSet {
+        FlagSet { program: program.to_string(), about: about.to_string(), order: Vec::new() }
+    }
+
+    fn declare(mut self, name: &str, default: FlagDefault, help: &str) -> FlagSet {
+        assert!(!self.order.iter().any(|(n, _, _)| n == name), "flag --{name} declared twice");
+        self.order.push((name.to_string(), default, help.to_string()));
+        self
+    }
+
+    /// Declares a boolean switch `--name`.
+    pub fn switch(self, name: &str, help: &str) -> FlagSet {
+        self.declare(name, FlagDefault::Switch, help)
+    }
+
+    /// Declares an unsigned-integer flag `--name N`.
+    pub fn number(self, name: &str, default: usize, help: &str) -> FlagSet {
+        self.declare(name, FlagDefault::Number(default), help)
+    }
+
+    /// Declares a floating-point flag `--name X`.
+    pub fn float(self, name: &str, default: f64, help: &str) -> FlagSet {
+        self.declare(name, FlagDefault::Float(default), help)
+    }
+
+    /// Declares a string flag `--name S`.
+    pub fn text(self, name: &str, default: &str, help: &str) -> FlagSet {
+        self.declare(name, FlagDefault::Text(default.to_string()), help)
+    }
+
+    /// The usage message listing every declared flag with its default.
+    pub fn usage(&self) -> String {
+        let mut out = format!(
+            "{} — {}\n\nUSAGE:\n  {} [flags]\n\nFLAGS:\n",
+            self.program, self.about, self.program
+        );
+        for (name, default, help) in &self.order {
+            let lhs = match default {
+                FlagDefault::Switch => format!("--{name}"),
+                FlagDefault::Number(d) => format!("--{name} N (default {d})"),
+                FlagDefault::Float(d) => format!("--{name} X (default {d})"),
+                FlagDefault::Text(d) => format!("--{name} S (default {d})"),
+            };
+            out.push_str(&format!("  {lhs:<38} {help}\n"));
+        }
+        out
+    }
+
+    /// Parses `args` (without the program name).  Errors describe the
+    /// offending flag; callers that face a user should prefer
+    /// [`FlagSet::parse_or_exit`].
+    pub fn parse<I: IntoIterator<Item = String>>(&self, args: I) -> Result<FlagValues, String> {
+        let mut values = FlagValues {
+            switches: BTreeMap::new(),
+            numbers: BTreeMap::new(),
+            floats: BTreeMap::new(),
+            texts: BTreeMap::new(),
+            provided: BTreeSet::new(),
+        };
+        for (name, default, _) in &self.order {
+            match default {
+                FlagDefault::Switch => {
+                    values.switches.insert(name.clone(), false);
+                }
+                FlagDefault::Number(d) => {
+                    values.numbers.insert(name.clone(), *d);
+                }
+                FlagDefault::Float(d) => {
+                    values.floats.insert(name.clone(), *d);
+                }
+                FlagDefault::Text(d) => {
+                    values.texts.insert(name.clone(), d.clone());
+                }
+            }
+        }
+        let args: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let name = match arg.strip_prefix("--") {
+                Some(n) => n,
+                None => return Err(format!("unexpected argument '{arg}' (flags start with --)")),
+            };
+            let declared = self
+                .order
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .ok_or_else(|| format!("unknown flag --{name}"))?;
+            match &declared.1 {
+                FlagDefault::Switch => {
+                    values.switches.insert(name.to_string(), true);
+                }
+                kind => {
+                    let raw =
+                        args.get(i + 1).ok_or_else(|| format!("--{name} requires an argument"))?;
+                    match kind {
+                        FlagDefault::Number(_) => {
+                            let v = raw.parse::<usize>().map_err(|_| {
+                                format!("--{name} requires an unsigned integer, got '{raw}'")
+                            })?;
+                            values.numbers.insert(name.to_string(), v);
+                        }
+                        FlagDefault::Float(_) => {
+                            let v = raw
+                                .parse::<f64>()
+                                .map_err(|_| format!("--{name} requires a number, got '{raw}'"))?;
+                            values.floats.insert(name.to_string(), v);
+                        }
+                        FlagDefault::Text(_) => {
+                            values.texts.insert(name.to_string(), raw.clone());
+                        }
+                        FlagDefault::Switch => unreachable!("handled above"),
+                    }
+                    i += 1;
+                }
+            }
+            values.provided.insert(name.to_string());
+            i += 1;
+        }
+        Ok(values)
+    }
+
+    /// Parses `args`; on any user error prints the error and the usage
+    /// message to stderr and exits with status 2 (the binary entry points).
+    pub fn parse_or_exit<I: IntoIterator<Item = String>>(&self, args: I) -> FlagValues {
+        match self.parse(args) {
+            Ok(values) => values,
+            Err(message) => {
+                eprintln!("error: {message}\n");
+                eprintln!("{}", self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The parsed values of a [`FlagSet`].  Getters panic on a flag name that
+/// was never declared — that is a programmer error, not a user error.
+#[derive(Debug, Clone)]
+pub struct FlagValues {
+    switches: BTreeMap<String, bool>,
+    numbers: BTreeMap<String, usize>,
+    floats: BTreeMap<String, f64>,
+    texts: BTreeMap<String, String>,
+    provided: BTreeSet<String>,
+}
+
+impl FlagValues {
+    /// Value of a boolean switch.
+    pub fn switch(&self, name: &str) -> bool {
+        *self.switches.get(name).unwrap_or_else(|| panic!("switch --{name} was not declared"))
+    }
+
+    /// Value of an unsigned-integer flag.
+    pub fn number(&self, name: &str) -> usize {
+        *self.numbers.get(name).unwrap_or_else(|| panic!("number --{name} was not declared"))
+    }
+
+    /// Value of a floating-point flag.
+    pub fn float(&self, name: &str) -> f64 {
+        *self.floats.get(name).unwrap_or_else(|| panic!("float --{name} was not declared"))
+    }
+
+    /// Value of a string flag.
+    pub fn text(&self, name: &str) -> &str {
+        self.texts.get(name).unwrap_or_else(|| panic!("text --{name} was not declared"))
+    }
+
+    /// Whether the user passed the flag explicitly (vs. the default).
+    pub fn provided(&self, name: &str) -> bool {
+        self.provided.contains(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> FlagSet {
+        FlagSet::new("demo", "a test flag set")
+            .switch("fast", "small configs")
+            .number("snapshots", 400, "trace length")
+            .float("hysteresis", 0.05, "regret threshold")
+            .text("predictor", "last", "forecaster")
+    }
+
+    fn parse(args: &[&str]) -> Result<FlagValues, String> {
+        demo().parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_apply_when_flags_are_absent() {
+        let v = parse(&[]).unwrap();
+        assert!(!v.switch("fast"));
+        assert_eq!(v.number("snapshots"), 400);
+        assert_eq!(v.float("hysteresis"), 0.05);
+        assert_eq!(v.text("predictor"), "last");
+        assert!(!v.provided("snapshots"));
+    }
+
+    #[test]
+    fn explicit_values_override_defaults() {
+        let v =
+            parse(&["--fast", "--snapshots", "90", "--hysteresis", "0.2", "--predictor", "ewma"])
+                .unwrap();
+        assert!(v.switch("fast"));
+        assert_eq!(v.number("snapshots"), 90);
+        assert_eq!(v.float("hysteresis"), 0.2);
+        assert_eq!(v.text("predictor"), "ewma");
+        assert!(v.provided("snapshots") && v.provided("fast"));
+    }
+
+    #[test]
+    fn user_errors_are_messages_not_panics() {
+        assert!(parse(&["--snapshots"]).unwrap_err().contains("requires an argument"));
+        assert!(parse(&["--snapshots", "many"]).unwrap_err().contains("unsigned integer"));
+        assert!(parse(&["--hysteresis", "x"]).unwrap_err().contains("requires a number"));
+        assert!(parse(&["--wat"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["stray"]).unwrap_err().contains("flags start with --"));
+    }
+
+    #[test]
+    fn usage_lists_every_flag_with_defaults() {
+        let u = demo().usage();
+        for needle in ["--fast", "--snapshots N (default 400)", "--predictor S (default last)"] {
+            assert!(u.contains(needle), "usage missing {needle}:\n{u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "was not declared")]
+    fn undeclared_getter_is_a_programmer_error() {
+        parse(&[]).unwrap().number("nope");
+    }
+}

@@ -1,0 +1,63 @@
+//! serve_sim — the online TE controller replay harness (DESIGN.md §6).
+//!
+//! Replays a scenario's test split (or an unbounded online stream) through
+//! the `figret_serve` controller and reports MLU regret vs. the omniscient
+//! series, update count against the budget, routing churn and per-decision
+//! latency percentiles.  Common flags (`--fast`, `--snapshots N`,
+//! `--window N`, `--max-eval N`, `--full-scale`) are shared with every
+//! experiment binary; serving-specific flags are listed in `--help`-style
+//! usage output on any flag error.
+
+use figret_eval::experiments::ExperimentOptions;
+use figret_eval::serving::{parse_topology, serve_sim, ServeEngine, ServeSimOptions};
+use figret_serve::{FallbackPolicy, PredictorKind, ReconfigPolicy, UpdateBudget};
+
+fn main() {
+    let flags = ExperimentOptions::flag_set("serve_sim", "online TE controller replay harness")
+        .text("topology", "geant", "topology to serve (geant, pod-db, tor-db, ...)")
+        .text("engine", "learned", "candidate engine: lp | learned")
+        .text("predictor", "last", "online predictor: last | ewma[:a] | mean[:w] | max[:w]")
+        .float("hysteresis", 0.05, "predicted-regret threshold before reconfiguring")
+        .number("budget", 0, "max updates per budget window (0 = unlimited)")
+        .number("budget-window", 16, "update-budget window length in ticks")
+        .switch("always-update", "reconfigure every tick (batch-equivalence mode)")
+        .number("online-ticks", 0, "serve N generated ticks instead of replaying the trace");
+    let values = flags.parse_or_exit(std::env::args().skip(1));
+    let experiment = ExperimentOptions::from_flag_values(&values);
+
+    let fail = |message: String| -> ! {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    };
+    let topology = parse_topology(values.text("topology")).unwrap_or_else(|e| fail(e));
+    let predictor = PredictorKind::parse(values.text("predictor"), experiment.window)
+        .unwrap_or_else(|e| fail(e));
+    let engine = match values.text("engine") {
+        "lp" => ServeEngine::Lp,
+        "learned" => ServeEngine::Learned,
+        other => fail(format!("unknown engine '{other}' (expected lp | learned)")),
+    };
+    let policy = if values.switch("always-update") {
+        ReconfigPolicy::always_update()
+    } else {
+        ReconfigPolicy {
+            hysteresis: values.float("hysteresis"),
+            budget: match values.number("budget") {
+                0 => None,
+                k => Some(UpdateBudget::per_window(k, values.number("budget-window"))),
+            },
+            fallback: FallbackPolicy::default(),
+        }
+    };
+
+    let options = ServeSimOptions {
+        topology,
+        engine,
+        predictor,
+        policy,
+        online_ticks: values.number("online-ticks"),
+        max_ticks: Some(experiment.max_eval),
+        experiment,
+    };
+    serve_sim(&options);
+}

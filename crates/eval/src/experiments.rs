@@ -16,6 +16,7 @@ use figret_traffic::{
 };
 use rayon::prelude::*;
 
+use crate::args::{FlagSet, FlagValues};
 use crate::report::{
     ascii_box, lp_work_columns, lp_work_header, print_csv_series, print_quality_panel, print_table,
 };
@@ -55,41 +56,62 @@ impl Default for ExperimentOptions {
 }
 
 impl ExperimentOptions {
-    /// Parses the common command-line flags (`--full-scale`, `--fast`,
-    /// `--snapshots N`, `--window N`, `--max-eval N`, `--all-topologies`).
-    pub fn from_args<I: Iterator<Item = String>>(args: I) -> ExperimentOptions {
-        let mut options = ExperimentOptions::default();
-        let args: Vec<String> = args.collect();
-        let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--full-scale" => options.full_scale = true,
-                "--fast" => {
-                    options.fast = true;
-                    options.snapshots = options.snapshots.min(160);
-                    options.max_eval = options.max_eval.min(20);
-                }
-                "--all-topologies" => options.all_topologies = true,
-                "--snapshots" | "--window" | "--max-eval" => {
-                    let value = args
-                        .get(i + 1)
-                        .and_then(|v| v.parse::<usize>().ok())
-                        .unwrap_or_else(|| panic!("{} requires a numeric argument", args[i]));
-                    match args[i].as_str() {
-                        "--snapshots" => options.snapshots = value,
-                        "--window" => options.window = value,
-                        _ => options.max_eval = value,
-                    }
-                    i += 1;
-                }
-                other => eprintln!("ignoring unknown flag {other}"),
-            }
-            i += 1;
-        }
-        options
+    /// The [`FlagSet`] declaring the common flags every experiment binary
+    /// accepts.  Binaries with extra flags (e.g. `serve_sim`) extend this
+    /// set before parsing, so the whole suite shares one implementation.
+    pub fn flag_set(program: &str, about: &str) -> FlagSet {
+        let d = ExperimentOptions::default();
+        FlagSet::new(program, about)
+            .switch("full-scale", "use the paper's full Table 1 topology sizes")
+            .switch("fast", "small learning configs and short traces (CI / smoke runs)")
+            .number("snapshots", d.snapshots, "number of trace snapshots")
+            .number("window", d.window, "history window H")
+            .number("max-eval", d.max_eval, "evaluate at most this many test snapshots")
+            .switch("all-topologies", "evaluate every failure topology (Figures 14/15)")
     }
 
-    fn scenario_options(&self) -> ScenarioOptions {
+    /// Extracts the common options from parsed [`FlagValues`] (shared with
+    /// binaries that extend the flag set).  `--fast` lowers the *default*
+    /// trace length and evaluation budget; explicit `--snapshots` /
+    /// `--max-eval` always win.
+    pub fn from_flag_values(values: &FlagValues) -> ExperimentOptions {
+        let fast = values.switch("fast");
+        let mut snapshots = values.number("snapshots");
+        if fast && !values.provided("snapshots") {
+            snapshots = snapshots.min(160);
+        }
+        let mut max_eval = values.number("max-eval");
+        if fast && !values.provided("max-eval") {
+            max_eval = max_eval.min(20);
+        }
+        ExperimentOptions {
+            full_scale: values.switch("full-scale"),
+            fast,
+            snapshots,
+            window: values.number("window"),
+            max_eval,
+            all_topologies: values.switch("all-topologies"),
+        }
+    }
+
+    /// Parses the common command-line flags (`--full-scale`, `--fast`,
+    /// `--snapshots N`, `--window N`, `--max-eval N`, `--all-topologies`).
+    /// On a user error (unknown flag, malformed number) prints the error and
+    /// a usage message and exits with status 2.
+    pub fn from_args<I: Iterator<Item = String>>(args: I) -> ExperimentOptions {
+        let flags = ExperimentOptions::flag_set("experiment", "regenerate a paper table/figure");
+        ExperimentOptions::from_flag_values(&flags.parse_or_exit(args))
+    }
+
+    /// Fallible counterpart of [`ExperimentOptions::from_args`] for tests
+    /// and embedding.
+    pub fn try_from_args<I: Iterator<Item = String>>(args: I) -> Result<ExperimentOptions, String> {
+        let flags = ExperimentOptions::flag_set("experiment", "regenerate a paper table/figure");
+        Ok(ExperimentOptions::from_flag_values(&flags.parse(args)?))
+    }
+
+    /// Scenario construction options implied by the flags.
+    pub fn scenario_options(&self) -> ScenarioOptions {
         ScenarioOptions {
             full_scale: self.full_scale,
             num_snapshots: self.snapshots,
@@ -97,7 +119,8 @@ impl ExperimentOptions {
         }
     }
 
-    fn eval_options(&self) -> EvalOptions {
+    /// Evaluation options implied by the flags.
+    pub fn eval_options(&self) -> EvalOptions {
         EvalOptions {
             window: self.window,
             max_eval_snapshots: Some(self.max_eval),
@@ -106,7 +129,9 @@ impl ExperimentOptions {
         }
     }
 
-    fn learning_config(&self) -> FigretConfig {
+    /// The FIGRET learning configuration implied by the flags (small
+    /// networks/epochs under `--fast`).
+    pub fn learning_config(&self) -> FigretConfig {
         if self.fast {
             FigretConfig { history_window: self.window, ..FigretConfig::fast_test() }
         } else {
@@ -574,7 +599,11 @@ pub fn table5_worstcase(options: &ExperimentOptions) {
     );
 }
 
-/// Table 4: natural drift — train on earlier segments, test on the final 25%.
+/// Table 4: natural drift — train on earlier segments, test on the final
+/// 25%.  Next to the paper's quality-decline rows, a churn row shows how
+/// much routing reconfiguration each drifted model asks for per snapshot
+/// ([`SchemeRun::mean_churn`]) — drift robustness and routing stability
+/// side by side.
 pub fn table4_drift(options: &ExperimentOptions) {
     let eval = options.eval_options();
     let segments = [(0.0, 0.25), (0.25, 0.5), (0.5, 0.75)];
@@ -591,6 +620,8 @@ pub fn table4_drift(options: &ExperimentOptions) {
         let ref_p90 = percentile(&sorted_ref, 0.9);
         let mut avg_row = vec![scenario.name.clone(), "average".to_string()];
         let mut p90_row = vec![String::new(), "90th Pct.".to_string()];
+        let mut churn_row =
+            vec![String::new(), format!("churn L1 (ref {:.3})", reference.mean_churn)];
         for (start, end) in segments {
             let mut segment_scenario = scenario.clone();
             segment_scenario.split =
@@ -605,12 +636,14 @@ pub fn table4_drift(options: &ExperimentOptions) {
                 "{:+.1}%",
                 100.0 * relative_change(percentile(&sorted, 0.9), ref_p90)
             ));
+            churn_row.push(format!("{:.3}", run.mean_churn));
         }
         rows.push(avg_row);
         rows.push(p90_row);
+        rows.push(churn_row);
     }
     print_table(
-        "Table 4 — performance decline with natural drift in traffic",
+        "Table 4 — performance decline with natural drift in traffic (+ routing churn)",
         &["network", "metric", "0%-25%", "25%-50%", "50%-75%"],
         &rows,
     );
@@ -757,6 +790,29 @@ mod tests {
         assert_eq!(o.snapshots, 90);
         assert!(o.all_topologies);
         assert!(!o.full_scale);
+        // --fast lowers the *defaults* when the flags are not explicit...
+        assert_eq!(o.max_eval, 20);
+        // ...but explicit values always win, in any order.
+        let explicit = ExperimentOptions::try_from_args(
+            ["--max-eval", "45", "--fast"].iter().map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(explicit.max_eval, 45);
+        assert_eq!(explicit.snapshots, 160);
+    }
+
+    #[test]
+    fn malformed_args_are_errors_not_panics() {
+        let err =
+            ExperimentOptions::try_from_args(["--snapshots", "lots"].iter().map(|s| s.to_string()))
+                .unwrap_err();
+        assert!(err.contains("unsigned integer"), "{err}");
+        let err = ExperimentOptions::try_from_args(["--window"].iter().map(|s| s.to_string()))
+            .unwrap_err();
+        assert!(err.contains("requires an argument"), "{err}");
+        let err = ExperimentOptions::try_from_args(["--bogus"].iter().map(|s| s.to_string()))
+            .unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
     }
 
     #[test]

@@ -7,11 +7,15 @@
 
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod serving;
 
+pub use args::{FlagSet, FlagValues};
 pub use experiments::ExperimentOptions;
 pub use runner::{omniscient_series, run_scheme, EvalOptions, Scheme, SchemeRun};
 pub use scenario::{Scenario, ScenarioOptions};
+pub use serving::{serve_replay, ServeEngine, ServeRun, ServeSimOptions};

@@ -30,8 +30,8 @@ use figret_solvers::{
     MluTemplate, Predictor, SeriesStats, SolverEngine, HEURISTIC_PREDICTOR,
 };
 use figret_te::{
-    available_paths, max_link_utilization, normalize_by, reroute_around_failures, SchemeQuality,
-    TeConfig,
+    available_paths, max_link_utilization, mean_series_churn, normalize_by,
+    reroute_around_failures, SchemeQuality, TeConfig,
 };
 use figret_topology::FailureScenario;
 use figret_traffic::{per_pair_variance_range, DemandMatrix, WindowDataset};
@@ -144,6 +144,15 @@ pub struct SchemeRun {
     pub precompute_seconds: f64,
     /// Mean per-snapshot solution time (NN forward pass or LP solve), seconds.
     pub mean_solve_seconds: f64,
+    /// Mean routing churn between consecutive *evaluated* configurations
+    /// ([`figret_te::split_ratio_churn`] L1 distance, averaged over the
+    /// series) — how much reconfiguration the scheme asks of the network
+    /// per evaluated step.  0.0 for static schemes.  Note: when
+    /// [`EvalOptions::max_eval_snapshots`] subsamples the test range,
+    /// adjacent evaluated snapshots can be several trace snapshots apart,
+    /// so churn values are only comparable across runs with the same
+    /// evaluation stride (rows within one table always are).
+    pub mean_churn: f64,
     /// Accumulated LP solver work over the series (all-zero for learned and
     /// iterative-engine schemes, which perform no simplex pivots).
     pub lp_stats: SeriesStats,
@@ -209,7 +218,7 @@ pub fn omniscient_series_with_stats(
             }
         }
     };
-    let (series, _, _, stats) = lp_series_or_parallel(
+    let (configs, _, _, stats) = lp_series_or_parallel(
         scenario,
         &indices,
         &None, // the oracle's availability mask already encodes the failure
@@ -218,54 +227,53 @@ pub fn omniscient_series_with_stats(
         |t| scenario.trace.matrix(t).flatten_pairs(),
         one_shot,
     );
-    (series, stats)
+    (mlu_series(scenario, &indices, &configs), stats)
 }
 
-/// Evaluates one configuration per snapshot in parallel: times `solve`, applies
-/// the optional failure rerouting, and computes the per-snapshot MLU.  Returns
-/// the MLU series in snapshot order plus the summed solve time.
+/// Computes one configuration per snapshot in parallel: times `solve` and
+/// applies the optional failure rerouting.  Returns the deployed
+/// configurations in snapshot order plus the summed solve time.
 fn per_snapshot_parallel<F>(
     scenario: &Scenario,
     indices: &[usize],
     failure: &Option<FailureScenario>,
     solve: F,
-) -> (Vec<f64>, f64)
+) -> (Vec<TeConfig>, f64)
 where
     F: Fn(usize) -> TeConfig + Sync,
 {
-    let results: Vec<(f64, f64)> = indices
+    let results: Vec<(f64, TeConfig)> = indices
         .par_iter()
         .map(|&t| {
             let start = Instant::now();
             let config = solve(t);
             let secs = start.elapsed().as_secs_f64();
-            let config = apply_failure(scenario, &config, failure);
-            (secs, max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)))
+            (secs, apply_failure(scenario, &config, failure))
         })
         .collect();
     let solve_seconds = results.iter().map(|(s, _)| s).sum();
-    let mlus = results.into_iter().map(|(_, m)| m).collect();
-    (mlus, solve_seconds)
+    let configs = results.into_iter().map(|(_, c)| c).collect();
+    (configs, solve_seconds)
 }
 
 /// Runs one warm-started template over the snapshot series (sequentially —
 /// each solve seeds from the previous snapshot's basis): times the demand
-/// assembly + solve, applies the optional failure rerouting, and computes the
-/// per-snapshot MLU against the realized matrix.  Returns the MLU series in
-/// snapshot order, the summed solve time and the accumulated solver work.
+/// assembly + solve and applies the optional failure rerouting.  Returns the
+/// deployed configurations in snapshot order, the summed solve time and the
+/// accumulated solver work.
 fn per_snapshot_template<F>(
     scenario: &Scenario,
     indices: &[usize],
     failure: &Option<FailureScenario>,
     template: &mut MluTemplate,
     demand_of: F,
-) -> (Vec<f64>, f64, SeriesStats)
+) -> (Vec<TeConfig>, f64, SeriesStats)
 where
     F: Fn(usize) -> Vec<f64>,
 {
     let mut stats = SeriesStats::default();
     let mut solve_seconds = 0.0;
-    let mut mlus = Vec::with_capacity(indices.len());
+    let mut configs = Vec::with_capacity(indices.len());
     for &t in indices {
         let start = Instant::now();
         let demand = demand_of(t);
@@ -274,10 +282,9 @@ where
             .expect("templated min-MLU LP must be solvable");
         solve_seconds += start.elapsed().as_secs_f64();
         stats.record(&solve_stats);
-        let config = apply_failure(scenario, &config, failure);
-        mlus.push(max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t)));
+        configs.push(apply_failure(scenario, &config, failure));
     }
-    (mlus, solve_seconds, stats)
+    (configs, solve_seconds, stats)
 }
 
 /// Sequential template solves before deciding whether warm starting pays on
@@ -298,11 +305,11 @@ const WARM_PROBE_SNAPSHOTS: usize = 4;
 /// path instead.  The decision is made from deterministic sequential state,
 /// so results stay deterministic.
 ///
-/// Returns `(mlu series, summed per-snapshot solve seconds, one-off
-/// template-construction seconds, accumulated solver work)` — construction
-/// is precomputation, not per-snapshot work (the old one-shot path rebuilt
-/// the program inside every timed solve; the template path must not hide
-/// that cost entirely nor book it per snapshot).
+/// Returns `(deployed config series, summed per-snapshot solve seconds,
+/// one-off template-construction seconds, accumulated solver work)` —
+/// construction is precomputation, not per-snapshot work (the old one-shot
+/// path rebuilt the program inside every timed solve; the template path must
+/// not hide that cost entirely nor book it per snapshot).
 #[allow(clippy::too_many_arguments)]
 fn lp_series_or_parallel<F, G>(
     scenario: &Scenario,
@@ -312,55 +319,65 @@ fn lp_series_or_parallel<F, G>(
     make_template: impl FnOnce() -> MluTemplate,
     demand_of: F,
     fallback: G,
-) -> (Vec<f64>, f64, f64, SeriesStats)
+) -> (Vec<TeConfig>, f64, f64, SeriesStats)
 where
     F: Fn(usize) -> Vec<f64>,
     G: Fn(usize) -> TeConfig + Sync,
 {
     if !use_lp {
-        let (series, secs) = per_snapshot_parallel(scenario, indices, failure, fallback);
-        return (series, secs, 0.0, SeriesStats::default());
+        let (configs, secs) = per_snapshot_parallel(scenario, indices, failure, fallback);
+        return (configs, secs, 0.0, SeriesStats::default());
     }
     let start = Instant::now();
     let mut template = make_template();
     let precompute_seconds = start.elapsed().as_secs_f64();
     let probe_len = indices.len().min(WARM_PROBE_SNAPSHOTS);
     let (probe, rest) = indices.split_at(probe_len);
-    let (mut series, mut secs, mut stats) =
+    let (mut configs, mut secs, mut stats) =
         per_snapshot_template(scenario, probe, failure, &mut template, &demand_of);
     if !rest.is_empty() {
         if stats.warm_solves > 0 {
             let (more, more_secs, more_stats) =
                 per_snapshot_template(scenario, rest, failure, &mut template, &demand_of);
-            series.extend(more);
+            configs.extend(more);
             secs += more_secs;
             stats.merge(&more_stats);
         } else {
             // No seed survived the probe: finish on the parallel one-shot
             // path (same optima; `stats` then covers the probe prefix only).
             let (more, more_secs) = per_snapshot_parallel(scenario, rest, failure, fallback);
-            series.extend(more);
+            configs.extend(more);
             secs += more_secs;
         }
     }
-    (series, secs, precompute_seconds, stats)
+    (configs, secs, precompute_seconds, stats)
 }
 
-/// Evaluates precomputed configurations (one per snapshot, in order) in
-/// parallel: applies the optional failure rerouting and computes the MLUs.
-fn evaluate_configs_parallel(
+/// Applies the optional failure rerouting to precomputed configurations in
+/// parallel, yielding the configurations the network would actually deploy.
+fn deploy_configs(
     scenario: &Scenario,
-    indices: &[usize],
-    configs: &[TeConfig],
+    configs: Vec<TeConfig>,
     failure: &Option<FailureScenario>,
-) -> Vec<f64> {
+) -> Vec<TeConfig> {
+    if failure.is_none() {
+        return configs;
+    }
+    (0..configs.len())
+        .into_par_iter()
+        .map(|i| apply_failure(scenario, &configs[i], failure))
+        .collect()
+}
+
+/// Evaluates deployed configurations (one per snapshot, in order) against
+/// the realized matrices in parallel, returning the MLU series in snapshot
+/// order.
+fn mlu_series(scenario: &Scenario, indices: &[usize], configs: &[TeConfig]) -> Vec<f64> {
     assert_eq!(indices.len(), configs.len(), "one configuration per snapshot is required");
     (0..indices.len())
         .into_par_iter()
         .map(|i| {
-            let t = indices[i];
-            let config = apply_failure(scenario, &configs[i], failure);
-            max_link_utilization(&scenario.paths, &config, scenario.trace.matrix(t))
+            max_link_utilization(&scenario.paths, &configs[i], scenario.trace.matrix(indices[i]))
         })
         .collect()
 }
@@ -374,7 +391,9 @@ fn evaluate_configs_parallel(
 pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -> SchemeRun {
     let indices = options.eval_indices(scenario);
     let window = options.window;
-    let mlus: Vec<f64>;
+    // Every arm produces the *deployed* configuration series (failure
+    // rerouting already applied); MLUs and churn are scored centrally below.
+    let configs: Vec<TeConfig>;
     let mut solve_seconds = 0.0;
     // Every scheme arm assigns its own precomputation time exactly once.
     let precompute_seconds;
@@ -398,9 +417,9 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
             let histories: Vec<Vec<DemandMatrix>> =
                 indices.iter().map(|&t| history_window(scenario, t, window)).collect();
             let start = Instant::now();
-            let configs = model.predict_batch(&scenario.paths, &histories);
+            let raw = model.predict_batch(&scenario.paths, &histories);
             solve_seconds = start.elapsed().as_secs_f64();
-            mlus = evaluate_configs_parallel(scenario, &indices, &configs, &options.failure);
+            configs = deploy_configs(scenario, raw, &options.failure);
         }
         Scheme::TealLike(cfg) => {
             let mut cfg = cfg.clone();
@@ -414,9 +433,9 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
             let previous: Vec<DemandMatrix> =
                 indices.iter().map(|&t| scenario.trace.matrix(t - 1).clone()).collect();
             let start = Instant::now();
-            let configs = model.predict_batch(&scenario.paths, &previous);
+            let raw = model.predict_batch(&scenario.paths, &previous);
             solve_seconds = start.elapsed().as_secs_f64();
-            mlus = evaluate_configs_parallel(scenario, &indices, &configs, &options.failure);
+            configs = deploy_configs(scenario, raw, &options.failure);
         }
         Scheme::Desensitization(settings) => {
             let (series, secs, pre, stats) = lp_series_or_parallel(
@@ -435,7 +454,7 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
                         .expect("Des TE must be solvable")
                 },
             );
-            mlus = series;
+            configs = series;
             solve_seconds = secs;
             precompute_seconds = pre;
             lp_stats = stats;
@@ -472,7 +491,7 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
                     .expect("FA Des TE must be solvable")
                 },
             );
-            mlus = series;
+            configs = series;
             solve_seconds = secs;
             precompute_seconds = pre;
             lp_stats = stats;
@@ -494,7 +513,7 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
                         .expect("prediction TE must be solvable")
                 },
             );
-            mlus = series;
+            configs = series;
             solve_seconds = secs;
             precompute_seconds = pre;
             lp_stats = stats;
@@ -518,8 +537,7 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
                     .unwrap_or_else(|_| TeConfig::uniform(&scenario.paths))
             };
             precompute_seconds = start.elapsed().as_secs_f64();
-            let configs = vec![config; indices.len()];
-            mlus = evaluate_configs_parallel(scenario, &indices, &configs, &options.failure);
+            configs = deploy_configs(scenario, vec![config; indices.len()], &options.failure);
         }
         Scheme::HeuristicFineGrained(bound) => {
             let (series, secs, pre, stats) = lp_series_or_parallel(
@@ -550,13 +568,15 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
                     .expect("heuristic fine-grained TE must be solvable")
                 },
             );
-            mlus = series;
+            configs = series;
             solve_seconds = secs;
             precompute_seconds = pre;
             lp_stats = stats;
         }
     }
 
+    let mlus = mlu_series(scenario, &indices, &configs);
+    let mean_churn = mean_series_churn(&configs);
     let mean_solve = if indices.is_empty() { 0.0 } else { solve_seconds / indices.len() as f64 };
     SchemeRun {
         scheme: scheme.name(),
@@ -564,6 +584,7 @@ pub fn run_scheme(scenario: &Scenario, scheme: &Scheme, options: &EvalOptions) -
         mlus,
         precompute_seconds,
         mean_solve_seconds: mean_solve,
+        mean_churn,
         lp_stats,
     }
 }

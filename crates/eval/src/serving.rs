@@ -1,0 +1,409 @@
+//! Replay/online harness and report for the serving subsystem
+//! (`serve_sim` binary; DESIGN.md §6).
+//!
+//! The harness drives a [`figret_serve::ServeController`] with demands
+//! pulled from a [`figret_traffic::DemandStream`] — either a replay of a
+//! scenario's test split (so every batch scenario is also a serving
+//! scenario, and results are directly comparable to [`crate::run_scheme`])
+//! or the unbounded online generator (diurnal + drift + flash crowds +
+//! failure storms).  The report scores what a production controller is
+//! judged by: MLU regret vs. the omniscient per-tick optimum, update count
+//! against the budget, routing churn, and per-decision latency percentiles.
+//!
+//! **Batch-equivalence contract:** with [`ReconfigPolicy::always_update`],
+//! the LP engine and the last-value predictor, the replay harness re-solves
+//! exactly the per-snapshot series of `run_scheme(Prediction(LastSnapshot))`
+//! through an identical warm-started template, so its per-tick MLUs match
+//! the batch path bit for bit (`tests/serve_equivalence.rs` enforces 1e-9).
+
+use figret::FigretModel;
+use figret_serve::{PredictorKind, ReconfigPolicy, ServeController, ServeLog};
+use figret_solvers::{MluTemplate, SeriesStats};
+use figret_te::{max_link_utilization_pairs, normalize_by, PathSet, SchemeQuality};
+use figret_topology::Topology;
+use figret_traffic::{
+    per_pair_variance_range, DemandMatrix, DemandStream, OnlineStream, OnlineStreamConfig,
+    ReplayStream, WindowDataset,
+};
+
+use crate::experiments::ExperimentOptions;
+use crate::report::{lp_work_columns, lp_work_header, print_csv_series, print_table};
+use crate::scenario::Scenario;
+
+/// Which engine the controller serves from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEngine {
+    /// Warm-started LP re-solves only.
+    Lp,
+    /// Learned inference (trained on the scenario's train split) with the
+    /// LP as audit reference and degradation fallback.
+    Learned,
+}
+
+/// Options of one `serve_sim` run.
+#[derive(Debug, Clone)]
+pub struct ServeSimOptions {
+    /// Common experiment options (scenario scale, window, fast mode).
+    pub experiment: ExperimentOptions,
+    /// Topology to serve.
+    pub topology: Topology,
+    /// Engine the controller serves from.
+    pub engine: ServeEngine,
+    /// Online predictor feeding the controller.
+    pub predictor: PredictorKind,
+    /// Reconfiguration policy (hysteresis, budget, fallback).
+    pub policy: ReconfigPolicy,
+    /// When > 0, serve this many ticks from the unbounded online generator
+    /// (after warming up on it) instead of replaying the test split.
+    pub online_ticks: usize,
+    /// Cap on the number of replay decision ticks (`None` = the whole test
+    /// split).  Streaming is contiguous, so the cap truncates rather than
+    /// subsamples.
+    pub max_ticks: Option<usize>,
+}
+
+impl ServeSimOptions {
+    /// Defaults: replay GEANT with the learned engine, last-value predictor
+    /// and the default policy.
+    pub fn new(experiment: ExperimentOptions) -> ServeSimOptions {
+        ServeSimOptions {
+            experiment,
+            topology: Topology::Geant,
+            engine: ServeEngine::Learned,
+            predictor: PredictorKind::LastValue,
+            policy: ReconfigPolicy::default(),
+            online_ticks: 0,
+            max_ticks: None,
+        }
+    }
+}
+
+/// The result of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Display name (scenario, engine, predictor).
+    pub name: String,
+    /// Replay: the trace snapshot index served at each tick.  Online: the
+    /// tick numbers themselves.
+    pub indices: Vec<usize>,
+    /// The controller's event/decision log.
+    pub log: ServeLog,
+    /// Omniscient (per-tick optimal) MLU over the same demands, the
+    /// normalizer of the regret metric.
+    pub omniscient: Vec<f64>,
+    /// Accumulated LP solver work of the controller's template re-solves.
+    pub lp_stats: SeriesStats,
+    /// Whether the controller abandoned learned inference for the LP.
+    pub fell_back: bool,
+}
+
+impl ServeRun {
+    /// Normalized-MLU (regret) summary vs. the omniscient series.
+    pub fn regret(&self) -> SchemeQuality {
+        let normalized = normalize_by(&self.log.realized_mlus(), &self.omniscient);
+        SchemeQuality::from_normalized(&self.name, &normalized)
+    }
+}
+
+/// Parses a CLI topology spelling (`geant`, `pod-db`, `tor-web`, …: the
+/// Table 1 names lowercased with `-` for spaces, or the enum variant name).
+pub fn parse_topology(spec: &str) -> Result<Topology, String> {
+    let key = spec.to_ascii_lowercase();
+    Topology::all()
+        .into_iter()
+        .find(|t| {
+            t.name().to_ascii_lowercase().replace(' ', "-") == key
+                || format!("{t:?}").to_ascii_lowercase() == key
+        })
+        .ok_or_else(|| {
+            let known: Vec<String> = Topology::all()
+                .iter()
+                .map(|t| t.name().to_ascii_lowercase().replace(' ', "-"))
+                .collect();
+            format!("unknown topology '{spec}' (known: {})", known.join(", "))
+        })
+}
+
+/// Builds the controller for a scenario: trains the FIGRET model on the
+/// train split for [`ServeEngine::Learned`], or goes straight to the LP.
+fn build_controller(scenario: &Scenario, options: &ServeSimOptions) -> ServeController {
+    let predictor = options.predictor.build();
+    match options.engine {
+        ServeEngine::Lp => ServeController::lp(
+            &scenario.paths,
+            options.experiment.window,
+            predictor,
+            options.policy.clone(),
+        ),
+        ServeEngine::Learned => {
+            let cfg = options.experiment.learning_config();
+            let variances = per_pair_variance_range(&scenario.trace, scenario.split.train.clone());
+            let dataset = WindowDataset::from_trace(
+                &scenario.trace,
+                cfg.history_window,
+                scenario.split.train.clone(),
+            );
+            let mut model = FigretModel::new(&scenario.paths, &variances, cfg);
+            model.train(&dataset);
+            ServeController::learned(&scenario.paths, model, predictor, options.policy.clone())
+        }
+    }
+}
+
+/// Runs the serving loop: `warmup` observations, then one decision tick per
+/// demand (at most `ticks`, or until the stream ends).  Returns the log and
+/// the realized demands, in tick order.
+fn drive(
+    controller: &mut ServeController,
+    stream: &mut dyn DemandStream,
+    warmup: usize,
+    ticks: Option<usize>,
+) -> (ServeLog, Vec<DemandMatrix>) {
+    for _ in 0..warmup {
+        let demand = stream.next_demand().expect("stream ended during controller warmup");
+        controller.observe(&demand);
+    }
+    let mut log = ServeLog::new();
+    let mut realized = Vec::new();
+    let limit = ticks.unwrap_or(usize::MAX);
+    while realized.len() < limit {
+        let Some(demand) = stream.next_demand() else { break };
+        let outcome = controller.step(&demand);
+        log.push(outcome.record, outcome.decision_seconds);
+        realized.push(demand);
+    }
+    (log, realized)
+}
+
+/// The omniscient per-tick optimum over a demand sequence, solved through
+/// one warm-started template (sequential, deterministic).
+fn omniscient_over(paths: &PathSet, demands: &[DemandMatrix]) -> Vec<f64> {
+    let mut template = MluTemplate::new(paths);
+    demands
+        .iter()
+        .map(|demand| {
+            let pairs = demand.flatten_pairs();
+            let (config, _) =
+                template.solve(paths, &pairs).expect("the omniscient min-MLU LP must be solvable");
+            max_link_utilization_pairs(paths, &config, &pairs)
+        })
+        .collect()
+}
+
+fn engine_name(engine: ServeEngine) -> &'static str {
+    match engine {
+        ServeEngine::Lp => "lp",
+        ServeEngine::Learned => "learned",
+    }
+}
+
+/// Replays the scenario's test split through the controller; see the
+/// module docs for the batch-equivalence contract.
+pub fn serve_replay(scenario: &Scenario, options: &ServeSimOptions) -> ServeRun {
+    let window = options.experiment.window;
+    let mut controller = build_controller(scenario, options);
+    let warmup = controller.window().max(window);
+    let first = scenario.split.test.start.max(warmup);
+    let mut indices: Vec<usize> = (first..scenario.trace.len()).collect();
+    if let Some(cap) = options.max_ticks {
+        indices.truncate(cap);
+    }
+    let mut stream = ReplayStream::once(scenario.trace.clone()).starting_at(first - warmup);
+    let (log, realized) = drive(&mut controller, &mut stream, warmup, Some(indices.len()));
+    assert_eq!(log.len(), indices.len(), "one decision per replayed test snapshot");
+    let omniscient = omniscient_over(&scenario.paths, &realized);
+    ServeRun {
+        name: format!(
+            "{} (replay, {}, {} predictor)",
+            scenario.name,
+            engine_name(options.engine),
+            options.predictor.build().name()
+        ),
+        indices,
+        log,
+        omniscient,
+        lp_stats: *controller.lp_stats(),
+        fell_back: controller.fell_back(),
+    }
+}
+
+/// Serves `ticks` demands from the unbounded online generator (warmed up on
+/// the same stream).  The model, when learned, is still trained on the
+/// scenario's recorded train split — serving synthetic drift with a model
+/// trained on yesterday's traffic is exactly the distribution-shift
+/// situation the fallback policy guards against.
+pub fn serve_online(scenario: &Scenario, ticks: usize, options: &ServeSimOptions) -> ServeRun {
+    let mut controller = build_controller(scenario, options);
+    let warmup = controller.window().max(options.experiment.window);
+    let stream_config = OnlineStreamConfig {
+        interval_seconds: scenario.trace.interval_seconds(),
+        seed: 0x5eed ^ (ticks as u64),
+        ..Default::default()
+    };
+    let mut stream = OnlineStream::from_graph(&scenario.graph, 0.25, stream_config);
+    let (log, realized) = drive(&mut controller, &mut stream, warmup, Some(ticks));
+    let omniscient = omniscient_over(&scenario.paths, &realized);
+    ServeRun {
+        name: format!(
+            "{} (online, {}, {} predictor)",
+            scenario.name,
+            engine_name(options.engine),
+            options.predictor.build().name()
+        ),
+        indices: (0..log.len()).collect(),
+        log,
+        omniscient,
+        lp_stats: *controller.lp_stats(),
+        fell_back: controller.fell_back(),
+    }
+}
+
+/// Prints the serving report: decision summary, regret vs. omniscient,
+/// latency percentiles, LP work and the determinism digest.
+pub fn print_serve_report(run: &ServeRun) {
+    use figret_serve::HoldReason;
+
+    println!("\n# serve_sim — {}", run.name);
+    let ticks = run.log.len().max(1);
+    let updates = run.log.update_count();
+    let regret = run.regret();
+    let rows = vec![
+        vec!["decision ticks".to_string(), format!("{}", run.log.len())],
+        vec!["updates deployed".to_string(), format!("{updates}")],
+        vec!["update rate".to_string(), format!("{:.1}%", 100.0 * updates as f64 / ticks as f64)],
+        vec![
+            "holds (hysteresis)".to_string(),
+            format!("{}", run.log.hold_count(HoldReason::BelowHysteresis)),
+        ],
+        vec![
+            "holds (budget)".to_string(),
+            format!("{}", run.log.hold_count(HoldReason::BudgetExhausted)),
+        ],
+        vec!["total churn (L1)".to_string(), format!("{:.3}", run.log.total_churn())],
+        vec![
+            "churn per update".to_string(),
+            format!("{:.3}", run.log.total_churn() / updates.max(1) as f64),
+        ],
+        vec![
+            "MLU regret mean/p99/max".to_string(),
+            format!(
+                "{:.3} / {:.3} / {:.3}",
+                regret.normalized_mlu.mean, regret.normalized_mlu.p99, regret.normalized_mlu.max
+            ),
+        ],
+        vec![
+            "decision latency p50/p99".to_string(),
+            format!(
+                "{:.1} µs / {:.1} µs",
+                1e6 * run.log.latency_percentile(0.5),
+                1e6 * run.log.latency_percentile(0.99)
+            ),
+        ],
+        vec![
+            "fell back to LP".to_string(),
+            match run.log.fallback_tick() {
+                Some(t) => format!("yes (tick {t})"),
+                None if run.fell_back => "yes".to_string(),
+                None => "no".to_string(),
+            },
+        ],
+    ];
+    print_table("serving summary", &["metric", "value"], &rows);
+
+    let mut work_header = vec!["engine"];
+    work_header.extend(lp_work_header());
+    let mut work_row = vec!["controller LP".to_string()];
+    work_row.extend(lp_work_columns(&run.lp_stats));
+    print_table("LP solver work (controller re-solves)", &work_header, &[work_row]);
+
+    print_csv_series("realized_mlu", &run.log.realized_mlus());
+    print_csv_series("omniscient_mlu", &run.omniscient);
+    // Stable digest of the decision log: CI replays the same scenario under
+    // different RAYON_NUM_THREADS settings and diffs this line.
+    println!("decision_log_digest,{:#018x}", run.log.digest());
+}
+
+/// Runs the full `serve_sim` experiment for the options and prints the
+/// report.
+pub fn serve_sim(options: &ServeSimOptions) {
+    let scenario = Scenario::build(options.topology, &options.experiment.scenario_options());
+    let run = if options.online_ticks > 0 {
+        serve_online(&scenario, options.online_ticks, options)
+    } else {
+        serve_replay(&scenario, options)
+    };
+    print_serve_report(&run);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioOptions;
+
+    fn tiny_options(engine: ServeEngine) -> ServeSimOptions {
+        let experiment = ExperimentOptions {
+            fast: true,
+            snapshots: 60,
+            window: 4,
+            max_eval: 8,
+            ..Default::default()
+        };
+        ServeSimOptions {
+            engine,
+            policy: ReconfigPolicy::always_update(),
+            max_ticks: Some(6),
+            topology: Topology::MetaDbPod,
+            ..ServeSimOptions::new(experiment)
+        }
+    }
+
+    fn pod_scenario() -> Scenario {
+        Scenario::build(
+            Topology::MetaDbPod,
+            &ScenarioOptions { num_snapshots: 60, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn replay_reports_regret_above_one() {
+        let scenario = pod_scenario();
+        let run = serve_replay(&scenario, &tiny_options(ServeEngine::Lp));
+        assert_eq!(run.log.len(), 6);
+        assert_eq!(run.indices.len(), 6);
+        assert_eq!(run.omniscient.len(), 6);
+        let regret = run.regret();
+        assert!(regret.normalized_mlu.min >= 1.0 - 1e-6, "{:?}", regret.normalized_mlu);
+        assert_eq!(run.log.update_count(), 6);
+        print_serve_report(&run); // must not panic
+    }
+
+    #[test]
+    fn online_mode_serves_generated_ticks() {
+        let scenario = pod_scenario();
+        let run = serve_online(&scenario, 5, &tiny_options(ServeEngine::Lp));
+        assert_eq!(run.log.len(), 5);
+        assert!(run.log.realized_mlus().iter().all(|m| m.is_finite() && *m > 0.0));
+        let regret = run.regret();
+        assert!(regret.normalized_mlu.min >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_runs() {
+        let scenario = pod_scenario();
+        let options = tiny_options(ServeEngine::Lp);
+        let a = serve_replay(&scenario, &options);
+        let b = serve_replay(&scenario, &options);
+        assert_eq!(a.log.records, b.log.records);
+        assert_eq!(a.log.digest(), b.log.digest());
+        assert_eq!(a.omniscient, b.omniscient);
+    }
+
+    #[test]
+    fn topology_parsing_accepts_table1_names() {
+        assert_eq!(parse_topology("geant").unwrap(), Topology::Geant);
+        assert_eq!(parse_topology("pod-db").unwrap(), Topology::MetaDbPod);
+        assert_eq!(parse_topology("ToR-WEB").unwrap(), Topology::MetaWebTor);
+        assert_eq!(parse_topology("metadbtor").unwrap(), Topology::MetaDbTor);
+        assert!(parse_topology("atlantis").unwrap_err().contains("known:"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Acceptance contract of the serving subsystem (ISSUE 5): with the update
+//! budget set to "unlimited" and the last-value predictor, the online
+//! serving loop replaying a GEANT scenario must reproduce the per-snapshot
+//! MLUs of the existing batch `run_scheme` prediction path within 1e-9 on
+//! the same seed — the streaming controller is the batch evaluator plus
+//! time, not a different optimizer.
+
+use figret_eval::experiments::ExperimentOptions;
+use figret_eval::runner::{omniscient_series, run_scheme, EvalOptions, Scheme};
+use figret_eval::scenario::{Scenario, ScenarioOptions};
+use figret_eval::serving::{serve_replay, ServeEngine, ServeSimOptions};
+use figret_serve::{PredictorKind, ReconfigPolicy};
+use figret_solvers::{Predictor, SolverEngine};
+use figret_topology::Topology;
+
+const WINDOW: usize = 4;
+
+fn geant_scenario() -> Scenario {
+    Scenario::build(Topology::Geant, &ScenarioOptions { num_snapshots: 80, ..Default::default() })
+}
+
+fn serve_options() -> ServeSimOptions {
+    ServeSimOptions {
+        experiment: ExperimentOptions { window: WINDOW, snapshots: 80, ..Default::default() },
+        topology: Topology::Geant,
+        engine: ServeEngine::Lp,
+        predictor: PredictorKind::LastValue,
+        policy: ReconfigPolicy::always_update(),
+        online_ticks: 0,
+        max_ticks: None,
+    }
+}
+
+#[test]
+fn serving_loop_matches_batch_prediction_on_geant() {
+    let scenario = geant_scenario();
+    let eval = EvalOptions {
+        window: WINDOW,
+        max_eval_snapshots: None,
+        engine: SolverEngine::Auto,
+        failure: None,
+    };
+    let batch = run_scheme(&scenario, &Scheme::Prediction(Predictor::LastSnapshot), &eval);
+    let serve = serve_replay(&scenario, &serve_options());
+
+    assert_eq!(serve.indices, batch.indices, "both paths must evaluate the same snapshots");
+    assert_eq!(serve.log.update_count(), serve.log.len(), "unlimited budget deploys every tick");
+    let serve_mlus = serve.log.realized_mlus();
+    assert_eq!(serve_mlus.len(), batch.mlus.len());
+    for ((a, b), t) in serve_mlus.iter().zip(&batch.mlus).zip(&batch.indices) {
+        assert!(
+            (a - b).abs() <= 1e-9,
+            "snapshot {t}: serving MLU {a} vs batch MLU {b} (|Δ| = {})",
+            (a - b).abs()
+        );
+    }
+    // Total churn equals the sum over the deployed-config series, and the
+    // batch run reports the matching mean churn over the same configs.
+    let expected_total = batch.mean_churn * (batch.mlus.len() - 1) as f64;
+    let first_update_churn = serve.log.records[0].churn;
+    let serve_total = serve.log.total_churn() - first_update_churn;
+    assert!(
+        (serve_total - expected_total).abs() <= 1e-6,
+        "churn after the initial deployment must match the batch series \
+         (serve {serve_total} vs batch {expected_total})"
+    );
+}
+
+#[test]
+fn serving_omniscient_normalizer_matches_batch_oracle() {
+    let scenario = geant_scenario();
+    let eval = EvalOptions {
+        window: WINDOW,
+        max_eval_snapshots: None,
+        engine: SolverEngine::Auto,
+        failure: None,
+    };
+    let batch_oracle = omniscient_series(&scenario, &eval);
+    let serve = serve_replay(&scenario, &serve_options());
+    assert_eq!(serve.omniscient.len(), batch_oracle.len());
+    for ((a, b), t) in serve.omniscient.iter().zip(&batch_oracle).zip(&serve.indices) {
+        assert!((a - b).abs() <= 1e-9, "snapshot {t}: serving oracle {a} vs batch oracle {b}");
+    }
+    // Regret is therefore well-defined and at least 1 everywhere.
+    let regret = serve.regret();
+    assert!(regret.normalized_mlu.min >= 1.0 - 1e-6, "{:?}", regret.normalized_mlu);
+}

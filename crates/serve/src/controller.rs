@@ -1,0 +1,458 @@
+//! The online TE controller: the event-driven serving loop.
+//!
+//! A [`ServeController`] owns the deployed configuration and advances one
+//! tick per demand arrival ([`ServeController::step`]):
+//!
+//! 1. **Decide** (timed; this is the serving-latency hot path): forecast the
+//!    next demand with the online predictor, compute a candidate
+//!    configuration — a learned forward pass when a model is installed, a
+//!    warm-started LP re-solve through [`MluTemplate`] otherwise — and run
+//!    the [`ReconfigPolicy`] gates (hysteresis on predicted-MLU regret, then
+//!    the sliding-window update budget).  Deploying pays the split-ratio
+//!    churn ([`figret_te::split_ratio_churn`]).
+//! 2. **Ingest**: the realized demand is fed to the predictor and the
+//!    history window, and the realized MLU of the (possibly just updated)
+//!    deployed configuration is recorded.
+//!
+//! While serving learned configurations the controller periodically audits
+//! them against the LP re-solve and permanently falls back to the LP once
+//! the model has degraded for `patience` consecutive audits — the safety
+//! valve for traffic that drifted away from the training distribution
+//! (§5.4 of the paper measures exactly this failure mode).
+//!
+//! The loop is strictly sequential and every number it consumes is
+//! deterministic, so the decision log is bit-identical across runs and
+//! thread counts (DESIGN.md §4); only the measured latencies vary.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use figret::FigretModel;
+use figret_solvers::{MluTemplate, SeriesStats};
+use figret_te::{
+    max_link_utilization, max_link_utilization_pairs, split_ratio_churn, PathSet, TeConfig,
+};
+use figret_traffic::DemandMatrix;
+
+use crate::log::{Action, DecisionSource, HoldReason, TickRecord};
+use crate::policy::ReconfigPolicy;
+use crate::predictor::OnlinePredictor;
+
+/// The result of one controller tick: the deterministic record plus the
+/// measured decision latency.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// The deterministic tick record (see [`crate::log`]).
+    pub record: TickRecord,
+    /// Wall-clock seconds spent in the decision phase (candidate
+    /// computation + policy gates; ingestion and bookkeeping excluded).
+    pub decision_seconds: f64,
+}
+
+/// The online TE controller; see the module docs.
+pub struct ServeController {
+    paths: PathSet,
+    window: usize,
+    predictor: Box<dyn OnlinePredictor>,
+    model: Option<FigretModel>,
+    template: MluTemplate,
+    policy: ReconfigPolicy,
+    deployed: TeConfig,
+    history: VecDeque<DemandMatrix>,
+    recent_updates: VecDeque<usize>,
+    degraded_streak: usize,
+    fell_back: bool,
+    decisions: usize,
+    tick: usize,
+    lp_stats: SeriesStats,
+}
+
+impl std::fmt::Debug for ServeController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeController")
+            .field("window", &self.window)
+            .field("predictor", &self.predictor.name())
+            .field("learned", &self.model.is_some())
+            .field("fell_back", &self.fell_back)
+            .field("tick", &self.tick)
+            .finish()
+    }
+}
+
+impl ServeController {
+    /// A controller that serves warm-started LP re-solves (no model).
+    /// `window` is the number of observed demands required before the first
+    /// decision (give the sliding-window predictors a full window).
+    pub fn lp(
+        paths: &PathSet,
+        window: usize,
+        predictor: Box<dyn OnlinePredictor>,
+        policy: ReconfigPolicy,
+    ) -> ServeController {
+        ServeController::build(paths, window, predictor, None, policy)
+    }
+
+    /// A controller that serves learned configurations (with the LP as the
+    /// audit reference and fallback).  The warmup window is the model's
+    /// history window `H`.
+    pub fn learned(
+        paths: &PathSet,
+        model: FigretModel,
+        predictor: Box<dyn OnlinePredictor>,
+        policy: ReconfigPolicy,
+    ) -> ServeController {
+        let window = model.config().history_window;
+        ServeController::build(paths, window, predictor, Some(model), policy)
+    }
+
+    fn build(
+        paths: &PathSet,
+        window: usize,
+        predictor: Box<dyn OnlinePredictor>,
+        model: Option<FigretModel>,
+        policy: ReconfigPolicy,
+    ) -> ServeController {
+        assert!(window >= 1, "the controller needs at least one observed demand to decide");
+        ServeController {
+            paths: paths.clone(),
+            window,
+            predictor,
+            model,
+            template: MluTemplate::new(paths),
+            policy,
+            deployed: TeConfig::uniform(paths),
+            history: VecDeque::with_capacity(window + 1),
+            recent_updates: VecDeque::new(),
+            degraded_streak: 0,
+            fell_back: false,
+            decisions: 0,
+            tick: 0,
+            lp_stats: SeriesStats::default(),
+        }
+    }
+
+    /// Ingests a demand without a decision tick (controller warmup: feed the
+    /// history prefix before serving starts).
+    pub fn observe(&mut self, demand: &DemandMatrix) {
+        self.ingest(demand);
+    }
+
+    /// Advances the serving loop by one tick; see the module docs.
+    /// `realized` is the demand matrix that arrives *after* the decision —
+    /// the controller never sees it before committing, exactly like a
+    /// production control loop operating on stale telemetry.
+    pub fn step(&mut self, realized: &DemandMatrix) -> StepOutcome {
+        let start = Instant::now();
+        let tick = self.tick;
+        let mut action = Action::Warmup;
+        let mut source = None;
+        let mut predicted_mlu_deployed = None;
+        let mut predicted_mlu_candidate = None;
+        let mut churn = 0.0;
+
+        if self.history.len() >= self.window {
+            let predicted = self
+                .predictor
+                .predict()
+                .expect("a filled history window implies at least one observation");
+            let predicted_pairs = predicted.flatten_pairs();
+            let (candidate, src) = self.candidate(&predicted_pairs);
+            let deployed_mlu =
+                max_link_utilization_pairs(&self.paths, &self.deployed, &predicted_pairs);
+            let candidate_mlu =
+                max_link_utilization_pairs(&self.paths, &candidate, &predicted_pairs);
+            source = Some(src);
+            predicted_mlu_deployed = Some(deployed_mlu);
+            predicted_mlu_candidate = Some(candidate_mlu);
+            let wants_update = self.policy.hysteresis <= 0.0
+                || deployed_mlu > (1.0 + self.policy.hysteresis) * candidate_mlu;
+            if !wants_update {
+                action = Action::Hold(HoldReason::BelowHysteresis);
+            } else if !self.budget_allows(tick) {
+                action = Action::Hold(HoldReason::BudgetExhausted);
+            } else {
+                churn = split_ratio_churn(&self.deployed, &candidate);
+                self.deployed = candidate;
+                if self.policy.budget.is_some() {
+                    // Only budgeted controllers track update history; an
+                    // unbudgeted one would otherwise grow this deque forever
+                    // on an unbounded stream.
+                    self.recent_updates.push_back(tick);
+                }
+                action = Action::Update;
+            }
+            self.decisions += 1;
+        }
+        let decision_seconds = start.elapsed().as_secs_f64();
+
+        self.ingest(realized);
+        let realized_mlu = max_link_utilization(&self.paths, &self.deployed, realized);
+        self.tick += 1;
+        StepOutcome {
+            record: TickRecord {
+                tick,
+                action,
+                source,
+                predicted_mlu_deployed,
+                predicted_mlu_candidate,
+                realized_mlu,
+                churn,
+            },
+            decision_seconds,
+        }
+    }
+
+    /// Computes the candidate configuration for the forecast demand and
+    /// applies the learned-mode audit/fallback logic.
+    fn candidate(&mut self, predicted_pairs: &[f64]) -> (TeConfig, DecisionSource) {
+        let use_model = self.model.is_some() && !self.fell_back;
+        if !use_model {
+            return (self.lp_candidate(predicted_pairs), DecisionSource::LpWarm);
+        }
+        // Borrow the window in place (no per-tick clone of H matrices —
+        // this is inside the timed decision phase).
+        let history: &[DemandMatrix] = self.history.make_contiguous();
+        let model = self.model.as_mut().expect("checked above");
+        let candidate = model.predict(&self.paths, history);
+        let fb = self.policy.fallback;
+        let audit = fb.audit_every > 0 && self.decisions.is_multiple_of(fb.audit_every);
+        if !audit {
+            return (candidate, DecisionSource::Model);
+        }
+        let lp_candidate = self.lp_candidate(predicted_pairs);
+        let model_mlu = max_link_utilization_pairs(&self.paths, &candidate, predicted_pairs);
+        let lp_mlu = max_link_utilization_pairs(&self.paths, &lp_candidate, predicted_pairs);
+        if model_mlu > fb.degradation * lp_mlu {
+            self.degraded_streak += 1;
+        } else {
+            self.degraded_streak = 0;
+        }
+        if self.degraded_streak >= fb.patience {
+            // The audit that trips the threshold already has the better LP
+            // candidate in hand: serve it immediately and stay on the LP.
+            self.fell_back = true;
+            (lp_candidate, DecisionSource::LpWarm)
+        } else {
+            (candidate, DecisionSource::Model)
+        }
+    }
+
+    fn lp_candidate(&mut self, predicted_pairs: &[f64]) -> TeConfig {
+        let (config, stats) = self
+            .template
+            .solve(&self.paths, predicted_pairs)
+            .expect("the serving min-MLU LP must be solvable");
+        self.lp_stats.record(&stats);
+        config
+    }
+
+    fn budget_allows(&mut self, tick: usize) -> bool {
+        match self.policy.budget {
+            None => true,
+            Some(budget) => {
+                while let Some(&oldest) = self.recent_updates.front() {
+                    if oldest + budget.window <= tick {
+                        self.recent_updates.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                self.recent_updates.len() < budget.max_updates
+            }
+        }
+    }
+
+    fn ingest(&mut self, demand: &DemandMatrix) {
+        self.predictor.observe(demand);
+        self.history.push_back(demand.clone());
+        while self.history.len() > self.window {
+            self.history.pop_front();
+        }
+    }
+
+    /// The currently deployed configuration.
+    pub fn deployed(&self) -> &TeConfig {
+        &self.deployed
+    }
+
+    /// Warmup window length (observed demands required before deciding).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Decision ticks taken so far.
+    pub fn ticks(&self) -> usize {
+        self.tick
+    }
+
+    /// Whether the controller has permanently fallen back to the LP.
+    pub fn fell_back(&self) -> bool {
+        self.fell_back
+    }
+
+    /// Accumulated LP solver work (warm-start acceptance, pivots) over every
+    /// template re-solve the controller ran.
+    pub fn lp_stats(&self) -> &SeriesStats {
+        &self.lp_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::ServeLog;
+    use crate::policy::{FallbackPolicy, UpdateBudget};
+    use crate::predictor::{LastValue, PredictorKind};
+    use figret::FigretConfig;
+    use figret_solvers::{omniscient_config, SolverEngine};
+    use figret_topology::{Topology, TopologySpec};
+    use figret_traffic::datacenter::{pod_trace, PodTrafficConfig};
+    use figret_traffic::TrafficTrace;
+
+    fn pod_setup(snapshots: usize) -> (PathSet, TrafficTrace) {
+        let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
+        let ps = PathSet::k_shortest(&g, 3);
+        let trace =
+            pod_trace(&g, &PodTrafficConfig { num_snapshots: snapshots, ..Default::default() });
+        (ps, trace)
+    }
+
+    fn run(controller: &mut ServeController, trace: &TrafficTrace, warmup: usize) -> ServeLog {
+        let mut log = ServeLog::new();
+        for t in 0..warmup {
+            controller.observe(trace.matrix(t));
+        }
+        for t in warmup..trace.len() {
+            let out = controller.step(trace.matrix(t));
+            log.push(out.record, out.decision_seconds);
+        }
+        log
+    }
+
+    #[test]
+    fn always_update_deploys_every_tick_and_stays_above_omniscient() {
+        let (ps, trace) = pod_setup(24);
+        let mut c = ServeController::lp(
+            &ps,
+            2,
+            Box::new(LastValue::new()),
+            ReconfigPolicy::always_update(),
+        );
+        let log = run(&mut c, &trace, 2);
+        assert_eq!(log.update_count(), log.len());
+        assert_eq!(log.fallback_tick(), None);
+        // Realized MLU is bounded below by the omniscient optimum per tick.
+        for (i, r) in log.records.iter().enumerate() {
+            let t = 2 + i;
+            let omni = omniscient_config(&ps, trace.matrix(t), SolverEngine::Lp).unwrap();
+            let bound = max_link_utilization(&ps, &omni, trace.matrix(t));
+            assert!(r.realized_mlu + 1e-9 >= bound, "tick {i}: {} < {bound}", r.realized_mlu);
+        }
+        // The warm template must actually warm start on a stable trace.
+        assert!(c.lp_stats().warm_solves > 0);
+        assert_eq!(c.lp_stats().solves, log.len());
+    }
+
+    #[test]
+    fn hysteresis_holds_when_the_deployed_config_stays_good() {
+        let (ps, trace) = pod_setup(24);
+        // A huge hysteresis threshold: after the first deployment nothing is
+        // ever predicted to be 10x better, so everything else holds.
+        let policy =
+            ReconfigPolicy { hysteresis: 9.0, budget: None, fallback: FallbackPolicy::disabled() };
+        let mut c = ServeController::lp(&ps, 2, Box::new(LastValue::new()), policy);
+        let log = run(&mut c, &trace, 2);
+        // The initial uniform config may be bad enough to trigger the first
+        // update, but after that the gate must hold.
+        assert!(log.update_count() <= 1);
+        assert!(log.hold_count(HoldReason::BelowHysteresis) >= log.len() - 1);
+        assert_eq!(log.hold_count(HoldReason::BudgetExhausted), 0);
+    }
+
+    #[test]
+    fn update_budget_is_enforced_over_a_sliding_window() {
+        let (ps, trace) = pod_setup(30);
+        let policy = ReconfigPolicy {
+            hysteresis: 0.0, // always wants to update
+            budget: Some(UpdateBudget::per_window(1, 4)),
+            fallback: FallbackPolicy::disabled(),
+        };
+        let mut c = ServeController::lp(&ps, 2, Box::new(LastValue::new()), policy);
+        let log = run(&mut c, &trace, 2);
+        // Exactly one update per 4-tick window: ticks 0, 4, 8, ...
+        for r in &log.records {
+            if r.tick % 4 == 0 {
+                assert_eq!(r.action, Action::Update, "tick {}", r.tick);
+                assert!(r.churn >= 0.0);
+            } else {
+                assert_eq!(r.action, Action::Hold(HoldReason::BudgetExhausted), "tick {}", r.tick);
+                assert_eq!(r.churn, 0.0);
+            }
+        }
+        assert_eq!(log.update_count(), log.len().div_ceil(4));
+    }
+
+    #[test]
+    fn untrained_model_degrades_and_falls_back_to_the_lp() {
+        let (ps, trace) = pod_setup(30);
+        // An untrained model emits near-arbitrary configurations; with a
+        // tight degradation bound and per-tick audits the controller must
+        // abandon it quickly.
+        let model = FigretModel::new(
+            &ps,
+            &vec![0.0; ps.num_pairs()],
+            FigretConfig { history_window: 2, ..FigretConfig::fast_test() },
+        );
+        let policy = ReconfigPolicy {
+            hysteresis: 0.0,
+            budget: None,
+            fallback: FallbackPolicy { degradation: 1.01, patience: 2, audit_every: 1 },
+        };
+        let mut c = ServeController::learned(&ps, model, Box::new(LastValue::new()), policy);
+        let log = run(&mut c, &trace, 2);
+        assert!(c.fell_back(), "an untrained model must trip the degradation fallback");
+        let fb = log.fallback_tick().expect("fallback transition must appear in the log");
+        // Before the transition: model candidates; from it on: LP candidates.
+        for r in &log.records {
+            match r.source {
+                Some(DecisionSource::Model) => assert!(r.tick < fb),
+                Some(DecisionSource::LpWarm) => assert!(r.tick >= fb),
+                None => panic!("no warmup records expected"),
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_ticks_are_logged_until_the_window_fills() {
+        let (ps, trace) = pod_setup(8);
+        let mut c = ServeController::lp(
+            &ps,
+            3,
+            Box::new(LastValue::new()),
+            ReconfigPolicy::always_update(),
+        );
+        // No warmup observations: the first 3 steps cannot decide.
+        let log = run(&mut c, &trace, 0);
+        assert_eq!(log.records[0].action, Action::Warmup);
+        assert_eq!(log.records[2].action, Action::Warmup);
+        assert_eq!(log.records[3].action, Action::Update);
+        assert!(log.records[0].predicted_mlu_candidate.is_none());
+        assert!(log.records[3].predicted_mlu_candidate.is_some());
+    }
+
+    #[test]
+    fn predictor_kind_drives_the_controller() {
+        let (ps, trace) = pod_setup(16);
+        for kind in [
+            PredictorKind::LastValue,
+            PredictorKind::Ewma(0.4),
+            PredictorKind::SlidingMean(3),
+            PredictorKind::SlidingMax(3),
+        ] {
+            let mut c = ServeController::lp(&ps, 3, kind.build(), ReconfigPolicy::always_update());
+            let log = run(&mut c, &trace, 3);
+            assert_eq!(log.update_count(), log.len());
+            assert!(log.records.iter().all(|r| r.realized_mlu.is_finite()));
+        }
+    }
+}

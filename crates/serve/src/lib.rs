@@ -1,0 +1,57 @@
+//! # figret-serve
+//!
+//! The online serving subsystem of the FIGRET reproduction (DESIGN.md §6):
+//! a deterministic, discrete-event TE controller that ingests demands as
+//! they arrive, forecasts the next snapshot with an online predictor,
+//! and decides *whether* reconfiguring is worth its churn — the production
+//! loop the batch replay binaries cannot express.
+//!
+//! * [`predictor`] — stateful one-step-ahead forecasters (last-value, EWMA,
+//!   sliding-window mean/max);
+//! * [`policy`] — reconfiguration gates: hysteresis on predicted-MLU
+//!   regret, a sliding-window update budget, and the learned→LP degradation
+//!   fallback;
+//! * [`controller`] — the serving loop itself, pairing learned inference
+//!   with a warm-started [`figret_solvers::MluTemplate`] LP re-solve;
+//! * [`log`] — the bit-deterministic event/decision log plus measured
+//!   per-decision latencies.
+//!
+//! Demand arrives through the [`figret_traffic::DemandStream`] trait
+//! (trace replay or the unbounded online generators), so serving scenarios
+//! are open-ended.  The replay harness and the `serve_sim` report binary
+//! live in `figret-eval`.
+//!
+//! # Example
+//!
+//! ```
+//! use figret_serve::{LastValue, ReconfigPolicy, ServeController};
+//! use figret_te::PathSet;
+//! use figret_topology::{Topology, TopologySpec};
+//! use figret_traffic::datacenter::{pod_trace, PodTrafficConfig};
+//!
+//! let pod = TopologySpec::full_scale(Topology::MetaDbPod).build();
+//! let paths = PathSet::k_shortest(&pod, 3);
+//! let trace = pod_trace(&pod, &PodTrafficConfig { num_snapshots: 10, ..Default::default() });
+//! let mut controller = ServeController::lp(
+//!     &paths,
+//!     2,
+//!     Box::new(LastValue::new()),
+//!     ReconfigPolicy::default(),
+//! );
+//! controller.observe(trace.matrix(0));
+//! controller.observe(trace.matrix(1));
+//! let outcome = controller.step(trace.matrix(2));
+//! assert!(outcome.record.realized_mlu.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod log;
+pub mod policy;
+pub mod predictor;
+
+pub use controller::{ServeController, StepOutcome};
+pub use log::{Action, DecisionSource, HoldReason, ServeLog, TickRecord};
+pub use policy::{FallbackPolicy, ReconfigPolicy, UpdateBudget};
+pub use predictor::{Ewma, LastValue, OnlinePredictor, PredictorKind, SlidingMax, SlidingMean};

@@ -1,0 +1,234 @@
+//! The event/decision log of a serving run.
+//!
+//! Every controller tick appends one [`TickRecord`].  Records carry only
+//! deterministic quantities (actions, MLUs, churn) and derive `PartialEq`,
+//! so two runs with the same seed and scenario can be compared field by
+//! field — the determinism contract of DESIGN.md §4 extended to serving.
+//! Wall-clock decision latencies are collected *next to* the records (they
+//! are real measurements, not reproducible values) and summarized as
+//! percentiles.
+
+use figret_traffic::percentile;
+
+/// Which engine produced the candidate configuration of a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionSource {
+    /// Learned inference (one forward pass of the FIGRET model).
+    Model,
+    /// Warm-started LP re-solve through the min-MLU template.
+    LpWarm,
+}
+
+/// Why a decision tick did not deploy its candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoldReason {
+    /// The predicted regret of keeping the deployed configuration was below
+    /// the hysteresis threshold.
+    BelowHysteresis,
+    /// The sliding-window update budget was exhausted.
+    BudgetExhausted,
+}
+
+/// What the controller did at one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Not enough history yet to form a candidate; the initial
+    /// configuration stays deployed.
+    Warmup,
+    /// A candidate was computed but not deployed.
+    Hold(HoldReason),
+    /// The candidate was deployed.
+    Update,
+}
+
+/// One tick of the serving loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickRecord {
+    /// Tick index (0-based, counting decision ticks).
+    pub tick: usize,
+    /// What the controller did.
+    pub action: Action,
+    /// Engine that produced the candidate (`None` during warmup).
+    pub source: Option<DecisionSource>,
+    /// Predicted MLU of the previously deployed configuration on the
+    /// forecast demand (`None` during warmup).
+    pub predicted_mlu_deployed: Option<f64>,
+    /// Predicted MLU of the candidate configuration (`None` during warmup).
+    pub predicted_mlu_candidate: Option<f64>,
+    /// Realized MLU of the configuration deployed *after* the decision,
+    /// evaluated on the demand that actually arrived.
+    pub realized_mlu: f64,
+    /// Split-ratio churn paid by this tick (0.0 unless the action was
+    /// [`Action::Update`]).
+    pub churn: f64,
+}
+
+/// The full log of a serving run: deterministic records plus measured
+/// per-decision latencies.
+#[derive(Debug, Clone, Default)]
+pub struct ServeLog {
+    /// One record per tick, in tick order.
+    pub records: Vec<TickRecord>,
+    /// Wall-clock seconds spent in the decision phase of each tick
+    /// (parallel array to `records`; excluded from determinism checks).
+    pub latencies_seconds: Vec<f64>,
+}
+
+impl ServeLog {
+    /// An empty log.
+    pub fn new() -> ServeLog {
+        ServeLog::default()
+    }
+
+    /// Appends one tick.
+    pub fn push(&mut self, record: TickRecord, latency_seconds: f64) {
+        self.records.push(record);
+        self.latencies_seconds.push(latency_seconds);
+    }
+
+    /// Number of ticks logged.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of deployed updates.
+    pub fn update_count(&self) -> usize {
+        self.records.iter().filter(|r| r.action == Action::Update).count()
+    }
+
+    /// Number of holds for a specific reason.
+    pub fn hold_count(&self, reason: HoldReason) -> usize {
+        self.records.iter().filter(|r| r.action == Action::Hold(reason)).count()
+    }
+
+    /// Total split-ratio churn paid over the run.
+    pub fn total_churn(&self) -> f64 {
+        self.records.iter().map(|r| r.churn).sum()
+    }
+
+    /// Realized MLU series in tick order.
+    pub fn realized_mlus(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.realized_mlu).collect()
+    }
+
+    /// Decision-latency percentile (`q ∈ [0, 1]`); 0.0 for an empty log.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        if self.latencies_seconds.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_seconds.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        percentile(&sorted, q)
+    }
+
+    /// The first tick at which the controller served an LP candidate after
+    /// previously serving model candidates (the fallback transition), if any.
+    pub fn fallback_tick(&self) -> Option<usize> {
+        let mut seen_model = false;
+        for r in &self.records {
+            match r.source {
+                Some(DecisionSource::Model) => seen_model = true,
+                Some(DecisionSource::LpWarm) if seen_model => return Some(r.tick),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// FNV-1a digest of the deterministic record fields.  Two runs of the
+    /// same (seed, scenario, policy) must produce identical digests on any
+    /// machine and thread count; CI compares digests across
+    /// `RAYON_NUM_THREADS` settings.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for r in &self.records {
+            eat(r.tick as u64);
+            eat(match r.action {
+                Action::Warmup => 0,
+                Action::Hold(HoldReason::BelowHysteresis) => 1,
+                Action::Hold(HoldReason::BudgetExhausted) => 2,
+                Action::Update => 3,
+            });
+            eat(match r.source {
+                None => 0,
+                Some(DecisionSource::Model) => 1,
+                Some(DecisionSource::LpWarm) => 2,
+            });
+            eat(r.predicted_mlu_deployed.map(f64::to_bits).unwrap_or(0));
+            eat(r.predicted_mlu_candidate.map(f64::to_bits).unwrap_or(0));
+            eat(r.realized_mlu.to_bits());
+            eat(r.churn.to_bits());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tick: usize, action: Action, churn: f64) -> TickRecord {
+        TickRecord {
+            tick,
+            action,
+            source: Some(DecisionSource::LpWarm),
+            predicted_mlu_deployed: Some(0.5),
+            predicted_mlu_candidate: Some(0.4),
+            realized_mlu: 0.45,
+            churn,
+        }
+    }
+
+    #[test]
+    fn counters_and_churn() {
+        let mut log = ServeLog::new();
+        log.push(record(0, Action::Update, 1.5), 1e-4);
+        log.push(record(1, Action::Hold(HoldReason::BelowHysteresis), 0.0), 2e-4);
+        log.push(record(2, Action::Hold(HoldReason::BudgetExhausted), 0.0), 3e-4);
+        log.push(record(3, Action::Update, 0.5), 4e-4);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.update_count(), 2);
+        assert_eq!(log.hold_count(HoldReason::BudgetExhausted), 1);
+        assert!((log.total_churn() - 2.0).abs() < 1e-12);
+        assert_eq!(log.realized_mlus().len(), 4);
+        assert!(log.latency_percentile(0.5) >= 1e-4);
+        assert!(log.latency_percentile(0.99) <= 4e-4 + 1e-12);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mut a = ServeLog::new();
+        a.push(record(0, Action::Update, 1.0), 0.1);
+        let mut b = ServeLog::new();
+        b.push(record(0, Action::Update, 1.0), 0.9); // latency differs: same digest
+        assert_eq!(a.digest(), b.digest());
+        let mut c = ServeLog::new();
+        c.push(record(0, Action::Update, 1.0 + 1e-15), 0.1);
+        assert_ne!(a.digest(), c.digest());
+        assert!(ServeLog::new().is_empty());
+    }
+
+    #[test]
+    fn fallback_tick_finds_the_transition() {
+        let mut log = ServeLog::new();
+        let mut m = record(0, Action::Update, 0.0);
+        m.source = Some(DecisionSource::Model);
+        log.push(m.clone(), 0.0);
+        assert_eq!(log.fallback_tick(), None);
+        let mut lp = record(1, Action::Update, 0.0);
+        lp.source = Some(DecisionSource::LpWarm);
+        log.push(lp, 0.0);
+        assert_eq!(log.fallback_tick(), Some(1));
+    }
+}

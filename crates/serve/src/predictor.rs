@@ -1,0 +1,292 @@
+//! Online demand predictors.
+//!
+//! A batch predictor ([`figret_solvers::Predictor`]) is handed a complete
+//! history window per call; an online predictor instead *ingests* demands
+//! one at a time ([`OnlinePredictor::observe`]) and can be asked for a
+//! forecast at any tick ([`OnlinePredictor::predict`]).  The sliding-window
+//! variants reproduce the batch predictors exactly over the same window, so
+//! any LP scheme driven through the serving loop matches its batch
+//! evaluation; EWMA has no batch counterpart (its state is unbounded
+//! history with geometric decay — only an online formulation makes sense).
+
+use std::collections::VecDeque;
+
+use figret_traffic::DemandMatrix;
+
+/// A stateful one-step-ahead demand forecaster.
+pub trait OnlinePredictor: Send {
+    /// Ingests the demand matrix realized at the current tick.
+    fn observe(&mut self, demand: &DemandMatrix);
+
+    /// Forecast for the next tick, or `None` before the first observation.
+    fn predict(&self) -> Option<DemandMatrix>;
+
+    /// Display name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Predicts the last observed demand (the paper's choice for prediction TE).
+#[derive(Debug, Default)]
+pub struct LastValue {
+    last: Option<DemandMatrix>,
+}
+
+impl LastValue {
+    /// A predictor with no observations yet.
+    pub fn new() -> LastValue {
+        LastValue { last: None }
+    }
+}
+
+impl OnlinePredictor for LastValue {
+    fn observe(&mut self, demand: &DemandMatrix) {
+        self.last = Some(demand.clone());
+    }
+
+    fn predict(&self) -> Option<DemandMatrix> {
+        self.last.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+}
+
+/// Exponentially weighted moving average:
+/// `state ← (1 − α)·state + α·demand`.
+#[derive(Debug)]
+pub struct Ewma {
+    alpha: f64,
+    state: Option<DemandMatrix>,
+}
+
+impl Ewma {
+    /// An EWMA predictor with smoothing factor `alpha ∈ (0, 1]` (1.0
+    /// degenerates to [`LastValue`]).
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA smoothing factor must be in (0, 1]");
+        Ewma { alpha, state: None }
+    }
+}
+
+impl OnlinePredictor for Ewma {
+    fn observe(&mut self, demand: &DemandMatrix) {
+        self.state = Some(match &self.state {
+            None => demand.clone(),
+            Some(s) => s.scaled(1.0 - self.alpha).axpy(self.alpha, demand),
+        });
+    }
+
+    fn predict(&self) -> Option<DemandMatrix> {
+        self.state.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// Element-wise mean of the last `window` observations (the batch
+/// [`figret_solvers::Predictor::WindowMean`], formulated online).
+#[derive(Debug)]
+pub struct SlidingMean {
+    window: usize,
+    buffer: VecDeque<DemandMatrix>,
+}
+
+impl SlidingMean {
+    /// A sliding-mean predictor over `window ≥ 1` observations.
+    pub fn new(window: usize) -> SlidingMean {
+        assert!(window >= 1, "sliding window must hold at least one observation");
+        SlidingMean { window, buffer: VecDeque::new() }
+    }
+}
+
+impl OnlinePredictor for SlidingMean {
+    fn observe(&mut self, demand: &DemandMatrix) {
+        self.buffer.push_back(demand.clone());
+        if self.buffer.len() > self.window {
+            self.buffer.pop_front();
+        }
+    }
+
+    fn predict(&self) -> Option<DemandMatrix> {
+        let first = self.buffer.front()?;
+        let mut acc = DemandMatrix::zeros(first.num_nodes());
+        for m in &self.buffer {
+            acc = acc.axpy(1.0, m);
+        }
+        Some(acc.scaled(1.0 / self.buffer.len() as f64))
+    }
+
+    fn name(&self) -> &'static str {
+        "sliding-mean"
+    }
+}
+
+/// Element-wise maximum of the last `window` observations (the peak matrix
+/// desensitization-based TE hedges against, formulated online).
+#[derive(Debug)]
+pub struct SlidingMax {
+    window: usize,
+    buffer: VecDeque<DemandMatrix>,
+}
+
+impl SlidingMax {
+    /// A sliding-peak predictor over `window ≥ 1` observations.
+    pub fn new(window: usize) -> SlidingMax {
+        assert!(window >= 1, "sliding window must hold at least one observation");
+        SlidingMax { window, buffer: VecDeque::new() }
+    }
+}
+
+impl OnlinePredictor for SlidingMax {
+    fn observe(&mut self, demand: &DemandMatrix) {
+        self.buffer.push_back(demand.clone());
+        if self.buffer.len() > self.window {
+            self.buffer.pop_front();
+        }
+    }
+
+    fn predict(&self) -> Option<DemandMatrix> {
+        let mut it = self.buffer.iter();
+        let mut acc = it.next()?.clone();
+        for m in it {
+            acc = acc.element_max(m);
+        }
+        Some(acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "sliding-max"
+    }
+}
+
+/// Predictor selection, buildable from CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictorKind {
+    /// [`LastValue`].
+    LastValue,
+    /// [`Ewma`] with the given smoothing factor.
+    Ewma(f64),
+    /// [`SlidingMean`] over the given window.
+    SlidingMean(usize),
+    /// [`SlidingMax`] over the given window.
+    SlidingMax(usize),
+}
+
+impl PredictorKind {
+    /// Instantiates the predictor.
+    pub fn build(&self) -> Box<dyn OnlinePredictor> {
+        match *self {
+            PredictorKind::LastValue => Box::new(LastValue::new()),
+            PredictorKind::Ewma(alpha) => Box::new(Ewma::new(alpha)),
+            PredictorKind::SlidingMean(w) => Box::new(SlidingMean::new(w)),
+            PredictorKind::SlidingMax(w) => Box::new(SlidingMax::new(w)),
+        }
+    }
+
+    /// Parses a CLI spelling: `last`, `ewma` / `ewma:0.3`, `mean` /
+    /// `mean:8`, `max` / `max:8` (window defaults to `default_window`).
+    pub fn parse(spec: &str, default_window: usize) -> Result<PredictorKind, String> {
+        let (head, arg) = match spec.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (spec, None),
+        };
+        match head {
+            "last" | "last-value" => Ok(PredictorKind::LastValue),
+            "ewma" => {
+                let alpha = match arg {
+                    Some(a) => {
+                        a.parse::<f64>().map_err(|_| format!("invalid EWMA factor '{a}'"))?
+                    }
+                    None => 0.3,
+                };
+                Ok(PredictorKind::Ewma(alpha))
+            }
+            "mean" | "sliding-mean" => {
+                let w = match arg {
+                    Some(a) => a.parse::<usize>().map_err(|_| format!("invalid window '{a}'"))?,
+                    None => default_window,
+                };
+                Ok(PredictorKind::SlidingMean(w))
+            }
+            "max" | "sliding-max" | "peak" => {
+                let w = match arg {
+                    Some(a) => a.parse::<usize>().map_err(|_| format!("invalid window '{a}'"))?,
+                    None => default_window,
+                };
+                Ok(PredictorKind::SlidingMax(w))
+            }
+            other => Err(format!(
+                "unknown predictor '{other}' (expected last | ewma[:a] | mean[:w] | max[:w])"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm(pairs: &[f64]) -> DemandMatrix {
+        DemandMatrix::from_pairs(2, pairs).unwrap()
+    }
+
+    #[test]
+    fn last_value_tracks_the_latest_observation() {
+        let mut p = LastValue::new();
+        assert_eq!(p.predict(), None);
+        p.observe(&dm(&[1.0, 2.0]));
+        p.observe(&dm(&[3.0, 4.0]));
+        assert_eq!(p.predict().unwrap(), dm(&[3.0, 4.0]));
+    }
+
+    #[test]
+    fn ewma_blends_geometrically() {
+        let mut p = Ewma::new(0.5);
+        p.observe(&dm(&[4.0, 0.0]));
+        p.observe(&dm(&[0.0, 8.0]));
+        // state = 0.5*[4,0] + 0.5*[0,8] = [2,4]
+        assert_eq!(p.predict().unwrap(), dm(&[2.0, 4.0]));
+        let mut one = Ewma::new(1.0);
+        one.observe(&dm(&[4.0, 0.0]));
+        one.observe(&dm(&[0.0, 8.0]));
+        assert_eq!(one.predict().unwrap(), dm(&[0.0, 8.0]));
+    }
+
+    #[test]
+    fn sliding_predictors_match_their_batch_counterparts() {
+        use figret_solvers::{predict, Predictor};
+        let history = vec![dm(&[1.0, 10.0]), dm(&[3.0, 6.0]), dm(&[2.0, 8.0]), dm(&[4.0, 2.0])];
+        let mut mean = SlidingMean::new(3);
+        let mut max = SlidingMax::new(3);
+        for m in &history {
+            mean.observe(m);
+            max.observe(m);
+        }
+        let tail = &history[1..];
+        assert_eq!(mean.predict().unwrap(), predict(tail, Predictor::WindowMean));
+        assert_eq!(max.predict().unwrap(), predict(tail, Predictor::WindowPeak));
+    }
+
+    #[test]
+    fn window_eviction_forgets_old_observations() {
+        let mut p = SlidingMax::new(2);
+        p.observe(&dm(&[9.0, 0.0]));
+        p.observe(&dm(&[1.0, 1.0]));
+        p.observe(&dm(&[1.0, 2.0]));
+        assert_eq!(p.predict().unwrap(), dm(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        assert_eq!(PredictorKind::parse("last", 8).unwrap(), PredictorKind::LastValue);
+        assert_eq!(PredictorKind::parse("ewma:0.25", 8).unwrap(), PredictorKind::Ewma(0.25));
+        assert_eq!(PredictorKind::parse("mean", 8).unwrap(), PredictorKind::SlidingMean(8));
+        assert_eq!(PredictorKind::parse("max:4", 8).unwrap(), PredictorKind::SlidingMax(4));
+        assert!(PredictorKind::parse("oracle", 8).is_err());
+        assert!(PredictorKind::parse("ewma:x", 8).is_err());
+        assert_eq!(PredictorKind::Ewma(0.25).build().name(), "ewma");
+    }
+}

@@ -9,7 +9,10 @@
 //! * [`sensitivity`] — path sensitivity `S_p = r_p / C_p` and the fine-grained
 //!   robustness penalty of Equation 8;
 //! * [`failures`] — proportional rerouting around failed links (§4.5);
-//! * [`objective`] — normalized-MLU metrics and congestion-event counting.
+//! * [`objective`] — normalized-MLU metrics and congestion-event counting;
+//! * [`churn`] — routing churn of a reconfiguration (L1 distance between
+//!   consecutive split-ratio vectors), the update cost the online serving
+//!   subsystem budgets against (DESIGN.md §6).
 //!
 //! # Example
 //!
@@ -29,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod config;
 pub mod diff;
 pub mod failures;
@@ -37,6 +41,7 @@ pub mod objective;
 pub mod pathset;
 pub mod sensitivity;
 
+pub use churn::{mean_series_churn, split_ratio_churn};
 pub use config::{TeConfig, RATIO_TOLERANCE};
 pub use diff::{DiffTe, MluAggregation};
 pub use failures::{available_paths, reroute_around_failures, reroute_with_mask};

@@ -33,6 +33,7 @@ pub mod perturb;
 pub mod pfabric;
 pub mod split;
 pub mod stats;
+pub mod stream;
 pub mod wan;
 
 pub use datacenter::{pod_trace, tor_trace, ClusterFlavor, PodTrafficConfig, TorTrafficConfig};
@@ -45,6 +46,10 @@ pub use stats::{
     cosine_similarity_analysis, cosine_similarity_samples, per_pair_mean_range, per_pair_std_range,
     per_pair_variance, per_pair_variance_range, percentile, spearman_rank_correlation,
     DistributionSummary,
+};
+pub use stream::{
+    collect_stream, DemandStream, DriftConfig, FailureStormConfig, FlashCrowdConfig, OnlineStream,
+    OnlineStreamConfig, ReplayStream,
 };
 
 #[cfg(test)]

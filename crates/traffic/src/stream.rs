@@ -1,0 +1,481 @@
+//! Streaming demand sources: demands as they arrive, not fixed-length arrays.
+//!
+//! The batch evaluation pipeline materializes a whole [`TrafficTrace`] up
+//! front; the online serving subsystem (DESIGN.md §6) instead *pulls* one
+//! demand matrix per tick from a [`DemandStream`].  Two families of sources:
+//!
+//! * [`ReplayStream`] — replays an existing trace (optionally looping), so
+//!   every batch scenario is also a serving scenario;
+//! * [`OnlineStream`] — an unbounded seeded generator layering diurnal
+//!   modulation, slow random-walk drift, flash-crowd episodes and
+//!   failure-storm episodes (traffic draining away from an ailing node) on
+//!   top of a base matrix.  Scenarios are no longer bounded by a
+//!   pre-generated array length: the stream produces demands for as long as
+//!   the controller keeps asking.
+//!
+//! All generators draw from seeded ChaCha8 streams and consume randomness in
+//! a fixed order, so a (seed, config) pair fully determines the stream —
+//! the serving loop's determinism contract (DESIGN.md §4) extends to
+//! unbounded scenarios.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use figret_topology::Graph;
+
+use crate::gravity::gravity_matrix;
+use crate::matrix::{DemandMatrix, TrafficTrace};
+
+/// A source of demand matrices, one per tick.
+///
+/// Finite sources (trace replay) return `None` when exhausted; online
+/// generators never do.
+pub trait DemandStream {
+    /// Number of nodes of every matrix the stream yields.
+    fn num_nodes(&self) -> usize;
+
+    /// The next demand matrix, or `None` if the stream is exhausted.
+    fn next_demand(&mut self) -> Option<DemandMatrix>;
+}
+
+/// Replays the snapshots of an existing [`TrafficTrace`] in order.
+#[derive(Debug, Clone)]
+pub struct ReplayStream {
+    trace: TrafficTrace,
+    cursor: usize,
+    looping: bool,
+}
+
+impl ReplayStream {
+    /// Replays the trace once, then reports exhaustion.
+    pub fn once(trace: TrafficTrace) -> ReplayStream {
+        ReplayStream { trace, cursor: 0, looping: false }
+    }
+
+    /// Replays the trace forever, wrapping around at the end (an unbounded
+    /// stationary scenario built from recorded data).
+    pub fn looping(trace: TrafficTrace) -> ReplayStream {
+        assert!(!trace.is_empty(), "cannot loop over an empty trace");
+        ReplayStream { trace, cursor: 0, looping: true }
+    }
+
+    /// Starts the replay at snapshot `start` instead of 0 (e.g. at the test
+    /// split of a scenario, after warming the controller on the prefix).
+    pub fn starting_at(mut self, start: usize) -> ReplayStream {
+        self.cursor = start;
+        self
+    }
+
+    /// Snapshots left before exhaustion (`None` for a looping stream).
+    pub fn remaining(&self) -> Option<usize> {
+        if self.looping {
+            None
+        } else {
+            Some(self.trace.len().saturating_sub(self.cursor))
+        }
+    }
+}
+
+impl DemandStream for ReplayStream {
+    fn num_nodes(&self) -> usize {
+        self.trace.num_nodes()
+    }
+
+    fn next_demand(&mut self) -> Option<DemandMatrix> {
+        if self.cursor >= self.trace.len() {
+            if !self.looping {
+                return None;
+            }
+            self.cursor = 0;
+        }
+        let m = self.trace.matrix(self.cursor).clone();
+        self.cursor += 1;
+        Some(m)
+    }
+}
+
+/// Slow per-pair drift: every pair's mean performs a clamped random walk.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Per-tick relative step size of the random walk.
+    pub step: f64,
+    /// The walk multiplier is clamped to `[1/limit, limit]`.
+    pub limit: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig { step: 0.004, limit: 3.0 }
+    }
+}
+
+/// Flash crowds: short episodes during which a few pairs burst far above
+/// their mean (the "fine-grained fluctuation" FIGRET hedges against, §3).
+#[derive(Debug, Clone, Copy)]
+pub struct FlashCrowdConfig {
+    /// Per-tick probability that a new episode starts.
+    pub probability: f64,
+    /// Multiplicative magnitude range `[low, high)` of an episode.
+    pub magnitude: (f64, f64),
+    /// Episode duration range `[low, high)` in ticks.
+    pub duration: (usize, usize),
+    /// Number of SD pairs recruited per episode.
+    pub pairs: usize,
+}
+
+impl Default for FlashCrowdConfig {
+    fn default() -> Self {
+        FlashCrowdConfig { probability: 0.03, magnitude: (2.5, 6.0), duration: (2, 8), pairs: 3 }
+    }
+}
+
+/// Failure storms: episodes during which the traffic touching one node
+/// collapses (a draining service or an upstream device failure), shifting
+/// the load distribution abruptly — the demand-side signature of the
+/// failure scenarios of §4.5.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureStormConfig {
+    /// Per-tick probability that a storm starts (at most one is active).
+    pub probability: f64,
+    /// Storm duration range `[low, high)` in ticks.
+    pub duration: (usize, usize),
+    /// Fraction of the victim node's traffic that drains away (0..=1).
+    pub drain: f64,
+}
+
+impl Default for FailureStormConfig {
+    fn default() -> Self {
+        FailureStormConfig { probability: 0.01, duration: (4, 12), drain: 0.85 }
+    }
+}
+
+/// Parameters of the unbounded online generator.
+#[derive(Debug, Clone)]
+pub struct OnlineStreamConfig {
+    /// Aggregation interval in seconds (metadata only).
+    pub interval_seconds: f64,
+    /// Amplitude of the diurnal modulation.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period in ticks.
+    pub diurnal_period: f64,
+    /// Per-tick multiplicative noise applied to every pair.
+    pub noise: f64,
+    /// Slow random-walk drift of per-pair means (`None` disables).
+    pub drift: Option<DriftConfig>,
+    /// Flash-crowd episode injection (`None` disables).
+    pub flash_crowds: Option<FlashCrowdConfig>,
+    /// Failure-storm episode injection (`None` disables).
+    pub failure_storms: Option<FailureStormConfig>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OnlineStreamConfig {
+    fn default() -> Self {
+        OnlineStreamConfig {
+            interval_seconds: 900.0,
+            diurnal_amplitude: 0.25,
+            diurnal_period: 96.0,
+            noise: 0.06,
+            drift: Some(DriftConfig::default()),
+            flash_crowds: Some(FlashCrowdConfig::default()),
+            failure_storms: Some(FailureStormConfig::default()),
+            seed: 31,
+        }
+    }
+}
+
+/// One active flash-crowd episode.
+#[derive(Debug, Clone, Copy)]
+struct FlashEpisode {
+    pair: usize,
+    magnitude: f64,
+    remaining: usize,
+}
+
+/// An unbounded, seeded demand generator; see the module docs.
+#[derive(Debug, Clone)]
+pub struct OnlineStream {
+    config: OnlineStreamConfig,
+    base: Vec<f64>,
+    num_nodes: usize,
+    rng: ChaCha8Rng,
+    tick: usize,
+    /// Random-walk drift multiplier per pair (all 1.0 when drift is off).
+    drift_mult: Vec<f64>,
+    flashes: Vec<FlashEpisode>,
+    storm: Option<(usize, usize)>, // (victim node, remaining ticks)
+}
+
+impl OnlineStream {
+    /// Builds a stream whose base matrix is the gravity model of `graph` at
+    /// `load_factor` of capacity (the same base the WAN generator uses).
+    pub fn from_graph(graph: &Graph, load_factor: f64, config: OnlineStreamConfig) -> OnlineStream {
+        OnlineStream::from_base(&gravity_matrix(graph, load_factor), config)
+    }
+
+    /// Builds a stream around an explicit base matrix (e.g. the mean of a
+    /// recorded trace, so an online scenario continues where replay ended).
+    pub fn from_base(base: &DemandMatrix, config: OnlineStreamConfig) -> OnlineStream {
+        let num_nodes = base.num_nodes();
+        let num_pairs = base.num_pairs();
+        let rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5e7e_a11f);
+        OnlineStream {
+            config,
+            base: base.flatten_pairs(),
+            num_nodes,
+            rng,
+            tick: 0,
+            drift_mult: vec![1.0; num_pairs],
+            flashes: Vec::new(),
+            storm: None,
+        }
+    }
+
+    /// Ticks generated so far.
+    pub fn ticks(&self) -> usize {
+        self.tick
+    }
+
+    /// Advances the event state one tick.  Randomness is consumed in a fixed
+    /// order (drift, then flash crowds, then storms) so the stream is fully
+    /// determined by (config, seed).
+    fn advance_events(&mut self) {
+        if let Some(drift) = self.config.drift {
+            for m in &mut self.drift_mult {
+                let step = 1.0 + drift.step * self.rng.gen_range(-1.0..1.0);
+                *m = (*m * step).clamp(1.0 / drift.limit, drift.limit);
+            }
+        }
+        if let Some(fc) = self.config.flash_crowds {
+            self.flashes.retain_mut(|f| {
+                f.remaining -= 1;
+                f.remaining > 0
+            });
+            if self.rng.gen::<f64>() < fc.probability {
+                for _ in 0..fc.pairs {
+                    let pair = self.rng.gen_range(0..self.base.len());
+                    let magnitude = self.rng.gen_range(fc.magnitude.0..fc.magnitude.1);
+                    let remaining = self.rng.gen_range(fc.duration.0..fc.duration.1).max(1);
+                    self.flashes.push(FlashEpisode { pair, magnitude, remaining });
+                }
+            }
+        }
+        if let Some(fs) = self.config.failure_storms {
+            if let Some((node, remaining)) = self.storm {
+                self.storm = if remaining > 1 { Some((node, remaining - 1)) } else { None };
+            }
+            if self.storm.is_none() && self.rng.gen::<f64>() < fs.probability {
+                let node = self.rng.gen_range(0..self.num_nodes);
+                let duration = self.rng.gen_range(fs.duration.0..fs.duration.1).max(1);
+                self.storm = Some((node, duration));
+            }
+        }
+    }
+}
+
+impl DemandStream for OnlineStream {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn next_demand(&mut self) -> Option<DemandMatrix> {
+        self.advance_events();
+        let phase = 2.0 * std::f64::consts::PI * (self.tick as f64) / self.config.diurnal_period;
+        let season = 1.0 + self.config.diurnal_amplitude * phase.sin();
+        let n = self.num_nodes;
+        let drain = self.config.failure_storms.map(|fs| fs.drain).unwrap_or(0.0);
+        let mut m = DemandMatrix::zeros(n);
+        let mut idx = 0usize;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let noise = 1.0 + self.config.noise * self.rng.gen_range(-1.0..1.0);
+                let mut value = self.base[idx] * season * self.drift_mult[idx] * noise;
+                for f in &self.flashes {
+                    if f.pair == idx {
+                        value *= f.magnitude;
+                    }
+                }
+                if let Some((victim, _)) = self.storm {
+                    if s == victim || d == victim {
+                        value *= 1.0 - drain;
+                    }
+                }
+                m.set(s, d, value);
+                idx += 1;
+            }
+        }
+        self.tick += 1;
+        Some(m)
+    }
+}
+
+/// Materializes the next `ticks` demands of any stream into a trace (mainly
+/// for tests and for feeding batch tooling from a streaming source).
+pub fn collect_stream(
+    stream: &mut dyn DemandStream,
+    ticks: usize,
+    interval_seconds: f64,
+) -> TrafficTrace {
+    let mut matrices = Vec::with_capacity(ticks);
+    for _ in 0..ticks {
+        match stream.next_demand() {
+            Some(m) => matrices.push(m),
+            None => break,
+        }
+    }
+    TrafficTrace::new("stream", interval_seconds, matrices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figret_topology::{Topology, TopologySpec};
+
+    fn geant() -> Graph {
+        TopologySpec::full_scale(Topology::Geant).build()
+    }
+
+    #[test]
+    fn replay_yields_the_trace_in_order_then_ends() {
+        let g = geant();
+        let trace = crate::wan::wan_trace(
+            &g,
+            &crate::wan::WanTrafficConfig { num_snapshots: 5, ..Default::default() },
+        );
+        let mut s = ReplayStream::once(trace.clone());
+        assert_eq!(s.num_nodes(), trace.num_nodes());
+        for t in 0..5 {
+            assert_eq!(s.remaining(), Some(5 - t));
+            assert_eq!(s.next_demand().as_ref(), Some(trace.matrix(t)));
+        }
+        assert_eq!(s.next_demand(), None);
+        assert_eq!(s.remaining(), Some(0));
+    }
+
+    #[test]
+    fn looping_replay_wraps_and_starting_at_skips() {
+        let g = geant();
+        let trace = crate::wan::wan_trace(
+            &g,
+            &crate::wan::WanTrafficConfig { num_snapshots: 3, ..Default::default() },
+        );
+        let mut s = ReplayStream::looping(trace.clone()).starting_at(2);
+        assert_eq!(s.remaining(), None);
+        assert_eq!(s.next_demand().as_ref(), Some(trace.matrix(2)));
+        assert_eq!(s.next_demand().as_ref(), Some(trace.matrix(0)));
+        assert_eq!(s.next_demand().as_ref(), Some(trace.matrix(1)));
+    }
+
+    #[test]
+    fn online_stream_is_unbounded_and_deterministic() {
+        let g = geant();
+        let config = OnlineStreamConfig { seed: 77, ..Default::default() };
+        let mut a = OnlineStream::from_graph(&g, 0.25, config.clone());
+        let mut b = OnlineStream::from_graph(&g, 0.25, config);
+        for _ in 0..40 {
+            let ma = a.next_demand().unwrap();
+            let mb = b.next_demand().unwrap();
+            assert_eq!(ma, mb);
+            assert!(ma.total() > 0.0);
+        }
+        assert_eq!(a.ticks(), 40);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let g = geant();
+        let mut a = OnlineStream::from_graph(
+            &g,
+            0.25,
+            OnlineStreamConfig { seed: 1, ..Default::default() },
+        );
+        let mut b = OnlineStream::from_graph(
+            &g,
+            0.25,
+            OnlineStreamConfig { seed: 2, ..Default::default() },
+        );
+        assert_ne!(a.next_demand(), b.next_demand());
+    }
+
+    #[test]
+    fn flash_crowds_create_bursts() {
+        let g = geant();
+        let config = OnlineStreamConfig {
+            noise: 0.0,
+            drift: None,
+            failure_storms: None,
+            flash_crowds: Some(FlashCrowdConfig {
+                probability: 0.5,
+                magnitude: (4.0, 5.0),
+                duration: (1, 3),
+                pairs: 2,
+            }),
+            seed: 5,
+            ..Default::default()
+        };
+        let mut s = OnlineStream::from_graph(&g, 0.25, config);
+        let base = gravity_matrix(&g, 0.25);
+        let mut burst_seen = false;
+        for _ in 0..50 {
+            let m = s.next_demand().unwrap();
+            for src in 0..m.num_nodes() {
+                for dst in 0..m.num_nodes() {
+                    if src != dst && base.get(src, dst) > 0.0 {
+                        // diurnal swing is at most 1.25x; a 4x burst sticks out.
+                        if m.get(src, dst) > 3.0 * base.get(src, dst) {
+                            burst_seen = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(burst_seen, "flash crowds must produce visible bursts");
+    }
+
+    #[test]
+    fn failure_storms_drain_a_node() {
+        let g = geant();
+        let config = OnlineStreamConfig {
+            noise: 0.0,
+            drift: None,
+            flash_crowds: None,
+            diurnal_amplitude: 0.0,
+            failure_storms: Some(FailureStormConfig {
+                probability: 1.0,
+                duration: (3, 4),
+                drain: 1.0,
+            }),
+            seed: 9,
+            ..Default::default()
+        };
+        let mut s = OnlineStream::from_graph(&g, 0.25, config);
+        let m = s.next_demand().unwrap();
+        // Some node's row and column must be fully drained.
+        let n = m.num_nodes();
+        let drained =
+            (0..n).any(|v| (0..n).all(|o| o == v || (m.get(v, o) == 0.0 && m.get(o, v) == 0.0)));
+        assert!(drained, "a storm with drain=1.0 must zero out one node's traffic");
+    }
+
+    #[test]
+    fn collect_stream_materializes_ticks() {
+        let g = geant();
+        let mut s = OnlineStream::from_graph(
+            &g,
+            0.25,
+            OnlineStreamConfig { seed: 3, ..Default::default() },
+        );
+        let trace = collect_stream(&mut s, 12, 60.0);
+        assert_eq!(trace.len(), 12);
+        assert_eq!(trace.num_nodes(), g.num_nodes());
+        // A finite replay stops early.
+        let mut r = ReplayStream::once(trace.clone());
+        let t2 = collect_stream(&mut r, 50, 60.0);
+        assert_eq!(t2.len(), 12);
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`figret_nn`] — tensors, autograd, MLP, Adam;
 //! * [`figret_solvers`] — omniscient / prediction / desensitization /
 //!   oblivious / COPE baselines;
+//! * [`figret_serve`] — the online TE controller: streaming ingestion,
+//!   predictors, update-budgeted reconfiguration (DESIGN.md §6);
 //! * [`figret_eval`] — scenarios, runners and the experiment functions that
 //!   regenerate every table and figure of the paper.
 //!
@@ -24,6 +26,7 @@ pub use figret;
 pub use figret_eval;
 pub use figret_lp;
 pub use figret_nn;
+pub use figret_serve;
 pub use figret_solvers;
 pub use figret_te;
 pub use figret_topology;
