@@ -1,0 +1,70 @@
+//! inference_plan — the compiled f32 forward pass vs. the f64 graph.
+//!
+//! Benchmarks the pure inference cost of one TE decision, isolated from the
+//! controller loop: `plan_forward` runs the compiled [`figret::InferencePlan`]
+//! (flat f32 buffers, no tape, no allocation) over a pre-flattened feature
+//! window; `graph_predict` runs the same trained model through the f64
+//! autodiff graph (`FigretModel::predict`), which is both the training path
+//! and the numerical reference the plan is property-tested against.  The
+//! ratio between the two is the speedup the zero-alloc hot path buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use figret::{FigretConfig, FigretModel};
+use figret_bench::bench_setup;
+use figret_traffic::{per_pair_variance_range, DemandMatrix, WindowDataset};
+
+const WINDOW: usize = 8;
+
+fn trained_model(scenario: &figret_bench::Scenario) -> FigretModel {
+    let variances = per_pair_variance_range(&scenario.trace, scenario.split.train.clone());
+    let dataset = WindowDataset::from_trace(&scenario.trace, WINDOW, scenario.split.train.clone());
+    let mut model = FigretModel::new(
+        &scenario.paths,
+        &variances,
+        FigretConfig { history_window: WINDOW, epochs: 2, ..FigretConfig::fast_test() },
+    );
+    model.train(&dataset);
+    model
+}
+
+fn inference_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_plan");
+    group.sample_size(20);
+
+    for topology in [figret_topology::Topology::Geant, figret_topology::Topology::MetaDbTor] {
+        let scenario = bench_setup(topology, 120);
+        let mut model = trained_model(&scenario);
+        let mut plan = model.compile_plan();
+
+        let t = scenario.trace.len();
+        let history: Vec<DemandMatrix> =
+            (t - WINDOW..t).map(|h| scenario.trace.matrix(h).clone()).collect();
+        let num_pairs = scenario.paths.num_pairs();
+        let mut features = vec![0.0; plan.input_dim()];
+        for (i, matrix) in history.iter().enumerate() {
+            matrix.flatten_pairs_into(&mut features[i * num_pairs..(i + 1) * num_pairs]);
+        }
+        let mut raw = vec![0.0; plan.output_dim()];
+
+        group.bench_with_input(
+            BenchmarkId::new("plan_forward", scenario.name.clone()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    plan.forward(&features, &mut raw);
+                    raw[0]
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("graph_predict", scenario.name.clone()),
+            &(),
+            |b, _| b.iter(|| model.predict(&scenario.paths, &history)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, inference_plan);
+criterion_main!(benches);

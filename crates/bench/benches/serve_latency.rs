@@ -7,11 +7,14 @@
 //! * `step_lp` — the candidate is a warm-started LP re-solve through the
 //!   min-MLU template (what the controller pays after a fallback);
 //! * `step_model` — the candidate is one forward pass of a trained FIGRET
-//!   model (the fast path; audits disabled so no LP is touched).
+//!   model through the f64 autodiff graph (audits disabled so no LP is
+//!   touched);
+//! * `step_model_plan` — the same tick served from the compiled f32
+//!   inference plan (the zero-alloc hot path).
 //!
 //! The policy is `always_update`, so every tick pays the full decision cost
 //! — the worst case a serving deployment budgets for.  Recorded to
-//! `BENCH_pr5.json` via `CRITERION_JSON`.
+//! `BENCH_pr6.json` via `CRITERION_JSON`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -87,6 +90,22 @@ fn serve_step_latency(c: &mut Criterion) {
                 b.iter(|| {
                     cursor = (cursor + 1) % demands.len();
                     learned.step(&demands[cursor])
+                })
+            },
+        );
+
+        // Same tick, but inference runs through the compiled f32 plan — the
+        // zero-alloc hot path a production controller would serve from.
+        let mut planned = warmed_model_controller(&scenario);
+        planned.enable_inference_plan();
+        let mut cursor = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("step_model_plan", scenario.name.clone()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    cursor = (cursor + 1) % demands.len();
+                    planned.step(&demands[cursor])
                 })
             },
         );

@@ -44,4 +44,5 @@ pub mod config;
 pub mod model;
 
 pub use config::FigretConfig;
+pub use figret_nn::InferencePlan;
 pub use model::{EpochStats, FigretModel, TealLikeModel, TrainingReport};

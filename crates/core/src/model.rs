@@ -12,7 +12,9 @@
 //! analysing them; the normalization also keeps the two loss terms on
 //! comparable scales).  Setting `α = 0` recovers DOTE.
 
-use figret_nn::{Adam, AdamConfig, Graph, Mlp, MlpConfig, Optimizer, OutputActivation, Tensor};
+use figret_nn::{
+    Adam, AdamConfig, Graph, InferencePlan, Mlp, MlpConfig, Optimizer, OutputActivation, Tensor,
+};
 use figret_te::{DiffTe, MluAggregation, PathSet, TeConfig};
 use figret_traffic::{DemandMatrix, WindowDataset, WindowSample};
 use rand::seq::SliceRandom;
@@ -258,6 +260,23 @@ impl FigretModel {
         graph.backward(loss);
         let grads = self.mlp.parameters().iter().map(|&p| graph.grad(p).clone()).collect();
         MicrobatchGradients { grads, loss_sum, mlu_sum, penalty_sum }
+    }
+
+    /// Compiles the trained weights into an allocation-free f32
+    /// [`InferencePlan`] for the serving hot path (see `figret_nn::plan`).
+    ///
+    /// The plan folds the feature scale into its input load and performs the
+    /// per-pair normalization itself, so callers feed it *raw* flattened
+    /// history features and obtain normalized split ratios.  Compile once
+    /// after training; the plan snapshots the weights and does not track
+    /// later updates.
+    pub fn compile_plan(&self) -> InferencePlan {
+        InferencePlan::compile(
+            &self.graph,
+            &self.mlp,
+            self.diff.segments().to_vec(),
+            self.feature_scale,
+        )
     }
 
     /// Computes the TE configuration for the next snapshot from a history
@@ -517,6 +536,42 @@ mod tests {
                 assert!(
                     (single.ratio(p) - batched_cfg.ratio(p)).abs() < 1e-12,
                     "batched prediction must equal the single-sample prediction"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_plan_matches_graph_prediction() {
+        let (ps, trace) = setup();
+        let split = TrainTestSplit::chronological(trace.len(), 0.75);
+        let variances = per_pair_variance_range(&trace, split.train.clone());
+        let config = FigretConfig { epochs: 2, ..FigretConfig::fast_test() };
+        let h = config.history_window;
+        let dataset = WindowDataset::from_trace(&trace, h, split.train.clone());
+        let mut model = FigretModel::new(&ps, &variances, config);
+        model.train(&dataset);
+        let mut plan = model.compile_plan();
+        assert_eq!(plan.input_dim(), h * ps.num_pairs());
+        assert_eq!(plan.output_dim(), ps.num_paths());
+
+        let mut raw = vec![0.0; ps.num_paths()];
+        for t in h..h + 4 {
+            let history: Vec<DemandMatrix> = (t - h..t).map(|i| trace.matrix(i).clone()).collect();
+            // The plan takes *raw* features; scaling happens inside.
+            let mut features = Vec::new();
+            for m in &history {
+                features.extend(m.flatten_pairs());
+            }
+            plan.forward(&features, &mut raw);
+            let plan_cfg = TeConfig::from_raw(&ps, &raw);
+            let graph_cfg = model.predict(&ps, &history);
+            assert!(plan_cfg.is_valid(&ps));
+            for p in 0..ps.num_paths() {
+                let (a, b) = (plan_cfg.ratio(p), graph_cfg.ratio(p));
+                assert!(
+                    (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                    "path {p}: plan ratio {a} vs graph ratio {b}"
                 );
             }
         }

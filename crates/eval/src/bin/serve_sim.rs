@@ -21,7 +21,8 @@ fn main() {
         .number("budget", 0, "max updates per budget window (0 = unlimited)")
         .number("budget-window", 16, "update-budget window length in ticks")
         .switch("always-update", "reconfigure every tick (batch-equivalence mode)")
-        .number("online-ticks", 0, "serve N generated ticks instead of replaying the trace");
+        .number("online-ticks", 0, "serve N generated ticks instead of replaying the trace")
+        .text("inference", "graph", "learned-engine inference path: graph | plan");
     let values = flags.parse_or_exit(std::env::args().skip(1));
     let experiment = ExperimentOptions::from_flag_values(&values);
 
@@ -36,6 +37,12 @@ fn main() {
         "lp" => ServeEngine::Lp,
         "learned" => ServeEngine::Learned,
         other => fail(format!("unknown engine '{other}' (expected lp | learned)")),
+    };
+    let use_plan = match values.text("inference") {
+        "graph" => false,
+        "plan" if engine == ServeEngine::Learned => true,
+        "plan" => fail("--inference plan requires --engine learned".to_string()),
+        other => fail(format!("unknown inference path '{other}' (expected graph | plan)")),
     };
     let policy = if values.switch("always-update") {
         ReconfigPolicy::always_update()
@@ -57,6 +64,7 @@ fn main() {
         policy,
         online_ticks: values.number("online-ticks"),
         max_ticks: Some(experiment.max_eval),
+        use_plan,
         experiment,
     };
     serve_sim(&options);

@@ -60,6 +60,11 @@ pub struct ServeSimOptions {
     /// split).  Streaming is contiguous, so the cap truncates rather than
     /// subsamples.
     pub max_ticks: Option<usize>,
+    /// Learned engine only: serve from the compiled f32 inference plan
+    /// (zero-alloc hot path) instead of the f64 autodiff graph.  Policy
+    /// decisions must not change — CI diffs `decision_digest` between the
+    /// two inference paths.
+    pub use_plan: bool,
 }
 
 impl ServeSimOptions {
@@ -74,6 +79,7 @@ impl ServeSimOptions {
             policy: ReconfigPolicy::default(),
             online_ticks: 0,
             max_ticks: None,
+            use_plan: false,
         }
     }
 }
@@ -145,7 +151,12 @@ fn build_controller(scenario: &Scenario, options: &ServeSimOptions) -> ServeCont
             );
             let mut model = FigretModel::new(&scenario.paths, &variances, cfg);
             model.train(&dataset);
-            ServeController::learned(&scenario.paths, model, predictor, options.policy.clone())
+            let mut controller =
+                ServeController::learned(&scenario.paths, model, predictor, options.policy.clone());
+            if options.use_plan {
+                controller.enable_inference_plan();
+            }
+            controller
         }
     }
 }
@@ -190,9 +201,10 @@ fn omniscient_over(paths: &PathSet, demands: &[DemandMatrix]) -> Vec<f64> {
         .collect()
 }
 
-fn engine_name(engine: ServeEngine) -> &'static str {
-    match engine {
+fn engine_name(options: &ServeSimOptions) -> &'static str {
+    match options.engine {
         ServeEngine::Lp => "lp",
+        ServeEngine::Learned if options.use_plan => "learned/plan",
         ServeEngine::Learned => "learned",
     }
 }
@@ -216,7 +228,7 @@ pub fn serve_replay(scenario: &Scenario, options: &ServeSimOptions) -> ServeRun 
         name: format!(
             "{} (replay, {}, {} predictor)",
             scenario.name,
-            engine_name(options.engine),
+            engine_name(options),
             options.predictor.build().name()
         ),
         indices,
@@ -247,7 +259,7 @@ pub fn serve_online(scenario: &Scenario, ticks: usize, options: &ServeSimOptions
         name: format!(
             "{} (online, {}, {} predictor)",
             scenario.name,
-            engine_name(options.engine),
+            engine_name(options),
             options.predictor.build().name()
         ),
         indices: (0..log.len()).collect(),
@@ -318,9 +330,13 @@ pub fn print_serve_report(run: &ServeRun) {
 
     print_csv_series("realized_mlu", &run.log.realized_mlus());
     print_csv_series("omniscient_mlu", &run.omniscient);
-    // Stable digest of the decision log: CI replays the same scenario under
-    // different RAYON_NUM_THREADS settings and diffs this line.
+    // Stable digests of the decision log: CI replays the same scenario under
+    // different RAYON_NUM_THREADS settings and diffs the full digest, and
+    // replays graph vs. plan inference and diffs the decision digest (which
+    // hashes actions only, so it is invariant to the f32 plan's sub-1e-4
+    // output perturbations).
     println!("decision_log_digest,{:#018x}", run.log.digest());
+    println!("decision_digest,{:#018x}", run.log.decision_digest());
 }
 
 /// Runs the full `serve_sim` experiment for the options and prints the

@@ -173,6 +173,78 @@ mod proptests {
             }
         }
 
+        /// Partial pricing must be invisible in the results: the default
+        /// solver (candidate-list pricing) and the full-sweep reference must
+        /// return the same verdict on cold solves and, when solvable, the
+        /// same optimum.
+        #[test]
+        fn partial_pricing_agrees_with_full_pricing_cold(lp in arbitrary_sparse_lp()) {
+            let partial = solve_with_basis(&lp, None);
+            let full = revised::solve_with_basis_full_pricing(&lp, None);
+            match (&partial, &full) {
+                (Ok((p, _)), Ok((f, _))) => {
+                    prop_assert!(lp.is_feasible(&p.values, 1e-6),
+                        "partial-pricing solution infeasible");
+                    prop_assert!(lp.is_feasible(&f.values, 1e-6),
+                        "full-pricing solution infeasible");
+                    prop_assert!((p.objective_value - f.objective_value).abs() < 1e-6,
+                        "objectives diverge: partial {} vs full {}",
+                        p.objective_value, f.objective_value);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "error verdicts diverge"),
+                (a, b) => prop_assert!(false, "verdicts diverge: partial ok={} vs full ok={}",
+                    a.is_ok(), b.is_ok()),
+            }
+        }
+
+        /// Same agreement on the bounded corpus, where a solution always
+        /// exists, plus on warm re-solves: both pricing strategies chain
+        /// their own basis through a perturbed-RHS sequence and must land on
+        /// the same optimum at every step.
+        #[test]
+        fn partial_pricing_agrees_with_full_pricing_warm(
+            lp in arbitrary_bounded_lp(),
+            nvars in 2usize..5,
+            scales in proptest::collection::vec(0.2f64..4.0, 1usize..6),
+        ) {
+            // Cold, bounded corpus.
+            let (p, _) = solve_with_basis(&lp, None).expect("bounded partial solve");
+            let (f, _) = revised::solve_with_basis_full_pricing(&lp, None)
+                .expect("bounded full solve");
+            prop_assert!((p.objective_value - f.objective_value).abs() < 1e-6,
+                "bounded objectives diverge: partial {} vs full {}",
+                p.objective_value, f.objective_value);
+
+            // Warm: min Σ (1 + i) x_i  s.t.  Σ x_i = s (perturbed), x_i <= 3 s.
+            let build = |s: f64| {
+                let mut lp = LinearProgram::new(Direction::Minimize);
+                for i in 0..nvars {
+                    lp.add_variable(1.0 + i as f64);
+                }
+                let all: Vec<(usize, f64)> = (0..nvars).map(|i| (i, 1.0)).collect();
+                lp.add_constraint(all, Relation::Equal, s);
+                for v in 0..nvars {
+                    lp.add_constraint(vec![(v, 1.0)], Relation::LessEq, 3.0 * s);
+                }
+                lp
+            };
+            let mut partial_basis: Option<Basis> = None;
+            let mut full_basis: Option<Basis> = None;
+            for (step, s) in scales.iter().enumerate() {
+                let lp = build(*s);
+                let (p, pb) = solve_with_basis(&lp, partial_basis.as_ref())
+                    .expect("partial warm solve");
+                let (f, fb) = revised::solve_with_basis_full_pricing(&lp, full_basis.as_ref())
+                    .expect("full warm solve");
+                prop_assert!((p.objective_value - f.objective_value).abs() < 1e-6,
+                    "step {step}: partial {} vs full {}",
+                    p.objective_value, f.objective_value);
+                prop_assert!(lp.is_feasible(&p.values, 1e-6));
+                partial_basis = Some(pb);
+                full_basis = Some(fb);
+            }
+        }
+
         /// Warm-start-equals-cold-start: over a sequence of perturbed RHS
         /// values, a template (warm) solve and a from-scratch (cold) solve of
         /// the same program must produce the same optimum.

@@ -14,10 +14,18 @@
 //!
 //! TE min-MLU programs are extremely sparse (a path touches a handful of
 //! links), so per-iteration work drops from `O(m·n)` to roughly
-//! `O(nnz + m + |eta file|)`.  Pricing computes every reduced cost with one
-//! sequential CSR sweep (`d = c − Aᵀy`), and reinversion is event-driven
-//! (singleton columns pivot without etas, sparse FTRANs only visit the etas
-//! they excite), so both scale with the nonzeros actually involved.
+//! `O(nnz + m + |eta file|)`.  Phase-2 pricing is **partial**: a candidate
+//! list of the [`CANDIDATE_LIST`] most attractive columns from the last full
+//! sweep is re-priced exactly (one sparse dot per column) on every iteration,
+//! and the full `d = c − Aᵀy` CSR sweep only runs when the list goes dry or
+//! [`MINOR_LIMIT`] minor iterations have passed — warm re-solves that pivot a
+//! handful of times touch a handful of columns instead of all of them.
+//! Optimality is only ever declared by a clean full sweep, so partial pricing
+//! changes the pivot path, never the answer; phase 1 and Bland mode always
+//! price fully (see [`MINOR_LIMIT`] and the phase-1 comment).  Reinversion
+//! is event-driven (singleton columns pivot without etas, sparse FTRANs only
+//! visit the etas they excite), so the work scales with the nonzeros actually
+//! involved.
 //!
 //! Cold solves avoid phase 1 where the shape allows it: a **crash basis**
 //! assigns each equality row a structural column exclusive to it (a path's
@@ -57,6 +65,18 @@ const REINVERT_PIVOT_TOL: f64 = 1e-10;
 /// pivot.  Dual pivots run on a seeded (possibly ill-conditioned) basis, so
 /// the bar is far above [`EPS`] — near-zero alphas are factorization noise.
 const DUAL_PIVOT_TOL: f64 = 1e-7;
+/// Size of the partial-pricing candidate list: each full pricing sweep keeps
+/// this many of its most negative nonbasic columns for the exact-repricing
+/// iterations that follow.  Large enough that a short warm re-solve rarely
+/// needs a second sweep, small enough that repricing stays O(list · nnz/col).
+const CANDIDATE_LIST: usize = 32;
+/// Minor-iteration cap for partial pricing: at most this many consecutive
+/// pivots may price from the candidate list before a full sweep is forced.
+/// The list's reduced costs go stale as pivots move the multipliers; on wide
+/// programs (des-TE has a column per edge × destination) an unbounded run of
+/// minor iterations keeps entering marginal columns and inflates the pivot
+/// count far beyond what the sweeps save.
+const MINOR_LIMIT: usize = 16;
 
 /// An optimal (or at least feasible) simplex basis, reusable as a warm start
 /// for a structurally identical program (see [`solve_with_basis`]).
@@ -340,6 +360,17 @@ struct Simplex<'a> {
     y: Vec<f64>,
     /// Dense scratch of length `total_cols` (reduced costs per pricing sweep).
     reduced: Vec<f64>,
+    /// Partial-pricing candidate list: nonbasic columns that looked attractive
+    /// at the last full sweep, kept in ascending column order so Dantzig ties
+    /// still resolve to the lowest index.  Cleared whenever the cost vector
+    /// changes (each [`Simplex::optimize`] call).
+    cand: Vec<usize>,
+    /// Consecutive minor (candidate-list) iterations since the last full
+    /// sweep; [`MINOR_LIMIT`] bounds how stale the list may get.
+    minor: usize,
+    /// When `false` every iteration runs the full pricing sweep; test hook for
+    /// pinning partial pricing against the reference Dantzig loop.
+    partial_pricing: bool,
 }
 
 impl<'a> Simplex<'a> {
@@ -362,6 +393,9 @@ impl<'a> Simplex<'a> {
             work: vec![0.0; m],
             y: vec![0.0; m],
             reduced: vec![0.0; form.total_cols],
+            cand: Vec::new(),
+            minor: 0,
+            partial_pricing: true,
         }
     }
 
@@ -819,6 +853,10 @@ impl<'a> Simplex<'a> {
         let m = self.form.num_rows();
         let mut stall = 0usize;
         let mut last_objective = self.objective(costs);
+        // The candidate list holds reduced costs of a *previous* cost vector's
+        // sweep; never carry it across phases.
+        self.cand.clear();
+        self.minor = 0;
         for _ in 0..max_iterations {
             let use_bland = stall >= STALL_LIMIT;
             // Simplex multipliers: y = Bᵀ⁻¹ c_B.
@@ -826,41 +864,20 @@ impl<'a> Simplex<'a> {
                 self.y[r] = costs[b];
             }
             self.fact.btran(&mut self.y);
-            // Pricing: all reduced costs at once via one sequential CSR
-            // sweep (`d = c − Aᵀy`) — far cheaper than per-column indirected
-            // dot products, and it keeps exact Dantzig semantics.  Dantzig
-            // takes the most negative reduced cost, Bland the first; entering
-            // ties go to the lowest column index (scan order).
-            self.reduced[..limit].copy_from_slice(&costs[..limit]);
-            for r in 0..m {
-                let yr = self.y[r];
-                if yr != 0.0 {
-                    let (cols, vals) = self.form.matrix.row(r);
-                    for (&c, &v) in cols.iter().zip(vals) {
-                        if c < limit {
-                            self.reduced[c] -= yr * v;
-                        }
-                    }
+            // Pricing: re-price the candidate list exactly; fall back to the
+            // full sweep when it runs dry (which also repopulates the list) or
+            // after [`MINOR_LIMIT`] consecutive minor iterations (bounding
+            // list staleness).  Bland mode always prices fully — its
+            // anti-cycling guarantee needs the globally first negative column.
+            let minor_ok = self.partial_pricing && self.minor < MINOR_LIMIT;
+            let entering = if use_bland || !minor_ok {
+                self.price_full(costs, limit, use_bland)
+            } else {
+                match self.price_candidates(costs, limit) {
+                    Some(c) => Some(c),
+                    None => self.price_full(costs, limit, false),
                 }
-            }
-            let mut entering: Option<usize> = None;
-            let mut best = -EPS;
-            for c in 0..limit {
-                if self.is_basic[c] {
-                    continue;
-                }
-                let d = self.reduced[c];
-                if d < -EPS {
-                    if use_bland {
-                        entering = Some(c);
-                        break;
-                    }
-                    if d < best {
-                        best = d;
-                        entering = Some(c);
-                    }
-                }
-            }
+            };
             let entering = match entering {
                 Some(c) => c,
                 None => return Ok(Outcome::Optimal),
@@ -920,6 +937,92 @@ impl<'a> Simplex<'a> {
             }
         }
         Err(LpError::IterationLimit)
+    }
+
+    /// Full pricing sweep: every reduced cost at once via one sequential CSR
+    /// pass (`d = c − Aᵀy`) — far cheaper than per-column indirected dot
+    /// products, and it keeps exact Dantzig semantics.  Dantzig takes the
+    /// most negative reduced cost, Bland the first; entering ties go to the
+    /// lowest column index (scan order).  In Dantzig mode the sweep also
+    /// repopulates the candidate list with the [`CANDIDATE_LIST`] most
+    /// negative nonbasic columns, re-sorted into ascending column order so
+    /// the partial iterations that follow keep the tie rule.
+    fn price_full(&mut self, costs: &[f64], limit: usize, use_bland: bool) -> Option<usize> {
+        let m = self.form.num_rows();
+        self.reduced[..limit].copy_from_slice(&costs[..limit]);
+        for r in 0..m {
+            let yr = self.y[r];
+            if yr != 0.0 {
+                let (cols, vals) = self.form.matrix.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    if c < limit {
+                        self.reduced[c] -= yr * v;
+                    }
+                }
+            }
+        }
+        self.cand.clear();
+        self.minor = 0;
+        let mut entering: Option<usize> = None;
+        let mut best = -EPS;
+        for c in 0..limit {
+            if self.is_basic[c] {
+                continue;
+            }
+            let d = self.reduced[c];
+            if d < -EPS {
+                if use_bland {
+                    return Some(c);
+                }
+                if d < best {
+                    best = d;
+                    entering = Some(c);
+                }
+                self.cand.push(c);
+            }
+        }
+        if self.cand.len() > CANDIDATE_LIST {
+            let reduced = &self.reduced;
+            self.cand.select_nth_unstable_by(CANDIDATE_LIST - 1, |&a, &b| {
+                reduced[a]
+                    .partial_cmp(&reduced[b])
+                    .expect("reduced costs are finite")
+                    .then(a.cmp(&b))
+            });
+            self.cand.truncate(CANDIDATE_LIST);
+            self.cand.sort_unstable();
+        }
+        entering
+    }
+
+    /// Partial pricing: exact reduced costs for the candidate list only (one
+    /// sparse column dot against the current multipliers per candidate).
+    /// Entries that went basic or non-negative are pruned in place; returns
+    /// the most negative survivor (the list is in ascending column order, so
+    /// ties resolve to the lowest index exactly like the full sweep), or
+    /// `None` when the list runs dry and a full sweep is due.
+    fn price_candidates(&mut self, costs: &[f64], limit: usize) -> Option<usize> {
+        self.minor += 1;
+        let mut entering: Option<usize> = None;
+        let mut best = -EPS;
+        let mut keep = 0usize;
+        for i in 0..self.cand.len() {
+            let c = self.cand[i];
+            if c >= limit || self.is_basic[c] {
+                continue;
+            }
+            let d = costs[c] - self.form.view.column_dot(&self.form.matrix, c, &self.y);
+            if d < -EPS {
+                self.cand[keep] = c;
+                keep += 1;
+                if d < best {
+                    best = d;
+                    entering = Some(c);
+                }
+            }
+        }
+        self.cand.truncate(keep);
+        entering
     }
 
     /// Applies the basis change `entering ↔ basis[leaving]` with step `t`,
@@ -1040,6 +1143,22 @@ pub fn solve_with_basis(
     solve_on_form(lp, &form, warm)
 }
 
+/// Test hook: like [`solve_with_basis`] but with partial pricing disabled, so
+/// every iteration runs the full Dantzig sweep.  The crate's proptests pin
+/// the partial-pricing solver against this reference path: same statuses,
+/// objectives within tolerance, warm and cold.
+#[cfg(test)]
+pub(crate) fn solve_with_basis_full_pricing(
+    lp: &LinearProgram,
+    warm: Option<&Basis>,
+) -> Result<(Solution, Basis), LpError> {
+    if lp.num_vars() == 0 {
+        return Err(LpError::Empty);
+    }
+    let form = StandardForm::build(lp);
+    solve_on_form_with_pricing(lp, &form, warm, false)
+}
+
 /// Runs the two-phase (or warm-started) revised simplex on an already-built
 /// standard form whose values must mirror `lp` (the template path, which
 /// rewrites coefficients in place instead of rebuilding the form per solve).
@@ -1047,6 +1166,18 @@ pub(crate) fn solve_on_form(
     lp: &LinearProgram,
     form: &StandardForm,
     warm: Option<&Basis>,
+) -> Result<(Solution, Basis), LpError> {
+    solve_on_form_with_pricing(lp, form, warm, true)
+}
+
+/// [`solve_on_form`] with an explicit pricing strategy (`partial_pricing:
+/// false` forces the full sweep on every iteration; see
+/// [`solve_with_basis_full_pricing`]).
+fn solve_on_form_with_pricing(
+    lp: &LinearProgram,
+    form: &StandardForm,
+    warm: Option<&Basis>,
+    partial_pricing: bool,
 ) -> Result<(Solution, Basis), LpError> {
     let max_iterations = (50 * (form.num_rows() + form.total_cols)).max(1000);
     let costs = phase2_costs(lp, form);
@@ -1056,6 +1187,7 @@ pub(crate) fn solve_on_form(
 
     if let Some(warm_basis) = warm {
         if let Some(mut simplex) = Simplex::warm(form, warm_basis) {
+            simplex.partial_pricing = partial_pricing;
             // The seed is usually primal infeasible after a value swap; dual
             // pivots repair it (replacing phase 1).  Any trouble — repair
             // gives up, iteration trouble, numerics — falls back to cold.
@@ -1095,6 +1227,7 @@ pub(crate) fn solve_on_form(
     // infeasibility verdict.
     if form.total_cols > form.art_start {
         if let Some(mut simplex) = Simplex::crash(form) {
+            simplex.partial_pricing = partial_pricing;
             // Gated repair: the lift usually clears every violated row, so a
             // crash point that is still widely infeasible (e.g. binding
             // sensitivity-bound rows the min-max variable cannot lift) is
@@ -1126,15 +1259,24 @@ pub(crate) fn solve_on_form(
     }
 
     let mut simplex = Simplex::cold(form);
+    simplex.partial_pricing = partial_pricing;
     // ---- Phase 1: minimize the sum of the artificial variables. ----
     if form.total_cols > form.art_start {
         let mut phase1_costs = vec![0.0; form.total_cols];
         for c in form.art_start..form.total_cols {
             phase1_costs[c] = 1.0;
         }
+        // Phase 1 always prices fully.  Its cost vector (the artificial sum)
+        // is massively degenerate — most reduced costs tie — and a candidate
+        // list built from one sweep keeps steering into near-zero-progress
+        // pivots: on the desensitization LPs (`≥` rows force a real phase 1)
+        // partial pricing was measured to inflate phase-1 pivots ~6×, dwarfing
+        // the per-iteration sweep savings.  Phase 2 re-enables the list.
+        simplex.partial_pricing = false;
         let mut pivots = 0usize;
         let outcome =
             simplex.optimize(&phase1_costs, form.total_cols, max_iterations, &mut pivots)?;
+        simplex.partial_pricing = partial_pricing;
         simplex.stats.phase1_iterations = pivots;
         if matches!(outcome, Outcome::Unbounded) {
             // Phase 1 is bounded below by zero; unbounded means breakdown.

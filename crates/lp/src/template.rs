@@ -17,10 +17,25 @@
 //! it had at construction (the sign decides the slack/artificial layout).
 //! Warm starting never changes results — an unusable basis silently falls
 //! back to a cold solve (`stats.warm_started` reports which path ran).
+//!
+//! Beyond the previous optimum, the template keeps a small **basis pool**: the
+//! last [`BASIS_POOL`] optimal bases, each keyed by the mutable program data
+//! (coefficient values and right-hand sides) it was optimal for.  Each solve
+//! seeds from the pool entry closest (L1) to the current data.  Traffic is not
+//! a random walk — matrices recur (diurnal cycles, periodic batch jobs, A/B
+//! flips between a few regimes) — and a seed from a *similar* snapshot is
+//! dramatically cheaper than one from merely the *latest* snapshot: a
+//! revisited regime re-solves in zero pivots where the drifted previous basis
+//! would be rejected and trigger a full cold solve.
 
 use crate::problem::LinearProgram;
 use crate::revised::{solve_on_form, Basis, StandardForm};
 use crate::solution::{LpError, Solution};
+
+/// Number of recent optima kept for seed selection (see the module docs).
+/// Sized to cover a handful of traffic regimes; the per-solve selection scan
+/// costs `BASIS_POOL × nnz` flops, microseconds against a millisecond solve.
+const BASIS_POOL: usize = 8;
 
 /// A stable handle to one constraint coefficient of a template, resolved once
 /// via [`LpTemplate::coefficient`] and then valid for the template's lifetime.
@@ -41,6 +56,9 @@ pub struct LpTemplate {
     lp: LinearProgram,
     form: StandardForm,
     basis: Option<Basis>,
+    /// Recent optima, oldest first, keyed by the mutable program data
+    /// (standard-form coefficient values ++ RHS) each was optimal for.
+    pool: Vec<(Vec<f64>, Basis)>,
 }
 
 impl LpTemplate {
@@ -60,7 +78,7 @@ impl LpTemplate {
             );
         }
         let form = StandardForm::build(&lp);
-        LpTemplate { lp, form, basis: None }
+        LpTemplate { lp, form, basis: None, pool: Vec::new() }
     }
 
     /// The handle of the coefficient of `var` in constraint `row`, if that
@@ -92,18 +110,61 @@ impl LpTemplate {
         self.form.rhs[row] = if flipped { -value } else { value };
     }
 
-    /// Solves the template's current program, seeding from the previous
-    /// solve's optimal basis when one is available.  On success the final
-    /// basis is stored as the seed for the next solve.
+    /// Solves the template's current program, seeding from the stored basis
+    /// closest to the current program data (falling back to the previous
+    /// solve's basis, then cold).  On success the final basis joins the pool
+    /// and becomes the default seed for the next solve.
     pub fn solve(&mut self) -> Result<Solution, LpError> {
-        let (solution, basis) = solve_on_form(&self.lp, &self.form, self.basis.as_ref())?;
-        self.basis = Some(basis);
+        let signature = self.signature();
+        let seed = self.closest_basis(&signature).or(self.basis.as_ref());
+        let (solution, basis) = solve_on_form(&self.lp, &self.form, seed)?;
+        self.basis = Some(basis.clone());
+        self.remember(signature, basis);
         Ok(solution)
     }
 
-    /// Drops the stored basis, forcing the next solve to run cold.
+    /// The mutable program data as one flat vector: every standard-form
+    /// coefficient value followed by the RHS.  Static entries ride along
+    /// (they contribute zero to any distance) to keep the key maintenance-free.
+    fn signature(&self) -> Vec<f64> {
+        let values = self.form.matrix.values();
+        let mut sig = Vec::with_capacity(values.len() + self.form.rhs.len());
+        sig.extend_from_slice(values);
+        sig.extend_from_slice(&self.form.rhs);
+        sig
+    }
+
+    /// The pool basis whose signature is L1-closest to `signature`, oldest
+    /// entry winning ties.
+    fn closest_basis(&self, signature: &[f64]) -> Option<&Basis> {
+        let mut best: Option<(f64, &Basis)> = None;
+        for (key, basis) in &self.pool {
+            let dist: f64 = key.iter().zip(signature).map(|(a, b)| (a - b).abs()).sum();
+            if best.as_ref().is_none_or(|&(d, _)| dist < d) {
+                best = Some((dist, basis));
+            }
+        }
+        best.map(|(_, b)| b)
+    }
+
+    /// Inserts an optimum into the pool, replacing any entry with identical
+    /// program data (the fresh basis supersedes it) and evicting the oldest
+    /// entry beyond [`BASIS_POOL`].
+    fn remember(&mut self, signature: Vec<f64>, basis: Basis) {
+        if let Some(pos) = self.pool.iter().position(|(key, _)| key == &signature) {
+            self.pool.remove(pos);
+        }
+        self.pool.push((signature, basis));
+        if self.pool.len() > BASIS_POOL {
+            self.pool.remove(0);
+        }
+    }
+
+    /// Drops the stored basis and the pool, forcing the next solve to run
+    /// cold.
     pub fn clear_basis(&mut self) {
         self.basis = None;
+        self.pool.clear();
     }
 
     /// Whether the next solve will attempt a warm start.
@@ -179,6 +240,25 @@ mod tests {
         let sol = template.solve().unwrap();
         assert!(!sol.stats.warm_started);
         assert_close(sol.objective_value, 1.0);
+    }
+
+    #[test]
+    fn revisited_program_data_reuses_its_own_basis() {
+        // Alternate between two demand regimes whose optimal bases differ;
+        // the pool must seed a revisit from the regime's *own* basis, making
+        // the re-solve pivot-free even though the latest basis is the other
+        // regime's.
+        let (mut template, h1, _) = toy_template();
+        let first = template.solve().unwrap();
+        assert_close(first.objective_value, 1.0);
+        template.set_coefficient(h1, 4.0); // other regime, different optimum
+        let second = template.solve().unwrap();
+        assert!(second.objective_value > first.objective_value);
+        template.set_coefficient(h1, 1.0); // back to the first regime
+        let third = template.solve().unwrap();
+        assert_close(third.objective_value, first.objective_value);
+        assert!(third.stats.warm_started, "revisit must warm start");
+        assert_eq!(third.stats.iterations, 0, "the regime's own basis is already optimal");
     }
 
     #[test]

@@ -30,11 +30,13 @@
 pub mod graph;
 pub mod layers;
 pub mod optim;
+pub mod plan;
 pub mod tensor;
 
 pub use graph::{Graph, SparseMatrix, Var};
 pub use layers::{Mlp, MlpConfig, OutputActivation};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
+pub use plan::InferencePlan;
 pub use tensor::Tensor;
 
 #[cfg(test)]

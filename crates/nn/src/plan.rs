@@ -1,0 +1,385 @@
+//! A compiled, allocation-free f32 inference plan.
+//!
+//! Training and reference inference walk the autograd tape ([`crate::graph`]):
+//! every op clones tensors, pushes nodes and touches `Arc`-shared constants.
+//! That is the right shape for backpropagation and exactly the wrong shape
+//! for a serving hot path that wants one forward pass per control-loop tick.
+//!
+//! [`InferencePlan`] is the serving artifact compiled *once* from a trained
+//! MLP: weights quantized to `f32`, ping-pong activation buffers pre-sized to
+//! the widest layer, and the forward pass expressed as a flat sequence of
+//! chunked kernels over `[f32]` slices (affine, ReLU/sigmoid, per-segment
+//! normalization).  [`InferencePlan::forward`] performs **no allocation** and
+//! touches **no reference counts**; the fixed-width chunking
+//! ([`LANES`]-wide, via `chunks_exact`) keeps the inner loops trivially
+//! autovectorizable.
+//!
+//! The f64 tape remains the reference implementation: a property test pins
+//! the plan to the graph forward within 1e-4 relative error
+//! (`tests/plan_matches_graph.rs`).
+
+use std::ops::Range;
+
+use crate::graph::Graph;
+use crate::layers::{Mlp, OutputActivation};
+
+/// Fixed chunk width of the inner kernels.  Eight `f32` lanes fill one
+/// 256-bit vector register; the compiler unrolls the `chunks_exact` bodies
+/// into packed operations without any explicit SIMD types.
+const LANES: usize = 8;
+
+/// One dense layer of the compiled plan: `y = act(Wᵀx + b)` in `f32`, with
+/// the weight stored in the layout its kernel wants.  Wide layers (`out_dim ≥
+/// in_dim`) keep the tape's row-major `in_dim × out_dim` layout and run the
+/// rank-1 axpy kernel (contiguous output rows, zero inputs skipped); narrow
+/// layers (`out_dim < in_dim`, e.g. the first layer collapsing a whole
+/// feature window onto a few hidden units) store the transpose (`out_dim ×
+/// in_dim`) and run one long contiguous dot product per output — the axpy
+/// orientation would pay its per-input loop overhead on a tiny row.
+#[derive(Debug, Clone)]
+struct PlanLayer {
+    out_dim: usize,
+    /// `true`: `weight` is transposed (`out_dim × in_dim`) for the dot
+    /// kernel; `false`: row-major (`in_dim × out_dim`) for the axpy kernel.
+    transposed: bool,
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+/// A trained MLP compiled into a flat, allocation-free f32 forward pass; see
+/// the module docs.
+#[derive(Debug, Clone)]
+pub struct InferencePlan {
+    input_dim: usize,
+    output_dim: usize,
+    layers: Vec<PlanLayer>,
+    output_activation: OutputActivation,
+    segments: Vec<Range<usize>>,
+    /// Reciprocal of the feature scale, folded into the input load.
+    inv_input_scale: f32,
+    /// Ping-pong activation buffers, sized to the widest layer.
+    buf_a: Vec<f32>,
+    buf_b: Vec<f32>,
+}
+
+impl InferencePlan {
+    /// Compiles a plan from an MLP whose parameters live on `graph`.
+    ///
+    /// `segments` are the per-pair output ranges normalized after the final
+    /// activation (pass an empty vec to skip normalization); raw `f64` inputs
+    /// are multiplied by `1 / input_scale` while being quantized, mirroring
+    /// the feature scaling of the reference path.
+    pub fn compile(
+        graph: &Graph,
+        mlp: &Mlp,
+        segments: Vec<Range<usize>>,
+        input_scale: f64,
+    ) -> InferencePlan {
+        assert!(input_scale > 0.0, "the input scale must be positive");
+        let params = mlp.parameters();
+        debug_assert_eq!(params.len() % 2, 0, "parameters come in (weight, bias) pairs");
+        let mut layers = Vec::with_capacity(params.len() / 2);
+        let mut max_width = mlp.config().input_dim;
+        let mut in_dim = mlp.config().input_dim;
+        for pair in params.chunks_exact(2) {
+            let weight = graph.value(pair[0]);
+            let bias = graph.value(pair[1]);
+            assert_eq!(bias.rows(), 1, "biases are row vectors");
+            assert_eq!(weight.cols(), bias.cols(), "weight/bias widths must agree");
+            assert_eq!(weight.rows(), in_dim, "layer widths must chain");
+            let out_dim = weight.cols();
+            max_width = max_width.max(out_dim);
+            let transposed = out_dim < in_dim;
+            let data = weight.data();
+            let quantized: Vec<f32> = if transposed {
+                let mut t = vec![0.0f32; data.len()];
+                for k in 0..in_dim {
+                    for j in 0..out_dim {
+                        t[j * in_dim + k] = data[k * out_dim + j] as f32;
+                    }
+                }
+                t
+            } else {
+                data.iter().map(|&v| v as f32).collect()
+            };
+            layers.push(PlanLayer {
+                out_dim,
+                transposed,
+                weight: quantized,
+                bias: bias.data().iter().map(|&v| v as f32).collect(),
+            });
+            in_dim = out_dim;
+        }
+        let output_dim = layers.last().expect("an MLP has at least one layer").out_dim;
+        for seg in &segments {
+            assert!(seg.end <= output_dim, "segments must index the output row");
+        }
+        InferencePlan {
+            input_dim: mlp.config().input_dim,
+            output_dim,
+            layers,
+            output_activation: mlp.config().output_activation,
+            segments,
+            inv_input_scale: (1.0 / input_scale) as f32,
+            buf_a: vec![0.0; max_width],
+            buf_b: vec![0.0; max_width],
+        }
+    }
+
+    /// Input width the plan expects.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output width the plan produces.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Number of quantized scalars held by the plan.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.weight.len() + l.bias.len()).sum()
+    }
+
+    /// Runs the compiled forward pass: scales and quantizes `features`, walks
+    /// the flat kernel sequence and writes the (segment-normalized) outputs
+    /// into `out`.  No allocation; `&mut self` only touches the pre-sized
+    /// scratch buffers.
+    pub fn forward(&mut self, features: &[f64], out: &mut [f64]) {
+        assert_eq!(features.len(), self.input_dim, "input width must match the plan");
+        assert_eq!(out.len(), self.output_dim, "output width must match the plan");
+        let scale = self.inv_input_scale;
+        for (dst, &src) in self.buf_a[..self.input_dim].iter_mut().zip(features) {
+            *dst = src as f32 * scale;
+        }
+        let mut in_dim = self.input_dim;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let x = &self.buf_a[..in_dim];
+            let y = &mut self.buf_b[..layer.out_dim];
+            if layer.transposed {
+                affine_dot(x, &layer.weight, &layer.bias, y);
+            } else {
+                affine(x, &layer.weight, &layer.bias, y);
+            }
+            if i < last {
+                relu(y);
+            } else {
+                match self.output_activation {
+                    OutputActivation::Sigmoid => sigmoid(y),
+                    OutputActivation::Relu => relu(y),
+                    OutputActivation::Linear => {}
+                }
+            }
+            std::mem::swap(&mut self.buf_a, &mut self.buf_b);
+            in_dim = layer.out_dim;
+        }
+        let result = &mut self.buf_a[..self.output_dim];
+        segment_normalize(result, &self.segments);
+        for (dst, &src) in out.iter_mut().zip(result.iter()) {
+            *dst = src as f64;
+        }
+    }
+}
+
+/// `y = Wᵀx + b` for a row-major `in_dim × out_dim` weight: one rank-1
+/// update (`y += x_k · W[k, :]`) per input element, each a contiguous
+/// chunked axpy over the output row.  Skips zero inputs — ReLU activations
+/// make those common.
+fn affine(x: &[f32], weight: &[f32], bias: &[f32], y: &mut [f32]) {
+    let out_dim = y.len();
+    debug_assert_eq!(weight.len(), x.len() * out_dim);
+    y.copy_from_slice(bias);
+    for (k, &xk) in x.iter().enumerate() {
+        if xk == 0.0 {
+            continue;
+        }
+        let row = &weight[k * out_dim..(k + 1) * out_dim];
+        let (y_chunks, y_tail) = y.split_at_mut(out_dim - out_dim % LANES);
+        let (r_chunks, r_tail) = row.split_at(y_chunks.len());
+        for (yc, rc) in y_chunks.chunks_exact_mut(LANES).zip(r_chunks.chunks_exact(LANES)) {
+            for (yv, rv) in yc.iter_mut().zip(rc) {
+                *yv += xk * rv;
+            }
+        }
+        for (yv, rv) in y_tail.iter_mut().zip(r_tail) {
+            *yv += xk * rv;
+        }
+    }
+}
+
+/// `y = Wᵀx + b` for a *transposed* (`out_dim × in_dim`) weight: one long
+/// contiguous dot product per output element, accumulated across [`LANES`]
+/// independent partial sums so the reduction vectorizes.  The layout of
+/// choice when the layer is much narrower than its input.
+fn affine_dot(x: &[f32], weight: &[f32], bias: &[f32], y: &mut [f32]) {
+    let in_dim = x.len();
+    debug_assert_eq!(weight.len(), in_dim * y.len());
+    let (x_chunks, x_tail) = x.split_at(in_dim - in_dim % LANES);
+    for (j, (yv, &b)) in y.iter_mut().zip(bias).enumerate() {
+        let row = &weight[j * in_dim..(j + 1) * in_dim];
+        let (r_chunks, r_tail) = row.split_at(x_chunks.len());
+        let mut acc = [0.0f32; LANES];
+        for (xc, rc) in x_chunks.chunks_exact(LANES).zip(r_chunks.chunks_exact(LANES)) {
+            for ((a, &xv), &rv) in acc.iter_mut().zip(xc).zip(rc) {
+                *a += xv * rv;
+            }
+        }
+        let mut sum: f32 = acc.iter().sum();
+        for (&xv, &rv) in x_tail.iter().zip(r_tail) {
+            sum += xv * rv;
+        }
+        *yv = b + sum;
+    }
+}
+
+/// In-place ReLU.
+fn relu(y: &mut [f32]) {
+    for v in y {
+        *v = v.max(0.0);
+    }
+}
+
+/// In-place logistic sigmoid.
+fn sigmoid(y: &mut [f32]) {
+    for v in y {
+        *v = 1.0 / (1.0 + (-*v).exp());
+    }
+}
+
+/// In-place per-segment normalization with the reference semantics of
+/// [`Graph::segment_normalize`]: each segment is scaled to sum to one, and an
+/// all-zero segment becomes the uniform distribution over its entries.
+fn segment_normalize(y: &mut [f32], segments: &[Range<usize>]) {
+    for seg in segments {
+        let slice = &mut y[seg.clone()];
+        let sum: f32 = slice.iter().sum();
+        if sum > 0.0 {
+            let inv = 1.0 / sum;
+            for v in slice {
+                *v *= inv;
+            }
+        } else {
+            let uniform = 1.0 / slice.len().max(1) as f32;
+            for v in slice {
+                *v = uniform;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::MlpConfig;
+    use crate::tensor::Tensor;
+
+    fn build(
+        input_dim: usize,
+        hidden: Vec<usize>,
+        output_dim: usize,
+        activation: OutputActivation,
+    ) -> (Graph, Mlp) {
+        let mut g = Graph::new();
+        let mlp = Mlp::new(
+            &mut g,
+            MlpConfig { input_dim, hidden, output_dim, output_activation: activation, seed: 11 },
+        );
+        g.seal();
+        (g, mlp)
+    }
+
+    fn graph_forward(g: &mut Graph, mlp: &Mlp, x: &[f64], segments: &[Range<usize>]) -> Vec<f64> {
+        g.reset();
+        let input = g.input(Tensor::row(x));
+        let raw = mlp.forward(g, input);
+        let out = if segments.is_empty() {
+            raw
+        } else {
+            g.segment_normalize(raw, std::sync::Arc::new(segments.to_vec()))
+        };
+        g.value(out).data().to_vec()
+    }
+
+    #[test]
+    fn plan_matches_graph_on_a_small_mlp() {
+        let (mut g, mlp) = build(5, vec![9, 7], 6, OutputActivation::Sigmoid);
+        let segments = vec![0..3, 3..6];
+        let mut plan = InferencePlan::compile(&g, &mlp, segments.clone(), 2.0);
+        assert_eq!(plan.input_dim(), 5);
+        assert_eq!(plan.output_dim(), 6);
+        assert_eq!(plan.num_parameters(), 5 * 9 + 9 + 9 * 7 + 7 + 7 * 6 + 6);
+
+        let x = [1.0, -2.0, 0.5, 3.0, -0.25];
+        let scaled: Vec<f64> = x.iter().map(|v| v / 2.0).collect();
+        let reference = graph_forward(&mut g, &mlp, &scaled, &segments);
+        let mut out = vec![0.0; 6];
+        plan.forward(&x, &mut out);
+        for (p, r) in out.iter().zip(&reference) {
+            assert!((p - r).abs() <= 1e-4 * (1.0 + r.abs()), "plan {p} vs graph {r}");
+        }
+        // Normalized segments sum to one (up to f32 rounding).
+        for seg in &segments {
+            let sum: f64 = out[seg.clone()].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "segment sum {sum}");
+        }
+    }
+
+    #[test]
+    fn forward_is_repeatable_and_scratch_is_reset() {
+        let (g, mlp) = build(4, vec![8], 4, OutputActivation::Relu);
+        let mut plan = InferencePlan::compile(&g, &mlp, vec![0..2, 2..4], 1.0);
+        let x = [0.4, 0.0, -1.5, 2.0];
+        let mut a = vec![0.0; 4];
+        let mut b = vec![0.0; 4];
+        plan.forward(&x, &mut a);
+        plan.forward(&[9.0, 9.0, 9.0, 9.0], &mut b); // dirty the buffers
+        plan.forward(&x, &mut b);
+        assert_eq!(a, b, "repeated forwards must not depend on buffer history");
+    }
+
+    #[test]
+    fn all_zero_segment_falls_back_to_uniform() {
+        let mut y = [0.0f32, 0.0, 3.0, 1.0];
+        segment_normalize(&mut y, &[0..2, 2..4]);
+        assert_eq!(&y[..2], &[0.5, 0.5]);
+        assert!((y[2] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_orientation_matches_axpy_orientation() {
+        // in_dim = 19 exercises the dot kernel's lane accumulators and tail.
+        let in_dim = 19;
+        let out_dim = 3;
+        let x: Vec<f32> = (0..in_dim).map(|i| (i as f32 - 7.0) * 0.3).collect();
+        let weight: Vec<f32> = (0..in_dim * out_dim).map(|i| (i as f32).sin()).collect();
+        let mut transposed = vec![0.0f32; in_dim * out_dim];
+        for k in 0..in_dim {
+            for j in 0..out_dim {
+                transposed[j * in_dim + k] = weight[k * out_dim + j];
+            }
+        }
+        let bias = vec![0.25f32; out_dim];
+        let mut via_axpy = vec![0.0f32; out_dim];
+        let mut via_dot = vec![0.0f32; out_dim];
+        affine(&x, &weight, &bias, &mut via_axpy);
+        affine_dot(&x, &transposed, &bias, &mut via_dot);
+        for (a, d) in via_axpy.iter().zip(&via_dot) {
+            assert!((a - d).abs() < 1e-5, "axpy {a} vs dot {d}");
+        }
+    }
+
+    #[test]
+    fn affine_handles_tails_past_the_chunk_width() {
+        // out_dim = 11 exercises both the 8-lane chunks and the 3-wide tail.
+        let x = [2.0f32, -1.0];
+        let weight: Vec<f32> = (0..22).map(|i| i as f32 * 0.1).collect();
+        let bias = vec![1.0f32; 11];
+        let mut y = vec![0.0f32; 11];
+        affine(&x, &weight, &bias, &mut y);
+        for j in 0..11 {
+            let expect = 1.0 + 2.0 * weight[j] - weight[11 + j];
+            assert!((y[j] - expect).abs() < 1e-6, "col {j}: {} vs {expect}", y[j]);
+        }
+    }
+}

@@ -27,11 +27,9 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
-use figret::FigretModel;
+use figret::{FigretModel, InferencePlan};
 use figret_solvers::{MluTemplate, SeriesStats};
-use figret_te::{
-    max_link_utilization, max_link_utilization_pairs, split_ratio_churn, PathSet, TeConfig,
-};
+use figret_te::{max_link_utilization_pairs_scratch, split_ratio_churn, PathSet, TeConfig};
 use figret_traffic::DemandMatrix;
 
 use crate::log::{Action, DecisionSource, HoldReason, TickRecord};
@@ -49,12 +47,34 @@ pub struct StepOutcome {
     pub decision_seconds: f64,
 }
 
+/// Reusable per-step buffers: the steady-state decision loop allocates
+/// nothing — predictions, MLU edge loads, plan features/outputs and the
+/// candidate configuration all live here across ticks.
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Forecast demands, one per SD pair (`flatten_pairs` order).
+    predicted_pairs: Vec<f64>,
+    /// Realized demands, one per SD pair.
+    realized_pairs: Vec<f64>,
+    /// Edge-load buffer for the scratch MLU evaluator.
+    loads: Vec<f64>,
+    /// Flattened history window fed to the inference plan.
+    features: Vec<f64>,
+    /// Raw plan outputs (one per path) before ratio normalization.
+    raw: Vec<f64>,
+    /// Candidate configuration buffer; swapped with `deployed` on update.
+    candidate: TeConfig,
+}
+
 /// The online TE controller; see the module docs.
 pub struct ServeController {
     paths: PathSet,
     window: usize,
     predictor: Box<dyn OnlinePredictor>,
     model: Option<FigretModel>,
+    /// Compiled f32 hot path for the learned candidate; `None` serves the
+    /// f64 reference graph.  See [`ServeController::enable_inference_plan`].
+    plan: Option<InferencePlan>,
     template: MluTemplate,
     policy: ReconfigPolicy,
     deployed: TeConfig,
@@ -65,6 +85,7 @@ pub struct ServeController {
     decisions: usize,
     tick: usize,
     lp_stats: SeriesStats,
+    scratch: StepScratch,
 }
 
 impl std::fmt::Debug for ServeController {
@@ -118,6 +139,7 @@ impl ServeController {
             window,
             predictor,
             model,
+            plan: None,
             template: MluTemplate::new(paths),
             policy,
             deployed: TeConfig::uniform(paths),
@@ -128,7 +150,27 @@ impl ServeController {
             decisions: 0,
             tick: 0,
             lp_stats: SeriesStats::default(),
+            scratch: StepScratch::default(),
         }
+    }
+
+    /// Compiles the learned model into the allocation-free f32
+    /// [`InferencePlan`] and serves it on every subsequent model decision.
+    /// The f64 graph stays available as the reference path (and keeps
+    /// handling training-time concerns); the plan snapshots the weights at
+    /// the moment of this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an LP-only controller (nothing to compile).
+    pub fn enable_inference_plan(&mut self) {
+        let model = self.model.as_ref().expect("the inference plan requires a learned controller");
+        self.plan = Some(model.compile_plan());
+    }
+
+    /// Whether model decisions go through the compiled f32 plan.
+    pub fn plan_enabled(&self) -> bool {
+        self.plan.is_some()
     }
 
     /// Ingests a demand without a decision tick (controller warmup: feed the
@@ -143,6 +185,9 @@ impl ServeController {
     /// production control loop operating on stale telemetry.
     pub fn step(&mut self, realized: &DemandMatrix) -> StepOutcome {
         let start = Instant::now();
+        // Detach the scratch arena from `self` for the duration of the step
+        // so its buffers can be borrowed alongside the other fields.
+        let mut scratch = std::mem::take(&mut self.scratch);
         let tick = self.tick;
         let mut action = Action::Warmup;
         let mut source = None;
@@ -151,16 +196,22 @@ impl ServeController {
         let mut churn = 0.0;
 
         if self.history.len() >= self.window {
-            let predicted = self
-                .predictor
-                .predict()
-                .expect("a filled history window implies at least one observation");
-            let predicted_pairs = predicted.flatten_pairs();
-            let (candidate, src) = self.candidate(&predicted_pairs);
-            let deployed_mlu =
-                max_link_utilization_pairs(&self.paths, &self.deployed, &predicted_pairs);
-            let candidate_mlu =
-                max_link_utilization_pairs(&self.paths, &candidate, &predicted_pairs);
+            scratch.predicted_pairs.resize(self.paths.num_pairs(), 0.0);
+            let have = self.predictor.predict_pairs_into(&mut scratch.predicted_pairs);
+            assert!(have, "a filled history window implies at least one observation");
+            let src = self.candidate_into(&mut scratch);
+            let deployed_mlu = max_link_utilization_pairs_scratch(
+                &self.paths,
+                &self.deployed,
+                &scratch.predicted_pairs,
+                &mut scratch.loads,
+            );
+            let candidate_mlu = max_link_utilization_pairs_scratch(
+                &self.paths,
+                &scratch.candidate,
+                &scratch.predicted_pairs,
+                &mut scratch.loads,
+            );
             source = Some(src);
             predicted_mlu_deployed = Some(deployed_mlu);
             predicted_mlu_candidate = Some(candidate_mlu);
@@ -171,8 +222,10 @@ impl ServeController {
             } else if !self.budget_allows(tick) {
                 action = Action::Hold(HoldReason::BudgetExhausted);
             } else {
-                churn = split_ratio_churn(&self.deployed, &candidate);
-                self.deployed = candidate;
+                churn = split_ratio_churn(&self.deployed, &scratch.candidate);
+                // Deploy by swapping buffers: the old deployed config becomes
+                // the next tick's candidate scratch.
+                std::mem::swap(&mut self.deployed, &mut scratch.candidate);
                 if self.policy.budget.is_some() {
                     // Only budgeted controllers track update history; an
                     // unbudgeted one would otherwise grow this deque forever
@@ -186,7 +239,15 @@ impl ServeController {
         let decision_seconds = start.elapsed().as_secs_f64();
 
         self.ingest(realized);
-        let realized_mlu = max_link_utilization(&self.paths, &self.deployed, realized);
+        scratch.realized_pairs.resize(self.paths.num_pairs(), 0.0);
+        realized.flatten_pairs_into(&mut scratch.realized_pairs);
+        let realized_mlu = max_link_utilization_pairs_scratch(
+            &self.paths,
+            &self.deployed,
+            &scratch.realized_pairs,
+            &mut scratch.loads,
+        );
+        self.scratch = scratch;
         self.tick += 1;
         StepOutcome {
             record: TickRecord {
@@ -202,26 +263,34 @@ impl ServeController {
         }
     }
 
-    /// Computes the candidate configuration for the forecast demand and
+    /// Computes the candidate configuration for the forecast demand in
+    /// `scratch.predicted_pairs`, leaves it in `scratch.candidate` and
     /// applies the learned-mode audit/fallback logic.
-    fn candidate(&mut self, predicted_pairs: &[f64]) -> (TeConfig, DecisionSource) {
+    fn candidate_into(&mut self, scratch: &mut StepScratch) -> DecisionSource {
         let use_model = self.model.is_some() && !self.fell_back;
         if !use_model {
-            return (self.lp_candidate(predicted_pairs), DecisionSource::LpWarm);
+            scratch.candidate = self.lp_candidate(&scratch.predicted_pairs);
+            return DecisionSource::LpWarm;
         }
-        // Borrow the window in place (no per-tick clone of H matrices —
-        // this is inside the timed decision phase).
-        let history: &[DemandMatrix] = self.history.make_contiguous();
-        let model = self.model.as_mut().expect("checked above");
-        let candidate = model.predict(&self.paths, history);
+        self.model_candidate_into(scratch);
         let fb = self.policy.fallback;
         let audit = fb.audit_every > 0 && self.decisions.is_multiple_of(fb.audit_every);
         if !audit {
-            return (candidate, DecisionSource::Model);
+            return DecisionSource::Model;
         }
-        let lp_candidate = self.lp_candidate(predicted_pairs);
-        let model_mlu = max_link_utilization_pairs(&self.paths, &candidate, predicted_pairs);
-        let lp_mlu = max_link_utilization_pairs(&self.paths, &lp_candidate, predicted_pairs);
+        let lp_candidate = self.lp_candidate(&scratch.predicted_pairs);
+        let model_mlu = max_link_utilization_pairs_scratch(
+            &self.paths,
+            &scratch.candidate,
+            &scratch.predicted_pairs,
+            &mut scratch.loads,
+        );
+        let lp_mlu = max_link_utilization_pairs_scratch(
+            &self.paths,
+            &lp_candidate,
+            &scratch.predicted_pairs,
+            &mut scratch.loads,
+        );
         if model_mlu > fb.degradation * lp_mlu {
             self.degraded_streak += 1;
         } else {
@@ -231,9 +300,33 @@ impl ServeController {
             // The audit that trips the threshold already has the better LP
             // candidate in hand: serve it immediately and stay on the LP.
             self.fell_back = true;
-            (lp_candidate, DecisionSource::LpWarm)
+            scratch.candidate = lp_candidate;
+            DecisionSource::LpWarm
         } else {
-            (candidate, DecisionSource::Model)
+            DecisionSource::Model
+        }
+    }
+
+    /// Fills `scratch.candidate` with the model's configuration — through
+    /// the compiled f32 plan when enabled, else through the f64 reference
+    /// graph.  Both consume the same borrowed history window; neither clones
+    /// a demand matrix.
+    fn model_candidate_into(&mut self, scratch: &mut StepScratch) {
+        if let Some(plan) = self.plan.as_mut() {
+            let num_pairs = self.paths.num_pairs();
+            scratch.features.resize(self.window * num_pairs, 0.0);
+            for (i, m) in self.history.iter().enumerate() {
+                m.flatten_pairs_into(&mut scratch.features[i * num_pairs..(i + 1) * num_pairs]);
+            }
+            scratch.raw.resize(self.paths.num_paths(), 0.0);
+            plan.forward(&scratch.features, &mut scratch.raw);
+            scratch.candidate.assign_from_raw(&self.paths, &scratch.raw);
+        } else {
+            // Borrow the window in place (no per-tick clone of H matrices —
+            // this is inside the timed decision phase).
+            let history: &[DemandMatrix] = self.history.make_contiguous();
+            let model = self.model.as_mut().expect("learned mode checked by the caller");
+            scratch.candidate = model.predict(&self.paths, history);
         }
     }
 
@@ -264,9 +357,14 @@ impl ServeController {
 
     fn ingest(&mut self, demand: &DemandMatrix) {
         self.predictor.observe(demand);
-        self.history.push_back(demand.clone());
-        while self.history.len() > self.window {
-            self.history.pop_front();
+        if self.history.len() >= self.window {
+            // Steady state: recycle the evicted matrix's allocation instead
+            // of cloning the arrival.
+            let mut recycled = self.history.pop_front().expect("window length checked above");
+            recycled.copy_from(demand);
+            self.history.push_back(recycled);
+        } else {
+            self.history.push_back(demand.clone());
         }
     }
 
@@ -305,6 +403,7 @@ mod tests {
     use crate::predictor::{LastValue, PredictorKind};
     use figret::FigretConfig;
     use figret_solvers::{omniscient_config, SolverEngine};
+    use figret_te::max_link_utilization;
     use figret_topology::{Topology, TopologySpec};
     use figret_traffic::datacenter::{pod_trace, PodTrafficConfig};
     use figret_traffic::TrafficTrace;
@@ -398,9 +497,10 @@ mod tests {
         // An untrained model emits near-arbitrary configurations; with a
         // tight degradation bound and per-tick audits the controller must
         // abandon it quickly.
+        let zero_variances = vec![0.0; ps.num_pairs()];
         let model = FigretModel::new(
             &ps,
-            &vec![0.0; ps.num_pairs()],
+            &zero_variances,
             FigretConfig { history_window: 2, ..FigretConfig::fast_test() },
         );
         let policy = ReconfigPolicy {
@@ -419,6 +519,45 @@ mod tests {
                 Some(DecisionSource::LpWarm) => assert!(r.tick >= fb),
                 None => panic!("no warmup records expected"),
             }
+        }
+    }
+
+    #[test]
+    fn inference_plan_reproduces_graph_decisions() {
+        let (ps, trace) = pod_setup(24);
+        let zero_variances = vec![0.0; ps.num_pairs()];
+        let build = || {
+            FigretModel::new(
+                &ps,
+                &zero_variances,
+                FigretConfig { history_window: 2, ..FigretConfig::fast_test() },
+            )
+        };
+        let policy = ReconfigPolicy {
+            hysteresis: 0.05,
+            budget: Some(UpdateBudget::per_window(3, 8)),
+            fallback: FallbackPolicy::disabled(),
+        };
+        let mut graph_c =
+            ServeController::learned(&ps, build(), Box::new(LastValue::new()), policy.clone());
+        let mut plan_c = ServeController::learned(&ps, build(), Box::new(LastValue::new()), policy);
+        plan_c.enable_inference_plan();
+        assert!(plan_c.plan_enabled());
+        assert!(!graph_c.plan_enabled());
+        let graph_log = run(&mut graph_c, &trace, 2);
+        let plan_log = run(&mut plan_c, &trace, 2);
+        // Update/hold choices compare f64 MLUs of whole configurations, so
+        // the plan's sub-1e-4 output perturbations cannot flip them.
+        assert_eq!(graph_log.decision_digest(), plan_log.decision_digest());
+        // The realized MLUs differ only in the low bits.
+        for (g, p) in graph_log.records.iter().zip(&plan_log.records) {
+            assert!(
+                (g.realized_mlu - p.realized_mlu).abs() <= 1e-3 * (1.0 + g.realized_mlu),
+                "tick {}: graph {} vs plan {}",
+                g.tick,
+                g.realized_mlu,
+                p.realized_mlu
+            );
         }
     }
 

@@ -154,23 +154,57 @@ impl ServeLog {
         };
         for r in &self.records {
             eat(r.tick as u64);
-            eat(match r.action {
-                Action::Warmup => 0,
-                Action::Hold(HoldReason::BelowHysteresis) => 1,
-                Action::Hold(HoldReason::BudgetExhausted) => 2,
-                Action::Update => 3,
-            });
-            eat(match r.source {
-                None => 0,
-                Some(DecisionSource::Model) => 1,
-                Some(DecisionSource::LpWarm) => 2,
-            });
+            eat(Self::action_code(r.action));
+            eat(Self::source_code(r.source));
             eat(r.predicted_mlu_deployed.map(f64::to_bits).unwrap_or(0));
             eat(r.predicted_mlu_candidate.map(f64::to_bits).unwrap_or(0));
             eat(r.realized_mlu.to_bits());
             eat(r.churn.to_bits());
         }
         h
+    }
+
+    /// FNV-1a digest of the controller's *behavior* only: per tick, the
+    /// (tick, action, source) triple — which candidates were deployed, held
+    /// or audited into fallback, but no floating-point values.
+    ///
+    /// Policy decisions compare f64 MLU evaluations of whole configurations,
+    /// so they are robust to the f32 inference plan's sub-1e-4 output
+    /// perturbations: a plan run and a graph run of the same scenario must
+    /// produce *identical* decision digests even though their full
+    /// [`ServeLog::digest`]s differ in MLU low bits.  CI diffs this digest
+    /// between the two inference paths.
+    pub fn decision_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for r in &self.records {
+            eat(r.tick as u64);
+            eat(Self::action_code(r.action));
+            eat(Self::source_code(r.source));
+        }
+        h
+    }
+
+    fn action_code(action: Action) -> u64 {
+        match action {
+            Action::Warmup => 0,
+            Action::Hold(HoldReason::BelowHysteresis) => 1,
+            Action::Hold(HoldReason::BudgetExhausted) => 2,
+            Action::Update => 3,
+        }
+    }
+
+    fn source_code(source: Option<DecisionSource>) -> u64 {
+        match source {
+            None => 0,
+            Some(DecisionSource::Model) => 1,
+            Some(DecisionSource::LpWarm) => 2,
+        }
     }
 }
 
@@ -217,6 +251,24 @@ mod tests {
         c.push(record(0, Action::Update, 1.0 + 1e-15), 0.1);
         assert_ne!(a.digest(), c.digest());
         assert!(ServeLog::new().is_empty());
+    }
+
+    #[test]
+    fn decision_digest_ignores_floats_but_tracks_actions() {
+        let mut a = ServeLog::new();
+        a.push(record(0, Action::Update, 1.0), 0.1);
+        // Same action/source, different MLU/churn values: same decision
+        // digest, different full digest.
+        let mut b = ServeLog::new();
+        let mut r = record(0, Action::Update, 2.0);
+        r.realized_mlu = 0.9;
+        b.push(r, 0.1);
+        assert_eq!(a.decision_digest(), b.decision_digest());
+        assert_ne!(a.digest(), b.digest());
+        // A flipped decision changes the decision digest.
+        let mut c = ServeLog::new();
+        c.push(record(0, Action::Hold(HoldReason::BelowHysteresis), 0.0), 0.1);
+        assert_ne!(a.decision_digest(), c.decision_digest());
     }
 
     #[test]

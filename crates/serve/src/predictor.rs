@@ -21,6 +21,21 @@ pub trait OnlinePredictor: Send {
     /// Forecast for the next tick, or `None` before the first observation.
     fn predict(&self) -> Option<DemandMatrix>;
 
+    /// Writes the forecast's flattened pair demands into `out` (length
+    /// `num_pairs`, [`DemandMatrix::flatten_pairs`] order) and returns `true`,
+    /// or returns `false` before the first observation.  The controller's
+    /// hot path; implementations should not allocate.  The values must be
+    /// bit-identical to flattening [`OnlinePredictor::predict`].
+    fn predict_pairs_into(&self, out: &mut [f64]) -> bool {
+        match self.predict() {
+            Some(m) => {
+                m.flatten_pairs_into(out);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Display name used in reports.
     fn name(&self) -> &'static str;
 }
@@ -40,11 +55,24 @@ impl LastValue {
 
 impl OnlinePredictor for LastValue {
     fn observe(&mut self, demand: &DemandMatrix) {
-        self.last = Some(demand.clone());
+        match &mut self.last {
+            Some(m) => m.copy_from(demand),
+            None => self.last = Some(demand.clone()),
+        }
     }
 
     fn predict(&self) -> Option<DemandMatrix> {
         self.last.clone()
+    }
+
+    fn predict_pairs_into(&self, out: &mut [f64]) -> bool {
+        match &self.last {
+            Some(m) => {
+                m.flatten_pairs_into(out);
+                true
+            }
+            None => false,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -71,14 +99,25 @@ impl Ewma {
 
 impl OnlinePredictor for Ewma {
     fn observe(&mut self, demand: &DemandMatrix) {
-        self.state = Some(match &self.state {
-            None => demand.clone(),
-            Some(s) => s.scaled(1.0 - self.alpha).axpy(self.alpha, demand),
-        });
+        match &mut self.state {
+            None => self.state = Some(demand.clone()),
+            // Bit-identical to `scaled(1 - α)` + `axpy(α, ·)`, in place.
+            Some(s) => s.ewma_blend(self.alpha, demand),
+        }
     }
 
     fn predict(&self) -> Option<DemandMatrix> {
         self.state.clone()
+    }
+
+    fn predict_pairs_into(&self, out: &mut [f64]) -> bool {
+        match &self.state {
+            Some(m) => {
+                m.flatten_pairs_into(out);
+                true
+            }
+            None => false,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -104,10 +143,7 @@ impl SlidingMean {
 
 impl OnlinePredictor for SlidingMean {
     fn observe(&mut self, demand: &DemandMatrix) {
-        self.buffer.push_back(demand.clone());
-        if self.buffer.len() > self.window {
-            self.buffer.pop_front();
-        }
+        observe_window(&mut self.buffer, self.window, demand);
     }
 
     fn predict(&self) -> Option<DemandMatrix> {
@@ -117,6 +153,23 @@ impl OnlinePredictor for SlidingMean {
             acc = acc.axpy(1.0, m);
         }
         Some(acc.scaled(1.0 / self.buffer.len() as f64))
+    }
+
+    fn predict_pairs_into(&self, out: &mut [f64]) -> bool {
+        if self.buffer.is_empty() {
+            return false;
+        }
+        // Same per-element fold as `predict` (sum clamped at zero, then the
+        // scale clamped at zero), restricted to the off-diagonal pairs.
+        out.fill(0.0);
+        for m in &self.buffer {
+            m.accumulate_pairs_into(out);
+        }
+        let inv = 1.0 / self.buffer.len() as f64;
+        for v in out {
+            *v = (*v * inv).max(0.0);
+        }
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -142,10 +195,7 @@ impl SlidingMax {
 
 impl OnlinePredictor for SlidingMax {
     fn observe(&mut self, demand: &DemandMatrix) {
-        self.buffer.push_back(demand.clone());
-        if self.buffer.len() > self.window {
-            self.buffer.pop_front();
-        }
+        observe_window(&mut self.buffer, self.window, demand);
     }
 
     fn predict(&self) -> Option<DemandMatrix> {
@@ -157,8 +207,33 @@ impl OnlinePredictor for SlidingMax {
         Some(acc)
     }
 
+    fn predict_pairs_into(&self, out: &mut [f64]) -> bool {
+        let mut it = self.buffer.iter();
+        let Some(first) = it.next() else {
+            return false;
+        };
+        first.flatten_pairs_into(out);
+        for m in it {
+            m.max_pairs_into(out);
+        }
+        true
+    }
+
     fn name(&self) -> &'static str {
         "sliding-max"
+    }
+}
+
+/// Pushes `demand` into a bounded sliding window, recycling the evicted
+/// matrix's allocation once the window is full (the steady state allocates
+/// nothing).
+fn observe_window(buffer: &mut VecDeque<DemandMatrix>, window: usize, demand: &DemandMatrix) {
+    if buffer.len() >= window {
+        let mut recycled = buffer.pop_front().expect("window length checked above");
+        recycled.copy_from(demand);
+        buffer.push_back(recycled);
+    } else {
+        buffer.push_back(demand.clone());
     }
 }
 
@@ -277,6 +352,35 @@ mod tests {
         p.observe(&dm(&[1.0, 1.0]));
         p.observe(&dm(&[1.0, 2.0]));
         assert_eq!(p.predict().unwrap(), dm(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn predict_pairs_into_matches_the_allocating_predict() {
+        let history = vec![dm(&[1.0, 10.0]), dm(&[3.0, 6.0]), dm(&[2.0, 8.0]), dm(&[4.0, 2.0])];
+        let kinds = [
+            PredictorKind::LastValue,
+            PredictorKind::Ewma(0.3),
+            PredictorKind::SlidingMean(3),
+            PredictorKind::SlidingMax(3),
+        ];
+        for kind in kinds {
+            let mut p = kind.build();
+            let mut out = vec![0.0; 2];
+            assert!(!p.predict_pairs_into(&mut out), "{}: empty predictor must refuse", p.name());
+            for m in &history {
+                p.observe(m);
+                assert!(p.predict_pairs_into(&mut out));
+                let reference = p.predict().unwrap().flatten_pairs();
+                for (a, b) in out.iter().zip(&reference) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{}: hot path must be bit-identical",
+                        p.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

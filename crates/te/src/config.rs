@@ -16,6 +16,14 @@ pub struct TeConfig {
 /// Tolerance used when validating that split ratios sum to one.
 pub const RATIO_TOLERANCE: f64 = 1e-6;
 
+impl Default for TeConfig {
+    /// An empty configuration (no paths).  Useful as a reusable buffer for
+    /// [`TeConfig::assign_from_raw`]; not valid for any non-empty path set.
+    fn default() -> TeConfig {
+        TeConfig { ratios: Vec::new() }
+    }
+}
+
 impl TeConfig {
     /// A configuration that splits every pair's traffic uniformly over its
     /// candidate paths.
@@ -54,8 +62,18 @@ impl TeConfig {
     /// split, mirroring how the paper normalizes neural-network outputs (§6,
     /// "enforced by normalizing the outputs").  Negative inputs are clamped.
     pub fn from_raw(paths: &PathSet, raw: &[f64]) -> TeConfig {
+        let mut config = TeConfig::default();
+        config.assign_from_raw(paths, raw);
+        config
+    }
+
+    /// In-place [`TeConfig::from_raw`]: identical arithmetic, but reuses this
+    /// configuration's ratio buffer instead of allocating a new one (the
+    /// serving hot path calls this once per decision).
+    pub fn assign_from_raw(&mut self, paths: &PathSet, raw: &[f64]) {
         assert_eq!(raw.len(), paths.num_paths(), "one ratio per path is required");
-        let mut ratios = vec![0.0; paths.num_paths()];
+        self.ratios.clear();
+        self.ratios.resize(paths.num_paths(), 0.0);
         for pair in 0..paths.num_pairs() {
             let range = paths.paths_of_pair(pair);
             let n = range.len();
@@ -65,15 +83,14 @@ impl TeConfig {
             let sum: f64 = range.clone().map(|pi| raw[pi].max(0.0)).sum();
             if sum > 0.0 {
                 for pi in range {
-                    ratios[pi] = raw[pi].max(0.0) / sum;
+                    self.ratios[pi] = raw[pi].max(0.0) / sum;
                 }
             } else {
                 for pi in range {
-                    ratios[pi] = 1.0 / n as f64;
+                    self.ratios[pi] = 1.0 / n as f64;
                 }
             }
         }
-        TeConfig { ratios }
     }
 
     /// Builds a configuration from ratios that are already normalized.

@@ -75,6 +75,12 @@ impl DiffTe {
         self.num_paths
     }
 
+    /// The per-pair path index ranges (the normalization segments), in pair
+    /// order.
+    pub fn segments(&self) -> &[std::ops::Range<usize>] {
+        &self.segments
+    }
+
     /// Turns raw (unbounded) per-path weights into split ratios:
     /// `ratios = segment_normalize(sigmoid(raw))`.
     pub fn ratios_from_raw(&self, graph: &mut Graph, raw: Var) -> Var {

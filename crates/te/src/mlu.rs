@@ -56,6 +56,32 @@ pub fn max_link_utilization(paths: &PathSet, config: &TeConfig, demand: &DemandM
     max_link_utilization_pairs(paths, config, &demand.flatten_pairs())
 }
 
+/// [`max_link_utilization_pairs`] with a caller-provided edge-load scratch
+/// buffer (resized as needed).  Flows are accumulated in the same path order
+/// and utilizations folded in the same edge order as the allocating pipeline,
+/// so the result is bit-identical — only the per-call `Vec` allocations are
+/// gone.  This is the serving hot path's MLU evaluator.
+pub fn max_link_utilization_pairs_scratch(
+    paths: &PathSet,
+    config: &TeConfig,
+    demand_pairs: &[f64],
+    loads: &mut Vec<f64>,
+) -> f64 {
+    assert_eq!(demand_pairs.len(), paths.num_pairs(), "one demand per SD pair is required");
+    loads.clear();
+    loads.resize(paths.num_edges(), 0.0);
+    for pi in 0..paths.num_paths() {
+        let f = demand_pairs[paths.pair_of_path(pi)] * config.ratio(pi);
+        if f == 0.0 {
+            continue;
+        }
+        for &e in paths.path_edges(pi) {
+            loads[e] += f;
+        }
+    }
+    loads.iter().zip(paths.edge_capacities()).map(|(l, c)| l / c).fold(0.0, f64::max)
+}
+
 /// The edge achieving the maximum utilization, with its utilization.
 /// Returns `None` when the path set has no edges.
 pub fn bottleneck_edge(
@@ -191,6 +217,21 @@ mod tests {
             let naive = max_link_utilization_naive(&ps, &cfg, m);
             assert!((fast - naive).abs() < 1e-9, "fast {fast} vs naive {naive}");
             assert!(fast > 0.0);
+        }
+    }
+
+    #[test]
+    fn scratch_mlu_is_bit_identical_to_the_allocating_pipeline() {
+        let g = TopologySpec::full_scale(Topology::Geant).build();
+        let ps = PathSet::k_shortest(&g, 3);
+        let trace = wan_trace(&g, &WanTrafficConfig { num_snapshots: 5, ..Default::default() });
+        let cfg = TeConfig::uniform(&ps);
+        let mut loads = Vec::new();
+        for m in trace.matrices() {
+            let pairs = m.flatten_pairs();
+            let reference = max_link_utilization_pairs(&ps, &cfg, &pairs);
+            let scratch = max_link_utilization_pairs_scratch(&ps, &cfg, &pairs, &mut loads);
+            assert_eq!(reference.to_bits(), scratch.to_bits());
         }
     }
 

@@ -95,16 +95,75 @@ impl DemandMatrix {
     /// Flattened off-diagonal demands in source-major order, matching
     /// `Graph::sd_pairs` (all `d != s` for `s = 0, 1, ...`).
     pub fn flatten_pairs(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_pairs()];
+        self.flatten_pairs_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`DemandMatrix::flatten_pairs`]: writes the flattened
+    /// demands into a caller-provided buffer of length [`Self::num_pairs`].
+    pub fn flatten_pairs_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.num_pairs(), "one slot per SD pair is required");
         let n = self.num_nodes;
-        let mut out = Vec::with_capacity(self.num_pairs());
+        let mut i = 0;
         for s in 0..n {
             for d in 0..n {
                 if s != d {
-                    out.push(self.data[s * n + d]);
+                    out[i] = self.data[s * n + d];
+                    i += 1;
                 }
             }
         }
-        out
+    }
+
+    /// Copies another matrix's demands into this one without reallocating.
+    pub fn copy_from(&mut self, other: &DemandMatrix) {
+        assert_eq!(self.num_nodes, other.num_nodes, "matrices must have the same size");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Adds this matrix's flattened pair demands into `out`, clamped at zero —
+    /// element-for-element identical to folding with `axpy(1.0, self)` and
+    /// flattening at the end.
+    pub fn accumulate_pairs_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.num_pairs(), "one slot per SD pair is required");
+        let n = self.num_nodes;
+        let mut i = 0;
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    out[i] = (out[i] + self.data[s * n + d]).max(0.0);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Folds this matrix's flattened pair demands into `out` with an
+    /// element-wise maximum (the in-place counterpart of
+    /// [`DemandMatrix::element_max`] followed by flattening).
+    pub fn max_pairs_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.num_pairs(), "one slot per SD pair is required");
+        let n = self.num_nodes;
+        let mut i = 0;
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    out[i] = out[i].max(self.data[s * n + d]);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// In-place EWMA blend `self ← (1 − α)·self + α·other`, clamped at zero.
+    /// Bit-identical to `self.scaled(1.0 - alpha).axpy(alpha, other)` without
+    /// the two intermediate matrices.
+    pub fn ewma_blend(&mut self, alpha: f64, other: &DemandMatrix) {
+        assert_eq!(self.num_nodes, other.num_nodes, "matrices must have the same size");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a = ((*a * (1.0 - alpha)).max(0.0) + alpha * b).max(0.0);
+        }
     }
 
     /// Inverse of [`DemandMatrix::flatten_pairs`].
@@ -364,6 +423,32 @@ mod tests {
         let neg = a.axpy(-10.0, &b);
         assert_eq!(neg.flatten_pairs(), vec![0.0, 0.0]);
         assert_eq!(a.scaled(0.5).flatten_pairs(), vec![0.5, 2.0]);
+    }
+
+    #[test]
+    fn in_place_helpers_match_their_allocating_counterparts() {
+        let a = DemandMatrix::from_pairs(3, &[1.0, 2.0, 3.0, 0.0, 5.0, 4.0]).unwrap();
+        let b = DemandMatrix::from_pairs(3, &[0.5, 6.0, 1.0, 2.0, 0.0, 9.0]).unwrap();
+
+        let mut flat = vec![9.9; a.num_pairs()];
+        a.flatten_pairs_into(&mut flat);
+        assert_eq!(flat, a.flatten_pairs());
+
+        let mut copy = DemandMatrix::zeros(3);
+        copy.copy_from(&a);
+        assert_eq!(copy, a);
+
+        let mut acc = a.flatten_pairs();
+        b.accumulate_pairs_into(&mut acc);
+        assert_eq!(acc, a.axpy(1.0, &b).flatten_pairs());
+
+        let mut peak = a.flatten_pairs();
+        b.max_pairs_into(&mut peak);
+        assert_eq!(peak, a.element_max(&b).flatten_pairs());
+
+        let mut blended = a.clone();
+        blended.ewma_blend(0.3, &b);
+        assert_eq!(blended, a.scaled(1.0 - 0.3).axpy(0.3, &b));
     }
 
     #[test]
