@@ -290,6 +290,38 @@ impl FigretModel {
         TeConfig::from_raw(paths, self.graph.value(ratios).data())
     }
 
+    /// Computes the TE configuration from a history window of `H` flat
+    /// demand columns (most recent last), one value per pair of the path
+    /// set's universe in slot order.
+    ///
+    /// Feature construction runs the same arithmetic as
+    /// [`FigretModel::predict`] (concatenate, divide by the feature scale),
+    /// so on a dense universe this is bit-identical to `predict` fed the
+    /// matrices those columns flatten to.  This is the serving controller's
+    /// path — it keeps columnar history and never materializes `N×N`
+    /// matrices, which is what lets learned serving scale to restricted
+    /// fabric universes.
+    pub fn predict_flat(&mut self, paths: &PathSet, history: &[Vec<f64>]) -> TeConfig {
+        assert_eq!(
+            history.len(),
+            self.config.history_window,
+            "history must contain exactly H demand columns"
+        );
+        let mut features = Vec::with_capacity(self.config.history_window * self.num_pairs);
+        for row in history {
+            assert_eq!(row.len(), self.num_pairs, "one demand value per pair is required");
+            features.extend_from_slice(row);
+        }
+        for f in &mut features {
+            *f /= self.feature_scale;
+        }
+        self.graph.reset();
+        let input = self.graph.input(Tensor::row(&features));
+        let raw = self.mlp.forward(&mut self.graph, input);
+        let ratios = self.diff.normalize(&mut self.graph, raw);
+        TeConfig::from_raw(paths, self.graph.value(ratios).data())
+    }
+
     /// Computes TE configurations for many history windows with a single
     /// batch-major forward pass (the fast path of the evaluation runner).
     pub fn predict_batch(

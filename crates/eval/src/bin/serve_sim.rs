@@ -9,12 +9,13 @@
 //! usage output on any flag error.
 
 use figret_eval::experiments::ExperimentOptions;
-use figret_eval::serving::{parse_topology, serve_sim, ServeEngine, ServeSimOptions};
+use figret_eval::serving::{parse_topology, serve_sim, DemandMode, ServeEngine, ServeSimOptions};
 use figret_serve::{FallbackPolicy, PredictorKind, ReconfigPolicy, UpdateBudget};
 
 fn main() {
     let flags = ExperimentOptions::flag_set("serve_sim", "online TE controller replay harness")
-        .text("topology", "geant", "topology to serve (geant, pod-db, tor-db, ...)")
+        .text("topology", "geant", "topology to serve (geant, pod-db, ..., torN, podfabN)")
+        .text("demand", "dense", "demand ingestion storage: dense | sparse")
         .text("engine", "learned", "candidate engine: lp | learned")
         .text("predictor", "last", "online predictor: last | ewma[:a] | mean[:w] | max[:w]")
         .float("hysteresis", 0.05, "predicted-regret threshold before reconfiguring")
@@ -31,6 +32,11 @@ fn main() {
         std::process::exit(2);
     };
     let topology = parse_topology(values.text("topology")).unwrap_or_else(|e| fail(e));
+    let demand = match values.text("demand") {
+        "dense" => DemandMode::Dense,
+        "sparse" => DemandMode::Sparse,
+        other => fail(format!("unknown demand mode '{other}' (expected dense | sparse)")),
+    };
     let predictor = PredictorKind::parse(values.text("predictor"), experiment.window)
         .unwrap_or_else(|e| fail(e));
     let engine = match values.text("engine") {
@@ -59,6 +65,7 @@ fn main() {
 
     let options = ServeSimOptions {
         topology,
+        demand,
         engine,
         predictor,
         policy,

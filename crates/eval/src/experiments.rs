@@ -740,21 +740,26 @@ pub fn fig20_dote_limit(options: &ExperimentOptions) {
     println!("\n# Figure 20 — DOTE's worst normalized MLU is {worst_value:.2} at snapshot {t}");
     // Show the pair whose demand grew the most relative to its window.
     let window = eval.window;
+    // Flatten each window snapshot once into a reused buffer; the old
+    // per-pair inner loop re-flattened the full matrix `pairs · window`
+    // times.
     let current = scenario.trace.matrix(t).flatten_pairs();
-    let mut best_pair = 0usize;
-    let mut best_growth = 0.0f64;
-    for pair in 0..scenario.paths.num_pairs() {
-        let window_max = (t - window..t)
-            .map(|h| scenario.trace.matrix(h).flatten_pairs()[pair])
-            .fold(0.0f64, f64::max);
-        let growth = current[pair] - window_max;
-        if growth > best_growth {
-            best_growth = growth;
-            best_pair = pair;
-        }
+    let mut window_max = vec![0.0f64; current.len()];
+    let mut buf = vec![0.0f64; current.len()];
+    for h in t - window..t {
+        scenario.trace.matrix(h).flatten_pairs_into(&mut buf);
+        figret_traffic::ops::max_assign(&mut window_max, &buf);
     }
+    let (best_pair, _) = current
+        .iter()
+        .zip(&window_max)
+        .map(|(c, w)| c - w)
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap_or((0, 0.0));
+    let (src, dst) = figret_traffic::ActivePairs::all(scenario.trace.num_nodes()).pair(best_pair);
     let series: Vec<f64> =
-        (t - window..=t).map(|h| scenario.trace.matrix(h).flatten_pairs()[best_pair]).collect();
+        (t - window..=t).map(|h| scenario.trace.matrix(h).get(src, dst)).collect();
     print_csv_series("bursting_pair_window_then_upcoming", &series);
     println!(
         "pair {} burst from a window maximum of {:.3} to {:.3}",

@@ -16,14 +16,17 @@
 //! through an identical warm-started template, so its per-tick MLUs match
 //! the batch path bit for bit (`tests/serve_equivalence.rs` enforces 1e-9).
 
+use std::sync::Arc;
+
 use figret::FigretModel;
 use figret_serve::{PredictorKind, ReconfigPolicy, ServeController, ServeLog};
 use figret_solvers::{MluTemplate, SeriesStats};
 use figret_te::{max_link_utilization_pairs, normalize_by, PathSet, SchemeQuality};
-use figret_topology::Topology;
+use figret_topology::{FabricSpec, Topology};
 use figret_traffic::{
-    per_pair_variance_range, DemandMatrix, DemandStream, OnlineStream, OnlineStreamConfig,
-    ReplayStream, WindowDataset,
+    datacenter::{tor_trace_sparse, TorTrafficConfig},
+    per_pair_variance_range, ActivePairs, DemandMatrix, DemandStream, OnlineStream,
+    OnlineStreamConfig, ReplayStream, SparseTrace, TrafficTrace, WindowDataset,
 };
 
 use crate::experiments::ExperimentOptions;
@@ -40,13 +43,38 @@ pub enum ServeEngine {
     Learned,
 }
 
+/// What the controller ingests demands as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandMode {
+    /// Dense [`DemandMatrix`] snapshots through the matrix adapter.
+    Dense,
+    /// Sparse columnar snapshots ([`SparseTrace`]) through the column entry
+    /// points.  On a Table 1 replay the columns are scattered back onto the
+    /// dense pair universe, so decisions are bit-identical to
+    /// [`DemandMode::Dense`] — CI diffs the digests.
+    Sparse,
+}
+
+/// What network the controller serves: one of the paper's Table 1 networks
+/// (dense pair universe), or a generated 512–4096-ToR fabric (restricted
+/// pair universe, sparse end to end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeTopology {
+    /// One of the eight Table 1 networks.
+    Table1(Topology),
+    /// A large generated fabric; serving is LP-engine and sparse-columnar.
+    Fabric(FabricSpec),
+}
+
 /// Options of one `serve_sim` run.
 #[derive(Debug, Clone)]
 pub struct ServeSimOptions {
     /// Common experiment options (scenario scale, window, fast mode).
     pub experiment: ExperimentOptions,
-    /// Topology to serve.
-    pub topology: Topology,
+    /// Network to serve.
+    pub topology: ServeTopology,
+    /// Demand-ingestion storage mode.
+    pub demand: DemandMode,
     /// Engine the controller serves from.
     pub engine: ServeEngine,
     /// Online predictor feeding the controller.
@@ -73,7 +101,8 @@ impl ServeSimOptions {
     pub fn new(experiment: ExperimentOptions) -> ServeSimOptions {
         ServeSimOptions {
             experiment,
-            topology: Topology::Geant,
+            topology: ServeTopology::Table1(Topology::Geant),
+            demand: DemandMode::Dense,
             engine: ServeEngine::Learned,
             predictor: PredictorKind::LastValue,
             policy: ReconfigPolicy::default(),
@@ -101,6 +130,39 @@ pub struct ServeRun {
     pub lp_stats: SeriesStats,
     /// Whether the controller abandoned learned inference for the LP.
     pub fell_back: bool,
+    /// Fabric runs only: demand-storage accounting (sparse vs. the dense
+    /// `N×N` equivalent).
+    pub memory: Option<FabricMemory>,
+}
+
+/// Demand-storage accounting of a fabric serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricMemory {
+    /// Nodes of the fabric graph (ToRs + any aggregation switches).
+    pub num_nodes: usize,
+    /// Traffic-bearing ToRs.
+    pub num_tors: usize,
+    /// Active SD pairs (`nnz` of every snapshot).
+    pub active_pairs: usize,
+    /// Bytes held by the shared pair index.
+    pub index_bytes: usize,
+    /// Bytes held by the sparse trace's value columns.
+    pub sparse_trace_bytes: usize,
+    /// Bytes an equivalent dense `DemandMatrix` trace would hold
+    /// (`snapshots · n² · 8`).
+    pub dense_trace_bytes: usize,
+    /// Peak resident set size of the process so far (`VmHWM`), when the
+    /// platform exposes it.
+    pub peak_rss_bytes: Option<usize>,
+}
+
+/// Peak resident set size (`VmHWM`) of the current process in bytes, read
+/// from `/proc/self/status`; `None` where procfs is unavailable.
+pub fn peak_rss_bytes() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: usize = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 impl ServeRun {
@@ -111,22 +173,39 @@ impl ServeRun {
     }
 }
 
-/// Parses a CLI topology spelling (`geant`, `pod-db`, `tor-web`, …: the
-/// Table 1 names lowercased with `-` for spaces, or the enum variant name).
-pub fn parse_topology(spec: &str) -> Result<Topology, String> {
+/// Parses a CLI topology spelling: the Table 1 names lowercased with `-`
+/// for spaces (`geant`, `pod-db`, `tor-web`, …) or the enum variant name,
+/// plus the generated large fabrics — `torN` for an N-ToR Jellyfish fabric
+/// (`tor512` … `tor4096`) and `podfabN` for an N-ToR two-tier pod fabric.
+pub fn parse_topology(spec: &str) -> Result<ServeTopology, String> {
     let key = spec.to_ascii_lowercase();
+    if let Some(tors) = key.strip_prefix("podfab").and_then(|n| n.parse::<usize>().ok()) {
+        if !tors.is_multiple_of(64) || tors < 128 {
+            return Err(format!(
+                "podfab fabrics need a ToR count that is a multiple of 64 (≥ 128), got {tors}"
+            ));
+        }
+        return Ok(ServeTopology::Fabric(FabricSpec::two_tier(tors)));
+    }
+    if let Some(tors) = key.strip_prefix("tor").and_then(|n| n.parse::<usize>().ok()) {
+        if tors < 32 {
+            return Err(format!("torN fabrics need at least 32 ToRs, got {tors}"));
+        }
+        return Ok(ServeTopology::Fabric(FabricSpec::jellyfish(tors)));
+    }
     Topology::all()
         .into_iter()
         .find(|t| {
             t.name().to_ascii_lowercase().replace(' ', "-") == key
                 || format!("{t:?}").to_ascii_lowercase() == key
         })
+        .map(ServeTopology::Table1)
         .ok_or_else(|| {
             let known: Vec<String> = Topology::all()
                 .iter()
                 .map(|t| t.name().to_ascii_lowercase().replace(' ', "-"))
                 .collect();
-            format!("unknown topology '{spec}' (known: {})", known.join(", "))
+            format!("unknown topology '{spec}' (known: {}, torN, podfabN)", known.join(", "))
         })
 }
 
@@ -190,13 +269,30 @@ fn drive(
 /// one warm-started template (sequential, deterministic).
 fn omniscient_over(paths: &PathSet, demands: &[DemandMatrix]) -> Vec<f64> {
     let mut template = MluTemplate::new(paths);
+    // One flatten buffer for the whole series, not one allocation per solve.
+    let mut pairs = vec![0.0; paths.num_pairs()];
     demands
         .iter()
         .map(|demand| {
-            let pairs = demand.flatten_pairs();
+            demand.flatten_pairs_into(&mut pairs);
             let (config, _) =
                 template.solve(paths, &pairs).expect("the omniscient min-MLU LP must be solvable");
             max_link_utilization_pairs(paths, &config, &pairs)
+        })
+        .collect()
+}
+
+/// The omniscient per-tick optimum over a sparse snapshot range, solved on
+/// the restricted pair universe of `paths` (columns feed the LP directly).
+fn omniscient_over_sparse(paths: &PathSet, trace: &SparseTrace, ticks: &[usize]) -> Vec<f64> {
+    let mut template = MluTemplate::new(paths);
+    ticks
+        .iter()
+        .map(|&t| {
+            let column = trace.snapshot(t).values();
+            let (config, _) =
+                template.solve(paths, column).expect("the omniscient min-MLU LP must be solvable");
+            max_link_utilization_pairs(paths, &config, column)
         })
         .collect()
 }
@@ -220,23 +316,66 @@ pub fn serve_replay(scenario: &Scenario, options: &ServeSimOptions) -> ServeRun 
     if let Some(cap) = options.max_ticks {
         indices.truncate(cap);
     }
-    let mut stream = ReplayStream::once(scenario.trace.clone()).starting_at(first - warmup);
-    let (log, realized) = drive(&mut controller, &mut stream, warmup, Some(indices.len()));
+    let (log, realized) = match options.demand {
+        DemandMode::Dense => {
+            let mut stream = ReplayStream::once(scenario.trace.clone()).starting_at(first - warmup);
+            drive(&mut controller, &mut stream, warmup, Some(indices.len()))
+        }
+        DemandMode::Sparse => {
+            drive_replay_sparse(&mut controller, &scenario.trace, first - warmup, warmup, &indices)
+        }
+    };
     assert_eq!(log.len(), indices.len(), "one decision per replayed test snapshot");
     let omniscient = omniscient_over(&scenario.paths, &realized);
     ServeRun {
         name: format!(
-            "{} (replay, {}, {} predictor)",
+            "{} (replay, {}, {} predictor, {} demands)",
             scenario.name,
             engine_name(options),
-            options.predictor.build().name()
+            options.predictor.build().name(),
+            match options.demand {
+                DemandMode::Dense => "dense",
+                DemandMode::Sparse => "sparse",
+            }
         ),
         indices,
         log,
         omniscient,
         lp_stats: *controller.lp_stats(),
         fell_back: controller.fell_back(),
+        memory: None,
     }
+}
+
+/// The sparse-columnar replay path: converts the trace to a [`SparseTrace`]
+/// over its union support, scatters each column onto the controller's dense
+/// pair universe (a reused buffer) and drives the column entry points.  The
+/// scattered columns equal `flatten_pairs` of the originals exactly, so the
+/// decision sequence is bit-identical to the dense path.
+fn drive_replay_sparse(
+    controller: &mut ServeController,
+    trace: &TrafficTrace,
+    start: usize,
+    warmup: usize,
+    indices: &[usize],
+) -> (ServeLog, Vec<DemandMatrix>) {
+    let strace = SparseTrace::from_trace(trace);
+    let mut column = vec![0.0; strace.active().num_total_pairs()];
+    for t in start..start + warmup {
+        strace.snapshot(t).scatter_pairs_into(&mut column);
+        controller.observe_pairs(&column);
+    }
+    let mut log = ServeLog::new();
+    let mut realized = Vec::with_capacity(indices.len());
+    for (offset, &index) in indices.iter().enumerate() {
+        let t = start + warmup + offset;
+        debug_assert_eq!(t, index, "replay ticks must be contiguous");
+        strace.snapshot(t).scatter_pairs_into(&mut column);
+        let outcome = controller.step_pairs(&column);
+        log.push(outcome.record, outcome.decision_seconds);
+        realized.push(trace.matrix(t).clone());
+    }
+    (log, realized)
 }
 
 /// Serves `ticks` demands from the unbounded online generator (warmed up on
@@ -267,6 +406,72 @@ pub fn serve_online(scenario: &Scenario, ticks: usize, options: &ServeSimOptions
         omniscient,
         lp_stats: *controller.lp_stats(),
         fell_back: controller.fell_back(),
+        memory: None,
+    }
+}
+
+/// Serves a generated 512–4096-ToR fabric end to end on the sparse core:
+/// restricted pair universe ([`ActivePairs::sample_among`]), restricted
+/// path set ([`PathSet::k_shortest_for_pairs`]), sparse ToR traffic and the
+/// controller's column entry points.  Nothing on this path materializes an
+/// `N×N` object — demand storage is proportional to the active-pair count.
+///
+/// The engine is always the warm-started LP (training a model on a generated
+/// fabric is out of scope for the serving harness).
+pub fn serve_fabric(spec: &FabricSpec, options: &ServeSimOptions) -> ServeRun {
+    let fabric = spec.build();
+    let n = fabric.graph.num_nodes();
+    // Fixed per-source fan-out: density per_source/(tors-1), i.e. ~1.6% at
+    // 1024 ToRs with the default 16.
+    let per_source = if options.experiment.fast { 8 } else { 16 };
+    let active =
+        Arc::new(ActivePairs::sample_among(n, fabric.num_tors, per_source, spec.seed ^ 0xfab));
+    let paths = PathSet::k_shortest_for_pairs(&fabric.graph, &active, 3);
+    let snapshots = options.experiment.snapshots;
+    let trace = tor_trace_sparse(
+        &fabric.graph,
+        &active,
+        &TorTrafficConfig { num_snapshots: snapshots, seed: spec.seed, ..Default::default() },
+    );
+    let window = options.experiment.window;
+    let mut controller =
+        ServeController::lp(&paths, window, options.predictor.build(), options.policy.clone());
+    let warmup = controller.window().max(window).min(trace.len().saturating_sub(1));
+    let mut ticks: Vec<usize> = (warmup..trace.len()).collect();
+    if let Some(cap) = options.max_ticks {
+        ticks.truncate(cap);
+    }
+    for t in 0..warmup {
+        controller.observe_sparse(trace.snapshot(t));
+    }
+    let mut log = ServeLog::new();
+    for &t in &ticks {
+        let outcome = controller.step_sparse(trace.snapshot(t));
+        log.push(outcome.record, outcome.decision_seconds);
+    }
+    let omniscient = omniscient_over_sparse(&paths, &trace, &ticks);
+    let memory = FabricMemory {
+        num_nodes: n,
+        num_tors: fabric.num_tors,
+        active_pairs: active.len(),
+        index_bytes: active.index_bytes(),
+        sparse_trace_bytes: trace.demand_storage_bytes(),
+        dense_trace_bytes: snapshots * n * n * std::mem::size_of::<f64>(),
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+    ServeRun {
+        name: format!(
+            "{} ({} ToRs, fabric, lp, {} predictor, sparse demands)",
+            fabric.graph.name(),
+            fabric.num_tors,
+            options.predictor.build().name()
+        ),
+        indices: ticks,
+        log,
+        omniscient,
+        lp_stats: *controller.lp_stats(),
+        fell_back: false,
+        memory: Some(memory),
     }
 }
 
@@ -328,6 +533,37 @@ pub fn print_serve_report(run: &ServeRun) {
     work_row.extend(lp_work_columns(&run.lp_stats));
     print_table("LP solver work (controller re-solves)", &work_header, &[work_row]);
 
+    if let Some(mem) = &run.memory {
+        let mib = |bytes: usize| format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0));
+        let density =
+            mem.active_pairs as f64 / (mem.num_tors as f64 * (mem.num_tors as f64 - 1.0)).max(1.0);
+        let mut rows = vec![
+            vec![
+                "fabric size".to_string(),
+                format!("{} ToRs / {} nodes", mem.num_tors, mem.num_nodes),
+            ],
+            vec![
+                "active pairs".to_string(),
+                format!("{} ({:.2}% of ToR pairs)", mem.active_pairs, 100.0 * density),
+            ],
+            vec!["pair index".to_string(), mib(mem.index_bytes)],
+            vec!["sparse demand trace".to_string(), mib(mem.sparse_trace_bytes)],
+            vec!["dense N×N equivalent".to_string(), mib(mem.dense_trace_bytes)],
+            vec![
+                "dense / sparse ratio".to_string(),
+                format!(
+                    "{:.1}x",
+                    mem.dense_trace_bytes as f64
+                        / (mem.index_bytes + mem.sparse_trace_bytes).max(1) as f64
+                ),
+            ],
+        ];
+        if let Some(rss) = mem.peak_rss_bytes {
+            rows.push(vec!["peak RSS (VmHWM)".to_string(), mib(rss)]);
+        }
+        print_table("demand storage (sparse core)", &["metric", "value"], &rows);
+    }
+
     print_csv_series("realized_mlu", &run.log.realized_mlus());
     print_csv_series("omniscient_mlu", &run.omniscient);
     // Stable digests of the decision log: CI replays the same scenario under
@@ -342,11 +578,16 @@ pub fn print_serve_report(run: &ServeRun) {
 /// Runs the full `serve_sim` experiment for the options and prints the
 /// report.
 pub fn serve_sim(options: &ServeSimOptions) {
-    let scenario = Scenario::build(options.topology, &options.experiment.scenario_options());
-    let run = if options.online_ticks > 0 {
-        serve_online(&scenario, options.online_ticks, options)
-    } else {
-        serve_replay(&scenario, options)
+    let run = match options.topology {
+        ServeTopology::Fabric(spec) => serve_fabric(&spec, options),
+        ServeTopology::Table1(topology) => {
+            let scenario = Scenario::build(topology, &options.experiment.scenario_options());
+            if options.online_ticks > 0 {
+                serve_online(&scenario, options.online_ticks, options)
+            } else {
+                serve_replay(&scenario, options)
+            }
+        }
     };
     print_serve_report(&run);
 }
@@ -368,7 +609,7 @@ mod tests {
             engine,
             policy: ReconfigPolicy::always_update(),
             max_ticks: Some(6),
-            topology: Topology::MetaDbPod,
+            topology: ServeTopology::Table1(Topology::MetaDbPod),
             ..ServeSimOptions::new(experiment)
         }
     }
@@ -416,10 +657,63 @@ mod tests {
 
     #[test]
     fn topology_parsing_accepts_table1_names() {
-        assert_eq!(parse_topology("geant").unwrap(), Topology::Geant);
-        assert_eq!(parse_topology("pod-db").unwrap(), Topology::MetaDbPod);
-        assert_eq!(parse_topology("ToR-WEB").unwrap(), Topology::MetaWebTor);
-        assert_eq!(parse_topology("metadbtor").unwrap(), Topology::MetaDbTor);
+        assert_eq!(parse_topology("geant").unwrap(), ServeTopology::Table1(Topology::Geant));
+        assert_eq!(parse_topology("pod-db").unwrap(), ServeTopology::Table1(Topology::MetaDbPod));
+        assert_eq!(parse_topology("ToR-WEB").unwrap(), ServeTopology::Table1(Topology::MetaWebTor));
+        assert_eq!(
+            parse_topology("metadbtor").unwrap(),
+            ServeTopology::Table1(Topology::MetaDbTor)
+        );
         assert!(parse_topology("atlantis").unwrap_err().contains("known:"));
+    }
+
+    #[test]
+    fn topology_parsing_accepts_fabric_names() {
+        assert_eq!(
+            parse_topology("tor512").unwrap(),
+            ServeTopology::Fabric(FabricSpec::jellyfish(512))
+        );
+        assert_eq!(
+            parse_topology("podfab1024").unwrap(),
+            ServeTopology::Fabric(FabricSpec::two_tier(1024))
+        );
+        assert!(parse_topology("tor4").is_err());
+        assert!(parse_topology("podfab100").is_err());
+    }
+
+    #[test]
+    fn sparse_replay_is_bit_identical_to_dense_replay() {
+        let scenario = pod_scenario();
+        let mut options = tiny_options(ServeEngine::Lp);
+        let dense = serve_replay(&scenario, &options);
+        options.demand = DemandMode::Sparse;
+        let sparse = serve_replay(&scenario, &options);
+        assert_eq!(dense.log.records, sparse.log.records);
+        assert_eq!(dense.log.digest(), sparse.log.digest());
+        assert_eq!(dense.omniscient, sparse.omniscient);
+    }
+
+    #[test]
+    fn fabric_serving_runs_sparse_end_to_end() {
+        let spec = FabricSpec::jellyfish(48);
+        let experiment =
+            ExperimentOptions { fast: true, snapshots: 10, window: 2, ..Default::default() };
+        let options = ServeSimOptions {
+            engine: ServeEngine::Lp,
+            policy: ReconfigPolicy::always_update(),
+            max_ticks: Some(4),
+            topology: ServeTopology::Fabric(spec),
+            ..ServeSimOptions::new(experiment)
+        };
+        let run = serve_fabric(&spec, &options);
+        assert_eq!(run.log.len(), 4);
+        assert!(run.log.realized_mlus().iter().all(|m| m.is_finite() && *m > 0.0));
+        let regret = run.regret();
+        assert!(regret.normalized_mlu.min >= 1.0 - 1e-6, "{:?}", regret.normalized_mlu);
+        let mem = run.memory.expect("fabric runs report memory");
+        assert_eq!(mem.num_tors, 48);
+        assert_eq!(mem.active_pairs, 48 * 8);
+        assert!(mem.sparse_trace_bytes < mem.dense_trace_bytes);
+        print_serve_report(&run); // must not panic
     }
 }

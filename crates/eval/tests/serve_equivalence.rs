@@ -8,7 +8,7 @@
 use figret_eval::experiments::ExperimentOptions;
 use figret_eval::runner::{omniscient_series, run_scheme, EvalOptions, Scheme};
 use figret_eval::scenario::{Scenario, ScenarioOptions};
-use figret_eval::serving::{serve_replay, ServeEngine, ServeSimOptions};
+use figret_eval::serving::{serve_replay, DemandMode, ServeEngine, ServeSimOptions, ServeTopology};
 use figret_serve::{FallbackPolicy, PredictorKind, ReconfigPolicy, UpdateBudget};
 use figret_solvers::{Predictor, SolverEngine};
 use figret_topology::Topology;
@@ -22,7 +22,8 @@ fn geant_scenario() -> Scenario {
 fn serve_options() -> ServeSimOptions {
     ServeSimOptions {
         experiment: ExperimentOptions { window: WINDOW, snapshots: 80, ..Default::default() },
-        topology: Topology::Geant,
+        topology: ServeTopology::Table1(Topology::Geant),
+        demand: DemandMode::Dense,
         engine: ServeEngine::Lp,
         predictor: PredictorKind::LastValue,
         policy: ReconfigPolicy::always_update(),
@@ -85,7 +86,8 @@ fn plan_inference_reproduces_graph_decisions_in_replay() {
             window: WINDOW,
             ..Default::default()
         },
-        topology: Topology::MetaDbPod,
+        topology: ServeTopology::Table1(Topology::MetaDbPod),
+        demand: DemandMode::Dense,
         engine: ServeEngine::Learned,
         predictor: PredictorKind::LastValue,
         // A policy with real decisions to flip (hysteresis holds, a budget
@@ -118,6 +120,28 @@ fn plan_inference_reproduces_graph_decisions_in_replay() {
             (a - b).abs() <= 1e-3 * a.abs().max(1.0),
             "snapshot {t}: graph MLU {a} vs plan MLU {b}"
         );
+    }
+}
+
+/// Sparse-columnar equivalence contract of the demand–path core (ISSUE 7):
+/// replaying GEANT through the sparse column entry points (SparseTrace +
+/// scatter) must reproduce the dense replay's decision log bit for bit —
+/// every action, MLU and churn value, hence equal digests.  CI additionally
+/// diffs the printed digests across `RAYON_NUM_THREADS=1` and `=4`
+/// processes and across `--demand dense`/`--demand sparse` runs.
+#[test]
+fn sparse_demand_replay_matches_dense_on_geant() {
+    let scenario = geant_scenario();
+    let dense_options = serve_options();
+    let sparse_options = ServeSimOptions { demand: DemandMode::Sparse, ..dense_options.clone() };
+    let dense = serve_replay(&scenario, &dense_options);
+    let sparse = serve_replay(&scenario, &sparse_options);
+    assert_eq!(dense.log.len(), sparse.log.len());
+    assert_eq!(dense.log.records, sparse.log.records, "per-tick records must be identical");
+    assert_eq!(dense.log.digest(), sparse.log.digest());
+    assert_eq!(dense.log.decision_digest(), sparse.log.decision_digest());
+    for (a, b) in dense.omniscient.iter().zip(&sparse.omniscient) {
+        assert_eq!(a.to_bits(), b.to_bits(), "the omniscient normalizer must agree bitwise");
     }
 }
 

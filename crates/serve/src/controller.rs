@@ -30,7 +30,7 @@ use std::time::Instant;
 use figret::{FigretModel, InferencePlan};
 use figret_solvers::{MluTemplate, SeriesStats};
 use figret_te::{max_link_utilization_pairs_scratch, split_ratio_churn, PathSet, TeConfig};
-use figret_traffic::DemandMatrix;
+use figret_traffic::{DemandMatrix, SparseDemand};
 
 use crate::log::{Action, DecisionSource, HoldReason, TickRecord};
 use crate::policy::ReconfigPolicy;
@@ -52,10 +52,10 @@ pub struct StepOutcome {
 /// candidate configuration all live here across ticks.
 #[derive(Debug, Default)]
 struct StepScratch {
-    /// Forecast demands, one per SD pair (`flatten_pairs` order).
+    /// Forecast demands, one per active SD pair (slot order).
     predicted_pairs: Vec<f64>,
-    /// Realized demands, one per SD pair.
-    realized_pairs: Vec<f64>,
+    /// Flatten buffer for the dense [`DemandMatrix`] adapter entry points.
+    dense_pairs: Vec<f64>,
     /// Edge-load buffer for the scratch MLU evaluator.
     loads: Vec<f64>,
     /// Flattened history window fed to the inference plan.
@@ -78,7 +78,10 @@ pub struct ServeController {
     template: MluTemplate,
     policy: ReconfigPolicy,
     deployed: TeConfig,
-    history: VecDeque<DemandMatrix>,
+    /// Observed demand columns (one `f64` per active pair, slot order),
+    /// oldest first.  Columnar on purpose: `O(window · num_pairs)` regardless
+    /// of the node count, so a restricted fabric universe costs `O(nnz)`.
+    history: VecDeque<Vec<f64>>,
     recent_updates: VecDeque<usize>,
     degraded_streak: usize,
     fell_back: bool,
@@ -173,17 +176,55 @@ impl ServeController {
         self.plan.is_some()
     }
 
-    /// Ingests a demand without a decision tick (controller warmup: feed the
-    /// history prefix before serving starts).
-    pub fn observe(&mut self, demand: &DemandMatrix) {
+    /// Ingests a demand column without a decision tick (controller warmup:
+    /// feed the history prefix before serving starts).  One value per active
+    /// pair, in the slot order of the controller's path-set universe.
+    pub fn observe_pairs(&mut self, demand: &[f64]) {
+        assert_eq!(demand.len(), self.paths.num_pairs(), "one demand value per pair is required");
         self.ingest(demand);
     }
 
-    /// Advances the serving loop by one tick; see the module docs.
-    /// `realized` is the demand matrix that arrives *after* the decision —
-    /// the controller never sees it before committing, exactly like a
-    /// production control loop operating on stale telemetry.
+    /// Dense adapter for [`ServeController::observe_pairs`]: flattens the
+    /// matrix into a reused buffer and ingests the column.
+    pub fn observe(&mut self, demand: &DemandMatrix) {
+        let mut buf = std::mem::take(&mut self.scratch.dense_pairs);
+        buf.resize(self.paths.num_pairs(), 0.0);
+        demand.flatten_pairs_into(&mut buf);
+        self.ingest(&buf);
+        self.scratch.dense_pairs = buf;
+    }
+
+    /// Sparse convenience for [`ServeController::observe_pairs`]: the demand
+    /// universe must be the controller's pair universe.
+    pub fn observe_sparse(&mut self, demand: &SparseDemand) {
+        self.observe_pairs(demand.values());
+    }
+
+    /// Dense adapter for [`ServeController::step_pairs`]: flattens the
+    /// matrix into a reused buffer (outside the timed decision phase) and
+    /// steps on the column.
     pub fn step(&mut self, realized: &DemandMatrix) -> StepOutcome {
+        let mut buf = std::mem::take(&mut self.scratch.dense_pairs);
+        buf.resize(self.paths.num_pairs(), 0.0);
+        realized.flatten_pairs_into(&mut buf);
+        let outcome = self.step_pairs(&buf);
+        self.scratch.dense_pairs = buf;
+        outcome
+    }
+
+    /// Sparse convenience for [`ServeController::step_pairs`]: the demand
+    /// universe must be the controller's pair universe.
+    pub fn step_sparse(&mut self, realized: &SparseDemand) -> StepOutcome {
+        self.step_pairs(realized.values())
+    }
+
+    /// Advances the serving loop by one tick; see the module docs.
+    /// `realized` is the demand column (one value per active pair, slot
+    /// order) that arrives *after* the decision — the controller never sees
+    /// it before committing, exactly like a production control loop
+    /// operating on stale telemetry.
+    pub fn step_pairs(&mut self, realized: &[f64]) -> StepOutcome {
+        assert_eq!(realized.len(), self.paths.num_pairs(), "one demand value per pair is required");
         let start = Instant::now();
         // Detach the scratch arena from `self` for the duration of the step
         // so its buffers can be borrowed alongside the other fields.
@@ -239,12 +280,10 @@ impl ServeController {
         let decision_seconds = start.elapsed().as_secs_f64();
 
         self.ingest(realized);
-        scratch.realized_pairs.resize(self.paths.num_pairs(), 0.0);
-        realized.flatten_pairs_into(&mut scratch.realized_pairs);
         let realized_mlu = max_link_utilization_pairs_scratch(
             &self.paths,
             &self.deployed,
-            &scratch.realized_pairs,
+            realized,
             &mut scratch.loads,
         );
         self.scratch = scratch;
@@ -315,18 +354,18 @@ impl ServeController {
         if let Some(plan) = self.plan.as_mut() {
             let num_pairs = self.paths.num_pairs();
             scratch.features.resize(self.window * num_pairs, 0.0);
-            for (i, m) in self.history.iter().enumerate() {
-                m.flatten_pairs_into(&mut scratch.features[i * num_pairs..(i + 1) * num_pairs]);
+            for (i, column) in self.history.iter().enumerate() {
+                scratch.features[i * num_pairs..(i + 1) * num_pairs].copy_from_slice(column);
             }
             scratch.raw.resize(self.paths.num_paths(), 0.0);
             plan.forward(&scratch.features, &mut scratch.raw);
             scratch.candidate.assign_from_raw(&self.paths, &scratch.raw);
         } else {
-            // Borrow the window in place (no per-tick clone of H matrices —
+            // Borrow the window in place (no per-tick clone of H columns —
             // this is inside the timed decision phase).
-            let history: &[DemandMatrix] = self.history.make_contiguous();
+            let history: &[Vec<f64>] = self.history.make_contiguous();
             let model = self.model.as_mut().expect("learned mode checked by the caller");
-            scratch.candidate = model.predict(&self.paths, history);
+            scratch.candidate = model.predict_flat(&self.paths, history);
         }
     }
 
@@ -355,16 +394,16 @@ impl ServeController {
         }
     }
 
-    fn ingest(&mut self, demand: &DemandMatrix) {
-        self.predictor.observe(demand);
+    fn ingest(&mut self, demand: &[f64]) {
+        self.predictor.observe_pairs(demand);
         if self.history.len() >= self.window {
-            // Steady state: recycle the evicted matrix's allocation instead
+            // Steady state: recycle the evicted column's allocation instead
             // of cloning the arrival.
             let mut recycled = self.history.pop_front().expect("window length checked above");
-            recycled.copy_from(demand);
+            recycled.copy_from_slice(demand);
             self.history.push_back(recycled);
         } else {
-            self.history.push_back(demand.clone());
+            self.history.push_back(demand.to_vec());
         }
     }
 
@@ -577,6 +616,42 @@ mod tests {
         assert_eq!(log.records[3].action, Action::Update);
         assert!(log.records[0].predicted_mlu_candidate.is_none());
         assert!(log.records[3].predicted_mlu_candidate.is_some());
+    }
+
+    #[test]
+    fn sparse_columns_reproduce_dense_decisions_bit_for_bit() {
+        use figret_traffic::{ActivePairs, SparseDemand};
+        let (ps, trace) = pod_setup(20);
+        let policy = ReconfigPolicy {
+            hysteresis: 0.05,
+            budget: Some(UpdateBudget::per_window(3, 8)),
+            fallback: FallbackPolicy::disabled(),
+        };
+        let mut dense = ServeController::lp(&ps, 2, Box::new(LastValue::new()), policy.clone());
+        let mut sparse = ServeController::lp(&ps, 2, Box::new(LastValue::new()), policy);
+        // ActivePairs::all slot order == flatten_pairs order, so feeding the
+        // same demands through the sparse entry points must replay the exact
+        // decision sequence: same LP pivots, same MLUs, same churn bits.
+        let active = std::sync::Arc::new(ActivePairs::all(trace.num_nodes()));
+        let mut dense_log = ServeLog::new();
+        let mut sparse_log = ServeLog::new();
+        for t in 0..trace.len() {
+            let column = SparseDemand::from_matrix(trace.matrix(t), &active);
+            if t < 2 {
+                dense.observe(trace.matrix(t));
+                sparse.observe_sparse(&column);
+            } else {
+                let d = dense.step(trace.matrix(t));
+                let s = sparse.step_sparse(&column);
+                assert_eq!(d.record.realized_mlu.to_bits(), s.record.realized_mlu.to_bits());
+                assert_eq!(d.record.churn.to_bits(), s.record.churn.to_bits());
+                dense_log.push(d.record, d.decision_seconds);
+                sparse_log.push(s.record, s.decision_seconds);
+            }
+        }
+        assert!(dense_log.update_count() > 0, "the comparison must exercise real updates");
+        assert_eq!(dense_log.decision_digest(), sparse_log.decision_digest());
+        assert_eq!(dense.deployed(), sparse.deployed());
     }
 
     #[test]

@@ -2,48 +2,57 @@
 //!
 //! A batch predictor ([`figret_solvers::Predictor`]) is handed a complete
 //! history window per call; an online predictor instead *ingests* demands
-//! one at a time ([`OnlinePredictor::observe`]) and can be asked for a
-//! forecast at any tick ([`OnlinePredictor::predict`]).  The sliding-window
-//! variants reproduce the batch predictors exactly over the same window, so
-//! any LP scheme driven through the serving loop matches its batch
-//! evaluation; EWMA has no batch counterpart (its state is unbounded
-//! history with geometric decay — only an online formulation makes sense).
+//! one at a time ([`OnlinePredictor::observe_pairs`]) and can be asked for
+//! a forecast at any tick ([`OnlinePredictor::predict_pairs_into`]).
+//!
+//! Predictors operate on **pair columns**: flat `f64` vectors with one slot
+//! per active SD pair, in the shared slot order of the serving universe
+//! (for a dense universe that is `DemandMatrix::flatten_pairs` order; for a
+//! fabric it is the slot order of the stream's
+//! [`figret_traffic::ActivePairs`] index).  State is `O(window · nnz)` —
+//! predictors never materialize an `N×N` matrix, which is what lets the
+//! serving loop scale to multi-thousand-ToR fabrics.  The element-wise
+//! update rules go through the same [`figret_traffic::ops`] kernels the
+//! dense [`figret_traffic::DemandMatrix`] uses, so forecasts are
+//! bit-identical to the historical matrix-based formulation on a dense
+//! universe.  The sliding-window variants reproduce the batch predictors
+//! exactly over the same window; EWMA has no batch counterpart (its state
+//! is unbounded history with geometric decay — only an online formulation
+//! makes sense).
 
 use std::collections::VecDeque;
 
-use figret_traffic::DemandMatrix;
+use figret_traffic::{ops, DemandMatrix};
 
-/// A stateful one-step-ahead demand forecaster.
+/// A stateful one-step-ahead demand forecaster over pair columns.
 pub trait OnlinePredictor: Send {
-    /// Ingests the demand matrix realized at the current tick.
-    fn observe(&mut self, demand: &DemandMatrix);
+    /// Ingests the demand column realized at the current tick (one value
+    /// per active pair, slot order).  Every observation of a predictor's
+    /// lifetime must have the same length.
+    fn observe_pairs(&mut self, demand: &[f64]);
 
-    /// Forecast for the next tick, or `None` before the first observation.
-    fn predict(&self) -> Option<DemandMatrix>;
-
-    /// Writes the forecast's flattened pair demands into `out` (length
-    /// `num_pairs`, [`DemandMatrix::flatten_pairs`] order) and returns `true`,
-    /// or returns `false` before the first observation.  The controller's
-    /// hot path; implementations should not allocate.  The values must be
-    /// bit-identical to flattening [`OnlinePredictor::predict`].
-    fn predict_pairs_into(&self, out: &mut [f64]) -> bool {
-        match self.predict() {
-            Some(m) => {
-                m.flatten_pairs_into(out);
-                true
-            }
-            None => false,
-        }
-    }
+    /// Writes the forecast column into `out` (same length and slot order as
+    /// the observations) and returns `true`, or returns `false` before the
+    /// first observation.  The controller's hot path; implementations do
+    /// not allocate.
+    fn predict_pairs_into(&self, out: &mut [f64]) -> bool;
 
     /// Display name used in reports.
     fn name(&self) -> &'static str;
+
+    /// Dense adapter for [`OnlinePredictor::observe_pairs`]: flattens the
+    /// matrix (allocating) and ingests the column.  Convenience for tests
+    /// and small-WAN callers; the serving loop flattens once into a reused
+    /// buffer instead.
+    fn observe(&mut self, demand: &DemandMatrix) {
+        self.observe_pairs(&demand.flatten_pairs());
+    }
 }
 
 /// Predicts the last observed demand (the paper's choice for prediction TE).
 #[derive(Debug, Default)]
 pub struct LastValue {
-    last: Option<DemandMatrix>,
+    last: Option<Vec<f64>>,
 }
 
 impl LastValue {
@@ -54,21 +63,17 @@ impl LastValue {
 }
 
 impl OnlinePredictor for LastValue {
-    fn observe(&mut self, demand: &DemandMatrix) {
+    fn observe_pairs(&mut self, demand: &[f64]) {
         match &mut self.last {
-            Some(m) => m.copy_from(demand),
-            None => self.last = Some(demand.clone()),
+            Some(v) => v.copy_from_slice(demand),
+            None => self.last = Some(demand.to_vec()),
         }
-    }
-
-    fn predict(&self) -> Option<DemandMatrix> {
-        self.last.clone()
     }
 
     fn predict_pairs_into(&self, out: &mut [f64]) -> bool {
         match &self.last {
-            Some(m) => {
-                m.flatten_pairs_into(out);
+            Some(v) => {
+                out.copy_from_slice(v);
                 true
             }
             None => false,
@@ -85,7 +90,7 @@ impl OnlinePredictor for LastValue {
 #[derive(Debug)]
 pub struct Ewma {
     alpha: f64,
-    state: Option<DemandMatrix>,
+    state: Option<Vec<f64>>,
 }
 
 impl Ewma {
@@ -98,22 +103,19 @@ impl Ewma {
 }
 
 impl OnlinePredictor for Ewma {
-    fn observe(&mut self, demand: &DemandMatrix) {
+    fn observe_pairs(&mut self, demand: &[f64]) {
         match &mut self.state {
-            None => self.state = Some(demand.clone()),
-            // Bit-identical to `scaled(1 - α)` + `axpy(α, ·)`, in place.
-            Some(s) => s.ewma_blend(self.alpha, demand),
+            None => self.state = Some(demand.to_vec()),
+            // The same kernel `DemandMatrix::ewma_blend` uses — bit-identical
+            // to the historical matrix-based state.
+            Some(s) => ops::ewma_blend(s, self.alpha, demand),
         }
-    }
-
-    fn predict(&self) -> Option<DemandMatrix> {
-        self.state.clone()
     }
 
     fn predict_pairs_into(&self, out: &mut [f64]) -> bool {
         match &self.state {
-            Some(m) => {
-                m.flatten_pairs_into(out);
+            Some(s) => {
+                out.copy_from_slice(s);
                 true
             }
             None => false,
@@ -130,7 +132,7 @@ impl OnlinePredictor for Ewma {
 #[derive(Debug)]
 pub struct SlidingMean {
     window: usize,
-    buffer: VecDeque<DemandMatrix>,
+    buffer: VecDeque<Vec<f64>>,
 }
 
 impl SlidingMean {
@@ -142,33 +144,22 @@ impl SlidingMean {
 }
 
 impl OnlinePredictor for SlidingMean {
-    fn observe(&mut self, demand: &DemandMatrix) {
+    fn observe_pairs(&mut self, demand: &[f64]) {
         observe_window(&mut self.buffer, self.window, demand);
-    }
-
-    fn predict(&self) -> Option<DemandMatrix> {
-        let first = self.buffer.front()?;
-        let mut acc = DemandMatrix::zeros(first.num_nodes());
-        for m in &self.buffer {
-            acc = acc.axpy(1.0, m);
-        }
-        Some(acc.scaled(1.0 / self.buffer.len() as f64))
     }
 
     fn predict_pairs_into(&self, out: &mut [f64]) -> bool {
         if self.buffer.is_empty() {
             return false;
         }
-        // Same per-element fold as `predict` (sum clamped at zero, then the
-        // scale clamped at zero), restricted to the off-diagonal pairs.
+        // Sum clamped at zero per element, then the scale clamped at zero —
+        // the fold `axpy(1.0, ·)` + `scaled(1/len)` performs.
         out.fill(0.0);
-        for m in &self.buffer {
-            m.accumulate_pairs_into(out);
+        for row in &self.buffer {
+            ops::accumulate_clamped(out, row);
         }
         let inv = 1.0 / self.buffer.len() as f64;
-        for v in out {
-            *v = (*v * inv).max(0.0);
-        }
+        ops::scale_clamped_in_place(out, inv);
         true
     }
 
@@ -182,7 +173,7 @@ impl OnlinePredictor for SlidingMean {
 #[derive(Debug)]
 pub struct SlidingMax {
     window: usize,
-    buffer: VecDeque<DemandMatrix>,
+    buffer: VecDeque<Vec<f64>>,
 }
 
 impl SlidingMax {
@@ -194,17 +185,8 @@ impl SlidingMax {
 }
 
 impl OnlinePredictor for SlidingMax {
-    fn observe(&mut self, demand: &DemandMatrix) {
+    fn observe_pairs(&mut self, demand: &[f64]) {
         observe_window(&mut self.buffer, self.window, demand);
-    }
-
-    fn predict(&self) -> Option<DemandMatrix> {
-        let mut it = self.buffer.iter();
-        let mut acc = it.next()?.clone();
-        for m in it {
-            acc = acc.element_max(m);
-        }
-        Some(acc)
     }
 
     fn predict_pairs_into(&self, out: &mut [f64]) -> bool {
@@ -212,9 +194,9 @@ impl OnlinePredictor for SlidingMax {
         let Some(first) = it.next() else {
             return false;
         };
-        first.flatten_pairs_into(out);
-        for m in it {
-            m.max_pairs_into(out);
+        out.copy_from_slice(first);
+        for row in it {
+            ops::max_assign(out, row);
         }
         true
     }
@@ -225,15 +207,15 @@ impl OnlinePredictor for SlidingMax {
 }
 
 /// Pushes `demand` into a bounded sliding window, recycling the evicted
-/// matrix's allocation once the window is full (the steady state allocates
+/// column's allocation once the window is full (the steady state allocates
 /// nothing).
-fn observe_window(buffer: &mut VecDeque<DemandMatrix>, window: usize, demand: &DemandMatrix) {
+fn observe_window(buffer: &mut VecDeque<Vec<f64>>, window: usize, demand: &[f64]) {
     if buffer.len() >= window {
         let mut recycled = buffer.pop_front().expect("window length checked above");
-        recycled.copy_from(demand);
+        recycled.copy_from_slice(demand);
         buffer.push_back(recycled);
     } else {
-        buffer.push_back(demand.clone());
+        buffer.push_back(demand.to_vec());
     }
 }
 
@@ -308,26 +290,32 @@ mod tests {
         DemandMatrix::from_pairs(2, pairs).unwrap()
     }
 
+    fn forecast(p: &dyn OnlinePredictor, len: usize) -> Vec<f64> {
+        let mut out = vec![0.0; len];
+        assert!(p.predict_pairs_into(&mut out));
+        out
+    }
+
     #[test]
     fn last_value_tracks_the_latest_observation() {
         let mut p = LastValue::new();
-        assert_eq!(p.predict(), None);
-        p.observe(&dm(&[1.0, 2.0]));
-        p.observe(&dm(&[3.0, 4.0]));
-        assert_eq!(p.predict().unwrap(), dm(&[3.0, 4.0]));
+        assert!(!p.predict_pairs_into(&mut [0.0, 0.0]));
+        p.observe_pairs(&[1.0, 2.0]);
+        p.observe_pairs(&[3.0, 4.0]);
+        assert_eq!(forecast(&p, 2), vec![3.0, 4.0]);
     }
 
     #[test]
     fn ewma_blends_geometrically() {
         let mut p = Ewma::new(0.5);
-        p.observe(&dm(&[4.0, 0.0]));
-        p.observe(&dm(&[0.0, 8.0]));
+        p.observe_pairs(&[4.0, 0.0]);
+        p.observe_pairs(&[0.0, 8.0]);
         // state = 0.5*[4,0] + 0.5*[0,8] = [2,4]
-        assert_eq!(p.predict().unwrap(), dm(&[2.0, 4.0]));
+        assert_eq!(forecast(&p, 2), vec![2.0, 4.0]);
         let mut one = Ewma::new(1.0);
-        one.observe(&dm(&[4.0, 0.0]));
-        one.observe(&dm(&[0.0, 8.0]));
-        assert_eq!(one.predict().unwrap(), dm(&[0.0, 8.0]));
+        one.observe_pairs(&[4.0, 0.0]);
+        one.observe_pairs(&[0.0, 8.0]);
+        assert_eq!(forecast(&one, 2), vec![0.0, 8.0]);
     }
 
     #[test]
@@ -341,21 +329,24 @@ mod tests {
             max.observe(m);
         }
         let tail = &history[1..];
-        assert_eq!(mean.predict().unwrap(), predict(tail, Predictor::WindowMean));
-        assert_eq!(max.predict().unwrap(), predict(tail, Predictor::WindowPeak));
+        assert_eq!(forecast(&mean, 2), predict(tail, Predictor::WindowMean).flatten_pairs());
+        assert_eq!(forecast(&max, 2), predict(tail, Predictor::WindowPeak).flatten_pairs());
     }
 
     #[test]
     fn window_eviction_forgets_old_observations() {
         let mut p = SlidingMax::new(2);
-        p.observe(&dm(&[9.0, 0.0]));
-        p.observe(&dm(&[1.0, 1.0]));
-        p.observe(&dm(&[1.0, 2.0]));
-        assert_eq!(p.predict().unwrap(), dm(&[1.0, 2.0]));
+        p.observe_pairs(&[9.0, 0.0]);
+        p.observe_pairs(&[1.0, 1.0]);
+        p.observe_pairs(&[1.0, 2.0]);
+        assert_eq!(forecast(&p, 2), vec![1.0, 2.0]);
     }
 
     #[test]
-    fn predict_pairs_into_matches_the_allocating_predict() {
+    fn column_forecasts_are_bit_identical_to_the_matrix_formulation() {
+        // The historical predictors held DemandMatrix state and flattened on
+        // prediction; the columnar reimplementation must reproduce those
+        // forecasts bit for bit on a dense universe.
         let history = vec![dm(&[1.0, 10.0]), dm(&[3.0, 6.0]), dm(&[2.0, 8.0]), dm(&[4.0, 2.0])];
         let kinds = [
             PredictorKind::LastValue,
@@ -367,15 +358,46 @@ mod tests {
             let mut p = kind.build();
             let mut out = vec![0.0; 2];
             assert!(!p.predict_pairs_into(&mut out), "{}: empty predictor must refuse", p.name());
+            // Matrix-state reference: fold with DemandMatrix ops, flatten last.
+            let mut ewma_state: Option<DemandMatrix> = None;
+            let mut window: VecDeque<DemandMatrix> = VecDeque::new();
             for m in &history {
                 p.observe(m);
                 assert!(p.predict_pairs_into(&mut out));
-                let reference = p.predict().unwrap().flatten_pairs();
+                match &mut ewma_state {
+                    Some(s) => s.ewma_blend(0.3, m),
+                    None => ewma_state = Some(m.clone()),
+                }
+                window.push_back(m.clone());
+                if window.len() > 3 {
+                    window.pop_front();
+                }
+                let reference = match kind {
+                    PredictorKind::LastValue => m.flatten_pairs(),
+                    PredictorKind::Ewma(_) => {
+                        ewma_state.as_ref().expect("state set above").flatten_pairs()
+                    }
+                    PredictorKind::SlidingMean(_) => {
+                        let mut acc = DemandMatrix::zeros(2);
+                        for w in &window {
+                            acc = acc.axpy(1.0, w);
+                        }
+                        acc.scaled(1.0 / window.len() as f64).flatten_pairs()
+                    }
+                    PredictorKind::SlidingMax(_) => {
+                        let mut it = window.iter();
+                        let mut acc = it.next().expect("window is non-empty").clone();
+                        for w in it {
+                            acc = acc.element_max(w);
+                        }
+                        acc.flatten_pairs()
+                    }
+                };
                 for (a, b) in out.iter().zip(&reference) {
                     assert_eq!(
                         a.to_bits(),
                         b.to_bits(),
-                        "{}: hot path must be bit-identical",
+                        "{}: column forecast must be bit-identical",
                         p.name()
                     );
                 }

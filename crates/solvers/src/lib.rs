@@ -52,7 +52,7 @@ pub use schemes::{
     predict, prediction_config, DesensitizationSettings, HeuristicBound, Predictor,
     HEURISTIC_PREDICTOR,
 };
-pub use template::{MluTemplate, SeriesStats};
+pub use template::{MluTemplate, RestrictedMluTemplate, SeriesStats};
 
 #[cfg(test)]
 mod proptests {

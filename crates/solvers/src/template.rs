@@ -21,6 +21,7 @@
 use figret_lp::{CoeffHandle, Direction, LinearProgram, LpTemplate, Relation, SolveStats};
 use figret_te::{available_paths, PathSet, TeConfig};
 use figret_topology::FailureScenario;
+use figret_traffic::ActivePairs;
 
 use crate::engine::{apply_availability, MluProblem, SolveError};
 use crate::schemes::{
@@ -205,6 +206,63 @@ impl MluTemplate {
     pub fn clear_basis(&mut self) {
         self.template.clear_basis();
     }
+
+    /// Builds a min-MLU template restricted to the active pairs of a sparse
+    /// demand universe: the program has one ratio variable per path of an
+    /// *active* pair only, so on a 1% dense fabric the LP is ~1% of the dense
+    /// program.  Demands supported on the active pairs yield the same optimal
+    /// MLU as the full program (inactive pairs route zero traffic either
+    /// way); solved configurations are expanded back onto the full path set
+    /// with a uniform split on inactive pairs.
+    pub fn restricted(paths: &PathSet, active: &ActivePairs) -> RestrictedMluTemplate {
+        let (sub, path_map) = paths.restrict_to(active);
+        let fallback = TeConfig::uniform(paths).ratios().to_vec();
+        RestrictedMluTemplate { inner: MluTemplate::new(&sub), sub, path_map, fallback }
+    }
+}
+
+/// An [`MluTemplate`] over the restricted pair universe of an
+/// [`ActivePairs`] index; see [`MluTemplate::restricted`].
+#[derive(Debug)]
+pub struct RestrictedMluTemplate {
+    inner: MluTemplate,
+    /// The restricted path set the program is built over.
+    sub: PathSet,
+    /// Restricted global path index -> full-universe global path index.
+    path_map: Vec<usize>,
+    /// Full-universe ratios used for pairs outside the restricted program.
+    fallback: Vec<f64>,
+}
+
+impl RestrictedMluTemplate {
+    /// Solves for one sparse demand column (`values` in slot order of the
+    /// `ActivePairs` the template was built with) and returns the
+    /// full-universe configuration plus solve counters.  Warm starts behave
+    /// exactly as in [`MluTemplate::solve`].
+    pub fn solve(&mut self, demand_values: &[f64]) -> Result<(TeConfig, SolveStats), SolveError> {
+        let (sub_config, stats) = self.inner.solve(&self.sub, demand_values)?;
+        let mut ratios = self.fallback.clone();
+        for (sub_pi, &full_pi) in self.path_map.iter().enumerate() {
+            ratios[full_pi] = sub_config.ratio(sub_pi);
+        }
+        let config = TeConfig::from_ratios_unchecked(ratios);
+        Ok((config, stats))
+    }
+
+    /// The restricted path set the program was built over.
+    pub fn restricted_paths(&self) -> &PathSet {
+        &self.sub
+    }
+
+    /// Whether the next solve will attempt a warm start.
+    pub fn has_warm_basis(&self) -> bool {
+        self.inner.has_warm_basis()
+    }
+
+    /// Drops the stored basis, forcing the next solve to run cold.
+    pub fn clear_basis(&mut self) {
+        self.inner.clear_basis();
+    }
 }
 
 /// Accumulated solver-work counters over a series of template (or one-shot)
@@ -350,6 +408,38 @@ mod tests {
                 assert_eq!(config.ratio(p), 0.0, "failed path {p} must carry nothing");
             }
         }
+    }
+
+    #[test]
+    fn restricted_template_matches_the_full_program_within_1e9() {
+        use figret_topology::Topology as T;
+        use figret_traffic::{ActivePairs, SparseDemand};
+        use std::sync::Arc;
+
+        let g = TopologySpec::full_scale(T::Geant).build();
+        let ps = PathSet::k_shortest(&g, 3);
+        let active = Arc::new(ActivePairs::sample_per_source(g.num_nodes(), 4, 29));
+        let mut base = SparseDemand::zeros(Arc::clone(&active));
+        for (slot, s, d) in active.iter() {
+            base.set_slot(slot, 5.0 + ((s * 13 + d * 3) % 11) as f64);
+        }
+
+        let mut full = MluTemplate::new(&ps);
+        let mut restricted = MluTemplate::restricted(&ps, &active);
+        assert!(restricted.restricted_paths().num_pairs() == active.len());
+        for scale in [1.0, 1.08, 0.93] {
+            let col = base.scaled(scale);
+            let mut dense_pairs = vec![0.0; ps.num_pairs()];
+            col.scatter_pairs_into(&mut dense_pairs);
+            let (cfg_full, _) = full.solve(&ps, &dense_pairs).unwrap();
+            let (cfg_restricted, _) = restricted.solve(col.values()).unwrap();
+            let a = max_link_utilization_pairs(&ps, &cfg_full, &dense_pairs);
+            let b = max_link_utilization_pairs(&ps, &cfg_restricted, &dense_pairs);
+            assert!((a - b).abs() < 1e-9, "full {a} vs restricted {b}");
+            // The expanded configuration is valid over the full path set.
+            assert!(cfg_restricted.is_valid(&ps));
+        }
+        assert!(restricted.has_warm_basis(), "re-solves must reuse the basis");
     }
 
     #[test]

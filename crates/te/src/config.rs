@@ -93,6 +93,15 @@ impl TeConfig {
         }
     }
 
+    /// Builds a configuration directly from per-path ratios the caller
+    /// guarantees are already normalized per pair.  No validation is
+    /// performed — prefer [`TeConfig::from_normalized`] unless the invariant
+    /// is structural (e.g. splicing two valid configurations over disjoint
+    /// pair sets, as the restricted LP templates do).
+    pub fn from_ratios_unchecked(ratios: Vec<f64>) -> TeConfig {
+        TeConfig { ratios }
+    }
+
     /// Builds a configuration from ratios that are already normalized.
     ///
     /// Returns `None` if any pair's ratios do not sum to one within

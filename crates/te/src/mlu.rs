@@ -6,7 +6,7 @@
 //! implements that computation with the sparse incidence structures of
 //! [`crate::pathset::PathSet`], which is exactly Function 1 of Appendix D.1.
 
-use figret_traffic::DemandMatrix;
+use figret_traffic::{DemandMatrix, SparseDemand};
 
 use crate::config::TeConfig;
 use crate::pathset::PathSet;
@@ -54,6 +54,27 @@ pub fn max_link_utilization_pairs(paths: &PathSet, config: &TeConfig, demand_pai
 /// Maximum link utilization `M(R, D)` for a demand matrix.
 pub fn max_link_utilization(paths: &PathSet, config: &TeConfig, demand: &DemandMatrix) -> f64 {
     max_link_utilization_pairs(paths, config, &demand.flatten_pairs())
+}
+
+/// Maximum link utilization for a sparse demand column over a path set built
+/// on the *same* pair universe ([`PathSet::k_shortest_for_pairs`] /
+/// [`PathSet::from_paths_for_pairs`] over the column's `ActivePairs`): the
+/// column's value vector *is* the per-pair demand vector, so no `O(N²)`
+/// scatter happens.  Because zero-demand paths contribute nothing to edge
+/// loads and active slots preserve the dense pair order, the result is
+/// bit-identical to evaluating the densified demand on the all-pairs path
+/// set.
+pub fn max_link_utilization_sparse(
+    paths: &PathSet,
+    config: &TeConfig,
+    demand: &SparseDemand,
+) -> f64 {
+    assert_eq!(
+        demand.len(),
+        paths.num_pairs(),
+        "sparse demand universe must match the path set's pair universe"
+    );
+    max_link_utilization_pairs(paths, config, demand.values())
 }
 
 /// [`max_link_utilization_pairs`] with a caller-provided edge-load scratch
@@ -232,6 +253,34 @@ mod tests {
             let reference = max_link_utilization_pairs(&ps, &cfg, &pairs);
             let scratch = max_link_utilization_pairs_scratch(&ps, &cfg, &pairs, &mut loads);
             assert_eq!(reference.to_bits(), scratch.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_mlu_is_bit_identical_to_dense_on_a_restricted_universe() {
+        use figret_traffic::ActivePairs;
+        use std::sync::Arc;
+
+        let g = TopologySpec::full_scale(Topology::Geant).build();
+        let n = g.num_nodes();
+        let active = Arc::new(ActivePairs::sample_per_source(n, 4, 13));
+        let restricted = PathSet::k_shortest_for_pairs(&g, &active, 3);
+        let dense = PathSet::k_shortest(&g, 3);
+
+        // A demand supported only on the active pairs.
+        let mut demand = SparseDemand::zeros(Arc::clone(&active));
+        for (slot, s, d) in active.iter() {
+            demand.set_slot(slot, 1.0 + ((s * 31 + d * 7) % 17) as f64);
+        }
+
+        for (cfg_r, cfg_d) in [
+            (TeConfig::uniform(&restricted), TeConfig::uniform(&dense)),
+            (TeConfig::shortest_path(&restricted), TeConfig::shortest_path(&dense)),
+        ] {
+            let sparse_mlu = max_link_utilization_sparse(&restricted, &cfg_r, &demand);
+            let dense_mlu = max_link_utilization(&dense, &cfg_d, &demand.to_matrix());
+            assert_eq!(sparse_mlu.to_bits(), dense_mlu.to_bits());
+            assert!(sparse_mlu > 0.0);
         }
     }
 

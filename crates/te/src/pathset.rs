@@ -10,6 +10,8 @@
 use figret_topology::{
     k_shortest_paths, racke_paths, EdgeWeight, Graph, NodeId, Path, RackeConfig,
 };
+use figret_traffic::ActivePairs;
+use rayon::prelude::*;
 
 /// Index of an ordered source-destination pair within a [`PathSet`].
 pub type PairIndex = usize;
@@ -49,6 +51,28 @@ impl PathSet {
     pub fn from_paths(graph: &Graph, per_pair: Vec<Vec<Path>>) -> PathSet {
         let pairs = graph.sd_pairs();
         assert_eq!(per_pair.len(), pairs.len(), "one path list per SD pair is required");
+        PathSet::assemble(graph, pairs, per_pair)
+    }
+
+    /// [`PathSet::from_paths`] over an arbitrary pair universe: `per_pair[i]`
+    /// holds the candidate paths of the `i`-th *active* pair (slot order of
+    /// `active`).  This is how large fabrics avoid the `O(N²)` pair universe:
+    /// the path set, the TE configuration, MLU evaluation, churn and the LP
+    /// all key off `num_pairs()`, so a restricted universe flows through the
+    /// whole stack unchanged.  Over [`ActivePairs::all`] the result is
+    /// identical to [`PathSet::from_paths`].
+    pub fn from_paths_for_pairs(
+        graph: &Graph,
+        active: &ActivePairs,
+        per_pair: Vec<Vec<Path>>,
+    ) -> PathSet {
+        assert_eq!(active.num_nodes(), graph.num_nodes(), "pair index must match the graph");
+        assert_eq!(per_pair.len(), active.len(), "one path list per active pair is required");
+        let pairs = active.iter().map(|(_, s, d)| (NodeId(s), NodeId(d))).collect::<Vec<_>>();
+        PathSet::assemble(graph, pairs, per_pair)
+    }
+
+    fn assemble(graph: &Graph, pairs: Vec<(NodeId, NodeId)>, per_pair: Vec<Vec<Path>>) -> PathSet {
         let mut pair_offsets = Vec::with_capacity(pairs.len() + 1);
         let mut paths = Vec::new();
         let mut pair_of_path = Vec::new();
@@ -97,11 +121,80 @@ impl PathSet {
         PathSet::from_paths(graph, per_pair)
     }
 
+    /// [`PathSet::k_shortest`] restricted to the active pairs of a sparse
+    /// demand universe.  Yen's algorithm runs only for the `nnz` active pairs
+    /// (in parallel — per-pair results are independent and deterministic), so
+    /// path selection on a 1024-ToR fabric with ~1% density does ~1% of the
+    /// dense work.  Over [`ActivePairs::all`] this equals
+    /// [`PathSet::k_shortest`] exactly.
+    pub fn k_shortest_for_pairs(graph: &Graph, active: &ActivePairs, k: usize) -> PathSet {
+        assert_eq!(active.num_nodes(), graph.num_nodes(), "pair index must match the graph");
+        let per_pair: Vec<Vec<Path>> = active
+            .node_pairs()
+            .into_par_iter()
+            .map(|(s, d)| k_shortest_paths(graph, NodeId(s), NodeId(d), k, EdgeWeight::HopCount))
+            .collect();
+        PathSet::from_paths_for_pairs(graph, active, per_pair)
+    }
+
     /// SMORE-style path selection: Räcke-inspired diverse, capacity-aware paths.
     pub fn racke(graph: &Graph, config: &RackeConfig) -> PathSet {
         let per_pair =
             graph.sd_pairs().into_iter().map(|(s, d)| racke_paths(graph, s, d, config)).collect();
         PathSet::from_paths(graph, per_pair)
+    }
+
+    /// Extracts the sub-path-set covering only the active pairs, together
+    /// with the map from restricted global path index to this set's global
+    /// path index.  Candidate paths, their order and their capacities are
+    /// preserved, so a configuration solved on the restricted set can be
+    /// scattered back onto this one.  Every active pair must be present in
+    /// this set's pair universe.
+    pub fn restrict_to(&self, active: &ActivePairs) -> (PathSet, Vec<PathIndex>) {
+        assert_eq!(active.num_nodes(), self.num_nodes, "pair index must match the path set");
+        let mut index_of = std::collections::HashMap::with_capacity(self.pairs.len());
+        for (i, &(s, d)) in self.pairs.iter().enumerate() {
+            index_of.insert((s.index(), d.index()), i);
+        }
+        let mut pairs = Vec::with_capacity(active.len());
+        let mut pair_offsets = Vec::with_capacity(active.len() + 1);
+        let mut paths = Vec::new();
+        let mut pair_of_path = Vec::new();
+        let mut path_edges = Vec::new();
+        let mut path_capacities = Vec::new();
+        let mut path_map = Vec::new();
+        pair_offsets.push(0);
+        for (slot, s, d) in active.iter() {
+            let src_pair = *index_of.get(&(s, d)).expect("active pair must exist in the path set");
+            pairs.push((NodeId(s), NodeId(d)));
+            for pi in self.paths_of_pair(src_pair) {
+                paths.push(self.paths[pi].clone());
+                pair_of_path.push(slot);
+                path_edges.push(self.path_edges[pi].clone());
+                path_capacities.push(self.path_capacities[pi]);
+                path_map.push(pi);
+            }
+            pair_offsets.push(paths.len());
+        }
+        let mut paths_on_edge = vec![Vec::new(); self.num_edges];
+        for (pi, edges) in path_edges.iter().enumerate() {
+            for &e in edges {
+                paths_on_edge[e].push(pi);
+            }
+        }
+        let restricted = PathSet {
+            num_nodes: self.num_nodes,
+            num_edges: self.num_edges,
+            pairs,
+            pair_offsets,
+            paths,
+            pair_of_path,
+            path_edges,
+            path_capacities,
+            edge_capacities: self.edge_capacities.clone(),
+            paths_on_edge,
+        };
+        (restricted, path_map)
     }
 
     /// Number of nodes of the underlying graph.
@@ -272,5 +365,49 @@ mod tests {
     fn from_paths_checks_length() {
         let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
         PathSet::from_paths(&g, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn all_pairs_universe_matches_dense_constructor() {
+        let g = TopologySpec::full_scale(Topology::Geant).build();
+        let dense = PathSet::k_shortest(&g, 3);
+        let all = ActivePairs::all(g.num_nodes());
+        let sparse = PathSet::k_shortest_for_pairs(&g, &all, 3);
+        assert_eq!(sparse.pairs(), dense.pairs());
+        assert_eq!(sparse.num_paths(), dense.num_paths());
+        for pi in 0..dense.num_paths() {
+            assert_eq!(sparse.path(pi).nodes(), dense.path(pi).nodes());
+            assert_eq!(sparse.pair_of_path(pi), dense.pair_of_path(pi));
+            assert_eq!(sparse.path_capacity(pi), dense.path_capacity(pi));
+        }
+    }
+
+    #[test]
+    fn restricted_universe_is_the_active_subsequence() {
+        let g = TopologySpec::full_scale(Topology::Geant).build();
+        let active = ActivePairs::sample_per_source(g.num_nodes(), 4, 7);
+        let ps = PathSet::k_shortest_for_pairs(&g, &active, 3);
+        assert_eq!(ps.num_pairs(), active.len());
+        let dense = PathSet::k_shortest(&g, 3);
+        // Every restricted pair's candidate paths equal the dense pair's.
+        for (slot, s, d) in active.iter() {
+            let (ns, nd) = ps.pairs()[slot];
+            assert_eq!((ns.index(), nd.index()), (s, d));
+            let dense_pair =
+                dense.pairs().iter().position(|&(a, b)| a.index() == s && b.index() == d).unwrap();
+            let restricted: Vec<_> =
+                ps.paths_of_pair(slot).map(|pi| ps.path(pi).nodes().to_vec()).collect();
+            let reference: Vec<_> =
+                dense.paths_of_pair(dense_pair).map(|pi| dense.path(pi).nodes().to_vec()).collect();
+            assert_eq!(restricted, reference);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one path list per active pair")]
+    fn from_paths_for_pairs_checks_length() {
+        let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
+        let active = ActivePairs::all(g.num_nodes());
+        PathSet::from_paths_for_pairs(&g, &active, vec![Vec::new()]);
     }
 }

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fabric;
 pub mod failures;
 pub mod generators;
 pub mod graph;
@@ -37,6 +38,7 @@ pub mod paths;
 pub mod racke;
 pub mod shortest;
 
+pub use fabric::{Fabric, FabricFlavor, FabricSpec};
 pub use failures::{random_link_failures, FailureScenario};
 pub use generators::{build_topology, Scale, Topology, TopologySpec};
 pub use graph::{Edge, EdgeId, Graph, GraphError, NodeId};

@@ -19,13 +19,16 @@
 //! busier and slightly more uniform, the DB cluster has a few dominant pairs,
 //! mirroring the qualitative description in §5.1.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use figret_topology::Graph;
 
-use crate::matrix::{DemandMatrix, TrafficTrace};
+use crate::matrix::TrafficTrace;
+use crate::sparse::{ActivePairs, SparseDemand, SparseTrace};
 
 /// Which Meta cluster flavour to imitate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,72 +77,81 @@ impl Default for PodTrafficConfig {
 
 /// Generates a PoD-level trace over a (small, usually full-mesh) graph.
 pub fn pod_trace(graph: &Graph, config: &PodTrafficConfig) -> TrafficTrace {
+    let active = Arc::new(ActivePairs::all(graph.num_nodes()));
+    pod_trace_sparse(graph, &active, config).to_trace()
+}
+
+/// Columnar PoD-level generator over an explicit pair set.  Per-slot work
+/// and storage are `O(nnz)`; [`pod_trace`] is the all-pairs dense adapter
+/// (bit-identical to the pre-sparse implementation, since the all-pairs
+/// slot order equals the old row-major pair order).
+pub fn pod_trace_sparse(
+    graph: &Graph,
+    active: &Arc<ActivePairs>,
+    config: &PodTrafficConfig,
+) -> SparseTrace {
     let n = graph.num_nodes();
     assert!(n >= 2, "need at least two PoDs");
+    assert_eq!(active.num_nodes(), n, "pair index must match the graph");
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x0d0d_0001);
     let min_cap = graph.min_capacity().unwrap_or(1.0);
 
     // Per-pair mean rates: heavy-tailed for DB (some dominant pairs), more
     // uniform for WEB.
-    let mut means = vec![0.0f64; n * n];
-    let mut noise_level = vec![0.0f64; n * n];
-    let mut burst_prob = vec![0.0f64; n * n];
-    for s in 0..n {
-        for d in 0..n {
-            if s == d {
-                continue;
-            }
-            let skew: f64 = match config.flavor {
-                ClusterFlavor::Db => {
-                    // A few pairs carry several times the average.
-                    let u: f64 = rng.gen();
-                    if u < 0.2 {
-                        rng.gen_range(1.5..3.0)
-                    } else {
-                        rng.gen_range(0.4..1.2)
-                    }
+    let nnz = active.len();
+    let mut means = vec![0.0f64; nnz];
+    let mut noise_level = vec![0.0f64; nnz];
+    let mut burst_prob = vec![0.0f64; nnz];
+    for slot in 0..nnz {
+        let skew: f64 = match config.flavor {
+            ClusterFlavor::Db => {
+                // A few pairs carry several times the average.
+                let u: f64 = rng.gen();
+                if u < 0.2 {
+                    rng.gen_range(1.5..3.0)
+                } else {
+                    rng.gen_range(0.4..1.2)
                 }
-                ClusterFlavor::Web => rng.gen_range(0.8..1.3),
-            };
-            means[s * n + d] = config.base_load * min_cap * skew;
-            noise_level[s * n + d] = config.noise * rng.gen_range(0.5..1.8);
-            // Heterogeneous burstiness: roughly half the pairs never burst.
-            burst_prob[s * n + d] = if rng.gen::<f64>() < 0.5 {
-                config.burst_probability * rng.gen_range(0.5..2.5)
-            } else {
-                0.0
-            };
-        }
+            }
+            ClusterFlavor::Web => rng.gen_range(0.8..1.3),
+        };
+        means[slot] = config.base_load * min_cap * skew;
+        noise_level[slot] = config.noise * rng.gen_range(0.5..1.8);
+        // Heterogeneous burstiness: roughly half the pairs never burst.
+        burst_prob[slot] = if rng.gen::<f64>() < 0.5 {
+            config.burst_probability * rng.gen_range(0.5..2.5)
+        } else {
+            0.0
+        };
     }
 
-    let mut matrices = Vec::with_capacity(config.num_snapshots);
+    let mut columns = Vec::with_capacity(config.num_snapshots);
     // Slowly varying AR(1) state per pair for temporal correlation.
-    let mut state = vec![1.0f64; n * n];
+    let mut state = vec![1.0f64; nnz];
     for _t in 0..config.num_snapshots {
-        let mut m = DemandMatrix::zeros(n);
-        for s in 0..n {
-            for d in 0..n {
-                if s == d {
-                    continue;
-                }
-                let idx = s * n + d;
-                // AR(1): state drifts slowly around 1.
-                state[idx] = 0.95 * state[idx] + 0.05 * (1.0 + rng.gen_range(-0.5..0.5));
-                let noise = 1.0 + noise_level[idx] * rng.gen_range(-1.0..1.0);
-                let mut v = means[idx] * state[idx] * noise;
-                if burst_prob[idx] > 0.0 && rng.gen::<f64>() < burst_prob[idx] {
-                    v *= rng.gen_range(config.burst_magnitude.0..config.burst_magnitude.1);
-                }
-                m.set(s, d, v);
+        let mut col = SparseDemand::zeros(Arc::clone(active));
+        for slot in 0..nnz {
+            // AR(1): state drifts slowly around 1.
+            state[slot] = 0.95 * state[slot] + 0.05 * (1.0 + rng.gen_range(-0.5..0.5));
+            let noise = 1.0 + noise_level[slot] * rng.gen_range(-1.0..1.0);
+            let mut v = means[slot] * state[slot] * noise;
+            if burst_prob[slot] > 0.0 && rng.gen::<f64>() < burst_prob[slot] {
+                v *= rng.gen_range(config.burst_magnitude.0..config.burst_magnitude.1);
             }
+            col.set_slot(slot, v);
         }
-        matrices.push(m);
+        columns.push(col);
     }
     let flavor = match config.flavor {
         ClusterFlavor::Db => "db",
         ClusterFlavor::Web => "web",
     };
-    TrafficTrace::new(format!("{}-pod-{flavor}", graph.name()), config.interval_seconds, matrices)
+    SparseTrace::new(
+        format!("{}-pod-{flavor}", graph.name()),
+        config.interval_seconds,
+        Arc::clone(active),
+        columns,
+    )
 }
 
 /// Parameters of the ToR-level generator.
@@ -187,82 +199,81 @@ impl Default for TorTrafficConfig {
 
 /// Generates a ToR-level trace over a (random-regular) graph.
 pub fn tor_trace(graph: &Graph, config: &TorTrafficConfig) -> TrafficTrace {
+    let active = Arc::new(ActivePairs::all(graph.num_nodes()));
+    tor_trace_sparse(graph, &active, config).to_trace()
+}
+
+/// Columnar ToR-level generator over an explicit pair set — the native form
+/// for 512–4096-ToR fabrics, where only the sampled communication pattern
+/// (a few percent of all pairs) ever carries traffic and storage is
+/// `O(nnz · T)` instead of `O(N² · T)`.  [`tor_trace`] is the all-pairs
+/// dense adapter (bit-identical to the pre-sparse implementation).
+pub fn tor_trace_sparse(
+    graph: &Graph,
+    active: &Arc<ActivePairs>,
+    config: &TorTrafficConfig,
+) -> SparseTrace {
     let n = graph.num_nodes();
     assert!(n >= 2, "need at least two ToRs");
+    assert_eq!(active.num_nodes(), n, "pair index must match the graph");
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x70b_0002);
     let min_cap = graph.min_capacity().unwrap_or(1.0);
 
-    #[derive(Clone, Copy)]
-    enum PairKind {
-        Elephant,
-        Mouse,
-    }
-    let mut kind = vec![PairKind::Mouse; n * n];
-    let mut mean = vec![0.0f64; n * n];
-    let mut on = vec![false; n * n];
-    for s in 0..n {
-        for d in 0..n {
-            if s == d {
-                continue;
-            }
-            let idx = s * n + d;
-            if rng.gen::<f64>() < config.elephant_fraction {
-                kind[idx] = PairKind::Elephant;
-                let flavor_scale = match config.flavor {
-                    ClusterFlavor::Db => rng.gen_range(0.8..2.0),
-                    ClusterFlavor::Web => rng.gen_range(0.9..1.4),
-                };
-                mean[idx] = config.elephant_load * min_cap * flavor_scale;
-                on[idx] = true;
-            } else {
-                kind[idx] = PairKind::Mouse;
-                mean[idx] = config.elephant_load * min_cap * rng.gen_range(0.05..0.4);
-                on[idx] = rng.gen::<f64>() < config.sparsity;
-            }
+    let nnz = active.len();
+    let mut elephant = vec![false; nnz];
+    let mut mean = vec![0.0f64; nnz];
+    let mut on = vec![false; nnz];
+    for slot in 0..nnz {
+        if rng.gen::<f64>() < config.elephant_fraction {
+            elephant[slot] = true;
+            let flavor_scale = match config.flavor {
+                ClusterFlavor::Db => rng.gen_range(0.8..2.0),
+                ClusterFlavor::Web => rng.gen_range(0.9..1.4),
+            };
+            mean[slot] = config.elephant_load * min_cap * flavor_scale;
+            on[slot] = true;
+        } else {
+            mean[slot] = config.elephant_load * min_cap * rng.gen_range(0.05..0.4);
+            on[slot] = rng.gen::<f64>() < config.sparsity;
         }
     }
 
-    let mut matrices = Vec::with_capacity(config.num_snapshots);
+    let mut columns = Vec::with_capacity(config.num_snapshots);
     for _t in 0..config.num_snapshots {
-        let mut m = DemandMatrix::zeros(n);
-        for s in 0..n {
-            for d in 0..n {
-                if s == d {
-                    continue;
+        let mut col = SparseDemand::zeros(Arc::clone(active));
+        for slot in 0..nnz {
+            if elephant[slot] {
+                // Stable with mild noise.
+                let noise = 1.0 + 0.1 * rng.gen_range(-1.0..1.0);
+                col.set_slot(slot, mean[slot] * noise);
+            } else {
+                // On/off Markov modulation with heavy-tailed bursts when on.
+                if on[slot] {
+                    if rng.gen::<f64>() < config.off_probability {
+                        on[slot] = false;
+                    }
+                } else if rng.gen::<f64>() < config.on_probability {
+                    on[slot] = true;
                 }
-                let idx = s * n + d;
-                match kind[idx] {
-                    PairKind::Elephant => {
-                        // Stable with mild noise.
-                        let noise = 1.0 + 0.1 * rng.gen_range(-1.0..1.0);
-                        m.set(s, d, mean[idx] * noise);
-                    }
-                    PairKind::Mouse => {
-                        // On/off Markov modulation with heavy-tailed bursts when on.
-                        if on[idx] {
-                            if rng.gen::<f64>() < config.off_probability {
-                                on[idx] = false;
-                            }
-                        } else if rng.gen::<f64>() < config.on_probability {
-                            on[idx] = true;
-                        }
-                        if on[idx] {
-                            let burst =
-                                rng.gen_range(config.burst_magnitude.0..config.burst_magnitude.1);
-                            let noise = 1.0 + 0.3 * rng.gen_range(-1.0..1.0);
-                            m.set(s, d, mean[idx] * burst * noise);
-                        }
-                    }
+                if on[slot] {
+                    let burst = rng.gen_range(config.burst_magnitude.0..config.burst_magnitude.1);
+                    let noise = 1.0 + 0.3 * rng.gen_range(-1.0..1.0);
+                    col.set_slot(slot, mean[slot] * burst * noise);
                 }
             }
         }
-        matrices.push(m);
+        columns.push(col);
     }
     let flavor = match config.flavor {
         ClusterFlavor::Db => "db",
         ClusterFlavor::Web => "web",
     };
-    TrafficTrace::new(format!("{}-tor-{flavor}", graph.name()), config.interval_seconds, matrices)
+    SparseTrace::new(
+        format!("{}-tor-{flavor}", graph.name()),
+        config.interval_seconds,
+        Arc::clone(active),
+        columns,
+    )
 }
 
 #[cfg(test)]
@@ -310,6 +321,28 @@ mod tests {
         let max = nonzero.iter().cloned().fold(0.0, f64::max);
         let min = nonzero.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max / min > 50.0, "ToR variance heterogeneity too small: {max} / {min}");
+    }
+
+    #[test]
+    fn sparse_tor_generator_stays_on_its_pattern() {
+        let g = TopologySpec::reduced(Topology::MetaDbTor).build();
+        let active = Arc::new(ActivePairs::sample_per_source(g.num_nodes(), 6, 17));
+        let cfg = TorTrafficConfig { num_snapshots: 50, ..Default::default() };
+        let t = tor_trace_sparse(&g, &active, &cfg);
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.nnz(), g.num_nodes() * 6);
+        assert_eq!(t, tor_trace_sparse(&g, &active, &cfg));
+        // Densifying never places traffic outside the sampled pattern.
+        let dense = t.to_trace();
+        for m in dense.matrices() {
+            for s in 0..g.num_nodes() {
+                for d in 0..g.num_nodes() {
+                    if s != d && m.get(s, d) > 0.0 {
+                        assert!(active.slot(s, d).is_some());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

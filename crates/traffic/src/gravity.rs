@@ -8,6 +8,8 @@
 //! the trace is not perfectly constant (the paper notes gravity traffic is very
 //! stable and has no bursts, which is exactly the property we preserve).
 
+use std::sync::Arc;
+
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -15,6 +17,7 @@ use rand_chacha::ChaCha8Rng;
 use figret_topology::Graph;
 
 use crate::matrix::{DemandMatrix, TrafficTrace};
+use crate::sparse::{ActivePairs, SparseDemand, SparseTrace};
 
 /// Parameters for the gravity-model generator.
 #[derive(Debug, Clone)]
@@ -82,30 +85,65 @@ pub fn gravity_matrix(graph: &Graph, load_factor: f64) -> DemandMatrix {
     m
 }
 
+/// The gravity base restricted to an active pair set: `D_sd ∝ mass(s) ·
+/// mass(d)` over the active pairs only, scaled so the total demand equals
+/// `load_factor * total_capacity / 2`.  This is the base rate column the
+/// fabric-scale online streams perturb — the same construction as
+/// [`gravity_matrix`], but `O(nnz)` instead of `O(N²)`.
+pub fn gravity_column(graph: &Graph, load_factor: f64, active: &Arc<ActivePairs>) -> SparseDemand {
+    let n = graph.num_nodes();
+    assert_eq!(active.num_nodes(), n, "pair index must match the graph");
+    let mut mass = vec![0.0f64; n];
+    for (_, e) in graph.edges() {
+        mass[e.src.index()] += e.capacity;
+    }
+    let total_mass: f64 = mass.iter().sum();
+    let mut col = SparseDemand::zeros(Arc::clone(active));
+    if total_mass <= 0.0 {
+        return col;
+    }
+    let mut weight_sum = 0.0;
+    for (_, s, d) in active.iter() {
+        weight_sum += mass[s] * mass[d];
+    }
+    if weight_sum <= 0.0 {
+        return col;
+    }
+    let offered = load_factor * graph.total_capacity() / 2.0;
+    for (slot, s, d) in active.iter() {
+        col.set_slot(slot, offered * mass[s] * mass[d] / weight_sum);
+    }
+    col
+}
+
 /// Generates a gravity-model trace over the given graph.
 pub fn gravity_trace(graph: &Graph, config: &GravityConfig) -> TrafficTrace {
+    gravity_trace_sparse(graph, config).to_trace()
+}
+
+/// Columnar form of [`gravity_trace`] over the all-pairs index (gravity
+/// demand is full by construction; the columnar form keeps one series type
+/// flowing through the stack).  Bit-identical to the dense path.
+pub fn gravity_trace_sparse(graph: &Graph, config: &GravityConfig) -> SparseTrace {
     let base = gravity_matrix(graph, config.load_factor);
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x9a1_717);
-    let n = graph.num_nodes();
-    let mut matrices = Vec::with_capacity(config.num_snapshots);
+    let active = Arc::new(ActivePairs::all(graph.num_nodes()));
+    let base_slots = base.flatten_pairs();
+    let mut columns = Vec::with_capacity(config.num_snapshots);
     // Period of the smooth modulation: one "day" spans 96 snapshots at a
     // 15-minute interval; reuse that shape regardless of the interval.
     let period = 96.0f64;
     for t in 0..config.num_snapshots {
         let phase = 2.0 * std::f64::consts::PI * (t as f64) / period;
         let season = 1.0 + config.modulation * phase.sin();
-        let mut m = DemandMatrix::zeros(n);
-        for s in 0..n {
-            for d in 0..n {
-                if s != d {
-                    let noise = 1.0 + config.noise * rng.gen_range(-1.0..1.0);
-                    m.set(s, d, base.get(s, d) * season * noise);
-                }
-            }
+        let mut col = SparseDemand::zeros(Arc::clone(&active));
+        for (slot, b) in base_slots.iter().enumerate() {
+            let noise = 1.0 + config.noise * rng.gen_range(-1.0..1.0);
+            col.set_slot(slot, b * season * noise);
         }
-        matrices.push(m);
+        columns.push(col);
     }
-    TrafficTrace::new(format!("{}-gravity", graph.name()), config.interval_seconds, matrices)
+    SparseTrace::new(format!("{}-gravity", graph.name()), config.interval_seconds, active, columns)
 }
 
 #[cfg(test)]
@@ -135,6 +173,20 @@ mod tests {
             let sim = trace.matrix(t).cosine_similarity(trace.matrix(t - 1));
             assert!(sim > 0.99, "gravity traffic must be stable, got similarity {sim}");
         }
+    }
+
+    #[test]
+    fn gravity_column_matches_matrix_and_respects_restriction() {
+        let g = TopologySpec::full_scale(Topology::Geant).build();
+        let all = Arc::new(ActivePairs::all(g.num_nodes()));
+        let col = gravity_column(&g, 0.2, &all);
+        assert_eq!(col.to_matrix(), gravity_matrix(&g, 0.2));
+        // Restricted to a sparse pattern, the offered load is preserved.
+        let sparse = Arc::new(ActivePairs::sample_per_source(g.num_nodes(), 3, 5));
+        let restricted = gravity_column(&g, 0.2, &sparse);
+        let expected = 0.2 * g.total_capacity() / 2.0;
+        assert!((restricted.total() - expected).abs() / expected < 1e-9);
+        assert_eq!(restricted.len(), sparse.len());
     }
 
     #[test]

@@ -29,27 +29,41 @@
 pub mod datacenter;
 pub mod gravity;
 pub mod matrix;
+pub mod ops;
 pub mod perturb;
 pub mod pfabric;
+pub mod sparse;
 pub mod split;
 pub mod stats;
 pub mod stream;
 pub mod wan;
 
-pub use datacenter::{pod_trace, tor_trace, ClusterFlavor, PodTrafficConfig, TorTrafficConfig};
-pub use gravity::{gravity_matrix, gravity_trace, GravityConfig};
+pub use datacenter::{
+    pod_trace, pod_trace_sparse, tor_trace, tor_trace_sparse, ClusterFlavor, PodTrafficConfig,
+    TorTrafficConfig,
+};
+pub use gravity::{
+    gravity_column, gravity_matrix, gravity_trace, gravity_trace_sparse, GravityConfig,
+};
 pub use matrix::{DemandMatrix, MatrixError, TrafficTrace};
-pub use perturb::{gaussian_fluctuation, reverse_by_rank, worst_case_fluctuation};
-pub use pfabric::{pfabric_trace, sample_web_search_flow_size, PFabricConfig};
+pub use perturb::{
+    gaussian_fluctuation, reverse_by_rank, sparse_gaussian_fluctuation, worst_case_fluctuation,
+};
+pub use pfabric::{
+    pfabric_trace, pfabric_trace_sparse, sample_web_search_flow_size, PFabricConfig,
+};
+pub use sparse::{ActivePairs, SparseDemand, SparseTrace};
 pub use split::{TrainTestSplit, WindowDataset, WindowSample};
 pub use stats::{
     cosine_similarity_analysis, cosine_similarity_samples, per_pair_mean_range, per_pair_std_range,
-    per_pair_variance, per_pair_variance_range, percentile, spearman_rank_correlation,
-    DistributionSummary,
+    per_pair_variance, per_pair_variance_range, percentile, sparse_cosine_similarity_analysis,
+    sparse_cosine_similarity_samples, sparse_per_pair_mean_range, sparse_per_pair_variance_range,
+    spearman_rank_correlation, DistributionSummary,
 };
 pub use stream::{
-    collect_stream, DemandStream, DriftConfig, FailureStormConfig, FlashCrowdConfig, OnlineStream,
-    OnlineStreamConfig, ReplayStream,
+    collect_sparse_stream, collect_stream, DemandStream, DriftConfig, FailureStormConfig,
+    FlashCrowdConfig, OnlineStream, OnlineStreamConfig, ReplayStream, SparseDemandStream,
+    SparseReplayStream,
 };
 
 #[cfg(test)]
@@ -110,6 +124,57 @@ mod proptests {
             let w: Vec<f64> = v.iter().map(|x| x * 2.0 + 1.0).collect();
             let r = stats::spearman_rank_correlation(&v, &w);
             prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+
+        #[test]
+        fn sparse_dense_roundtrip_is_exact(m in arbitrary_matrix()) {
+            let active = std::sync::Arc::new(ActivePairs::from_matrix_support(&m));
+            let s = SparseDemand::from_matrix(&m, &active);
+            prop_assert_eq!(s.to_matrix(), m);
+        }
+
+        #[test]
+        fn sparse_ops_match_dense_ops(a in arbitrary_matrix()) {
+            // Derive a second matrix deterministically so both operands share
+            // sparsity structure challenges (scaled keeps support identical).
+            let b = a.axpy(0.5, &a.scaled(0.3));
+            let all = std::sync::Arc::new(ActivePairs::all(a.num_nodes()));
+            let sa = SparseDemand::from_matrix(&a, &all);
+            let sb = SparseDemand::from_matrix(&b, &all);
+
+            prop_assert!((sa.total() - a.total()).abs() <= 1e-12 * (1.0 + a.total().abs()));
+            prop_assert!((sa.max_entry() - a.max_entry()).abs() <= 1e-12);
+            prop_assert!(
+                (sa.cosine_similarity(&sb) - a.cosine_similarity(&b)).abs() <= 1e-12
+            );
+
+            let dense_axpy = a.axpy(0.7, &b);
+            let sparse_axpy = sa.axpy(0.7, &sb);
+            prop_assert_eq!(sparse_axpy.to_matrix(), dense_axpy);
+
+            let dense_max = a.element_max(&b);
+            let sparse_max = sa.element_max(&sb);
+            prop_assert_eq!(sparse_max.to_matrix(), dense_max);
+
+            let mut dense_ewma = a.clone();
+            dense_ewma.ewma_blend(0.35, &b);
+            let mut sparse_ewma = sa.clone();
+            sparse_ewma.ewma_blend(0.35, &sb);
+            prop_assert_eq!(sparse_ewma.to_matrix(), dense_ewma);
+        }
+
+        #[test]
+        fn sparse_restricted_support_ops_match_dense(m in arbitrary_matrix()) {
+            // On the *support* index (zeros dropped), the reductions must still
+            // agree with the dense matrix: interleaved exact zeros do not
+            // change sums, maxima or cosines.
+            let active = std::sync::Arc::new(ActivePairs::from_matrix_support(&m));
+            let s = SparseDemand::from_matrix(&m, &active);
+            prop_assert!((s.total() - m.total()).abs() <= 1e-12 * (1.0 + m.total().abs()));
+            prop_assert!((s.max_entry() - m.max_entry()).abs() <= 1e-12);
+            let m2 = m.scaled(1.3);
+            let s2 = SparseDemand::from_matrix(&m2, &active);
+            prop_assert!((s.cosine_similarity(&s2) - m.cosine_similarity(&m2)).abs() <= 1e-12);
         }
     }
 }

@@ -7,10 +7,17 @@
 
 use std::fmt;
 
+use crate::ops;
+
 /// A single demand matrix.
 ///
 /// Stored row-major (`data[s * n + d]`).  Diagonal entries are always zero: a
 /// node never sends traffic to itself in the TE model.
+///
+/// Since PR 7 this is the *dense adapter* over the shared element-wise
+/// kernels in [`crate::ops`]: small WANs keep using it directly, while
+/// ToR-scale pipelines use [`crate::SparseDemand`] columns over the same
+/// kernels (bit-identical results on the same traffic).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DemandMatrix {
     num_nodes: usize,
@@ -84,12 +91,12 @@ impl DemandMatrix {
 
     /// Total demand over all pairs.
     pub fn total(&self) -> f64 {
-        self.data.iter().sum()
+        ops::total(&self.data)
     }
 
     /// Largest single demand entry.
     pub fn max_entry(&self) -> f64 {
-        self.data.iter().cloned().fold(0.0, f64::max)
+        ops::max_entry(&self.data)
     }
 
     /// Flattened off-diagonal demands in source-major order, matching
@@ -161,9 +168,7 @@ impl DemandMatrix {
     /// the two intermediate matrices.
     pub fn ewma_blend(&mut self, alpha: f64, other: &DemandMatrix) {
         assert_eq!(self.num_nodes, other.num_nodes, "matrices must have the same size");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a = ((*a * (1.0 - alpha)).max(0.0) + alpha * b).max(0.0);
-        }
+        ops::ewma_blend(&mut self.data, alpha, &other.data);
     }
 
     /// Inverse of [`DemandMatrix::flatten_pairs`].
@@ -195,45 +200,30 @@ impl DemandMatrix {
     /// TE baseline, which builds a peak matrix over a time window).
     pub fn element_max(&self, other: &DemandMatrix) -> DemandMatrix {
         assert_eq!(self.num_nodes, other.num_nodes, "matrices must have the same size");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a.max(*b)).collect();
+        let mut data = self.data.clone();
+        ops::max_assign(&mut data, &other.data);
         DemandMatrix { num_nodes: self.num_nodes, data }
     }
 
     /// Per-entry linear combination `self + scale * other`, clamped at zero.
     pub fn axpy(&self, scale: f64, other: &DemandMatrix) -> DemandMatrix {
         assert_eq!(self.num_nodes, other.num_nodes, "matrices must have the same size");
-        let data =
-            self.data.iter().zip(&other.data).map(|(a, b)| (a + scale * b).max(0.0)).collect();
-        DemandMatrix { num_nodes: self.num_nodes, data }
+        DemandMatrix {
+            num_nodes: self.num_nodes,
+            data: ops::axpy_clamped(&self.data, scale, &other.data),
+        }
     }
 
     /// Scales every demand by `factor`.
     pub fn scaled(&self, factor: f64) -> DemandMatrix {
-        DemandMatrix {
-            num_nodes: self.num_nodes,
-            data: self.data.iter().map(|v| (v * factor).max(0.0)).collect(),
-        }
+        DemandMatrix { num_nodes: self.num_nodes, data: ops::scale_clamped(&self.data, factor) }
     }
 
     /// Cosine similarity between the flattened demand vectors of two matrices.
     /// Returns 1.0 when both matrices are all-zero, 0.0 when exactly one is.
     pub fn cosine_similarity(&self, other: &DemandMatrix) -> f64 {
         assert_eq!(self.num_nodes, other.num_nodes, "matrices must have the same size");
-        let mut dot = 0.0;
-        let mut na = 0.0;
-        let mut nb = 0.0;
-        for (a, b) in self.data.iter().zip(&other.data) {
-            dot += a * b;
-            na += a * a;
-            nb += b * b;
-        }
-        if na == 0.0 && nb == 0.0 {
-            1.0
-        } else if na == 0.0 || nb == 0.0 {
-            0.0
-        } else {
-            dot / (na.sqrt() * nb.sqrt())
-        }
+        ops::cosine_similarity(&self.data, &other.data)
     }
 }
 

@@ -7,11 +7,14 @@
 //! scenario" (§5.1).  We reproduce exactly that process and aggregate the flows
 //! that arrive within each snapshot interval into a demand matrix.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::matrix::{DemandMatrix, TrafficTrace};
+use crate::matrix::TrafficTrace;
+use crate::sparse::{ActivePairs, SparseDemand, SparseTrace};
 
 /// The web-search flow-size distribution from the pFabric/DCTCP measurement
 /// studies, expressed as CDF breakpoints `(flow size in MB, cumulative prob)`.
@@ -107,13 +110,22 @@ fn sample_poisson(rng: &mut impl Rng, mean: f64) -> usize {
 ///
 /// Demands are expressed as average rate over the snapshot (MB / interval).
 pub fn pfabric_trace(config: &PFabricConfig) -> TrafficTrace {
+    pfabric_trace_sparse(config).to_trace()
+}
+
+/// Columnar form of [`pfabric_trace`]: flows are scatter-added into one
+/// column per snapshot over the all-pairs index (uniform pair selection
+/// touches every pair eventually, so there is no sparse support to fix).
+/// Bit-identical to the dense path.
+pub fn pfabric_trace_sparse(config: &PFabricConfig) -> SparseTrace {
     assert!(config.num_tors >= 2, "need at least two ToRs");
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xfab_0003);
     let n = config.num_tors;
+    let active = Arc::new(ActivePairs::all(n));
     let mean_flows_per_snapshot = config.arrival_rate * config.interval_seconds;
-    let mut matrices = Vec::with_capacity(config.num_snapshots);
+    let mut columns = Vec::with_capacity(config.num_snapshots);
     for _t in 0..config.num_snapshots {
-        let mut m = DemandMatrix::zeros(n);
+        let mut col = SparseDemand::zeros(Arc::clone(&active));
         let flows = sample_poisson(&mut rng, mean_flows_per_snapshot);
         for _ in 0..flows {
             let s = rng.gen_range(0..n);
@@ -124,11 +136,12 @@ pub fn pfabric_trace(config: &PFabricConfig) -> TrafficTrace {
             let size_mb = sample_web_search_flow_size(&mut rng);
             // Average rate contributed over the snapshot (MB per second * 8 -> Mb/s);
             // we keep MB/interval as the demand unit, consistent across snapshots.
-            m.add(s, d, size_mb);
+            let slot = active.slot(s, d).expect("uniform pair selection is off-diagonal");
+            col.add_slot(slot, size_mb);
         }
-        matrices.push(m);
+        columns.push(col);
     }
-    TrafficTrace::new("pFabric-websearch", config.interval_seconds, matrices)
+    SparseTrace::new("pFabric-websearch", config.interval_seconds, active, columns)
 }
 
 #[cfg(test)]

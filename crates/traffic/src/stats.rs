@@ -6,6 +6,7 @@
 //! * Spearman rank correlation (Table 5's train/test variance-ranking check).
 
 use crate::matrix::TrafficTrace;
+use crate::sparse::SparseTrace;
 
 /// Per-SD-pair variance of the demands over the whole trace, in the
 /// `flatten_pairs` ordering.
@@ -16,55 +17,92 @@ pub fn per_pair_variance(trace: &TrafficTrace) -> Vec<f64> {
 /// Per-SD-pair variance over a sub-range of snapshots (e.g. the training split,
 /// which is what the FIGRET loss uses: `σ²_{D_sd, [1-T]}`).
 pub fn per_pair_variance_range(trace: &TrafficTrace, range: std::ops::Range<usize>) -> Vec<f64> {
+    dense_mean_var(trace, range).1
+}
+
+/// Per-SD-pair mean of the demands over a sub-range of snapshots.
+pub fn per_pair_mean_range(trace: &TrafficTrace, range: std::ops::Range<usize>) -> Vec<f64> {
+    dense_mean_var(trace, range).0
+}
+
+/// Flattens each snapshot once into a single reused buffer (no per-snapshot
+/// allocation) and folds the mean/variance accumulators.
+fn dense_mean_var(trace: &TrafficTrace, range: std::ops::Range<usize>) -> (Vec<f64>, Vec<f64>) {
     let n_pairs = trace.num_nodes() * trace.num_nodes().saturating_sub(1);
     let count = range.len();
-    if count == 0 {
-        return vec![0.0; n_pairs];
-    }
     let mut mean = vec![0.0f64; n_pairs];
+    if count == 0 {
+        return (mean.clone(), mean);
+    }
+    let mut var = vec![0.0f64; n_pairs];
+    let mut row = vec![0.0f64; n_pairs];
     for t in range.clone() {
-        for (i, v) in trace.matrix(t).flatten_pairs().into_iter().enumerate() {
-            mean[i] += v;
+        trace.matrix(t).flatten_pairs_into(&mut row);
+        for (m, v) in mean.iter_mut().zip(&row) {
+            *m += v;
         }
     }
     for m in &mut mean {
         *m /= count as f64;
     }
-    let mut var = vec![0.0f64; n_pairs];
     for t in range {
-        for (i, v) in trace.matrix(t).flatten_pairs().into_iter().enumerate() {
-            let d = v - mean[i];
-            var[i] += d * d;
+        trace.matrix(t).flatten_pairs_into(&mut row);
+        for ((v, x), m) in var.iter_mut().zip(&row).zip(&mean) {
+            let d = x - m;
+            *v += d * d;
         }
     }
     for v in &mut var {
         *v /= count as f64;
     }
-    var
-}
-
-/// Per-SD-pair mean of the demands over a sub-range of snapshots.
-pub fn per_pair_mean_range(trace: &TrafficTrace, range: std::ops::Range<usize>) -> Vec<f64> {
-    let n_pairs = trace.num_nodes() * trace.num_nodes().saturating_sub(1);
-    let count = range.len();
-    if count == 0 {
-        return vec![0.0; n_pairs];
-    }
-    let mut mean = vec![0.0f64; n_pairs];
-    for t in range {
-        for (i, v) in trace.matrix(t).flatten_pairs().into_iter().enumerate() {
-            mean[i] += v;
-        }
-    }
-    for m in &mut mean {
-        *m /= count as f64;
-    }
-    mean
+    (mean, var)
 }
 
 /// Per-SD-pair standard deviation over a sub-range of snapshots.
 pub fn per_pair_std_range(trace: &TrafficTrace, range: std::ops::Range<usize>) -> Vec<f64> {
     per_pair_variance_range(trace, range).into_iter().map(f64::sqrt).collect()
+}
+
+/// Per-active-pair variance of a sparse series over a snapshot sub-range, in
+/// slot order (length `nnz`) — the σ² weights of the FIGRET loss on
+/// ToR-scale fabrics, computed without ever materializing `N²` vectors.
+pub fn sparse_per_pair_variance_range(
+    trace: &SparseTrace,
+    range: std::ops::Range<usize>,
+) -> Vec<f64> {
+    sparse_mean_var(trace, range).1
+}
+
+/// Per-active-pair mean of a sparse series over a snapshot sub-range.
+pub fn sparse_per_pair_mean_range(trace: &SparseTrace, range: std::ops::Range<usize>) -> Vec<f64> {
+    sparse_mean_var(trace, range).0
+}
+
+fn sparse_mean_var(trace: &SparseTrace, range: std::ops::Range<usize>) -> (Vec<f64>, Vec<f64>) {
+    let columns = &trace.snapshots()[range];
+    let mut mean = vec![0.0f64; trace.nnz()];
+    if columns.is_empty() {
+        return (mean.clone(), mean);
+    }
+    for c in columns {
+        for (m, v) in mean.iter_mut().zip(c.values()) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= columns.len() as f64;
+    }
+    let mut var = vec![0.0f64; trace.nnz()];
+    for c in columns {
+        for ((v, x), m) in var.iter_mut().zip(c.values()).zip(&mean) {
+            let d = x - m;
+            *v += d * d;
+        }
+    }
+    for v in &mut var {
+        *v /= columns.len() as f64;
+    }
+    (mean, var)
 }
 
 /// Summary statistics of a sample (used for the candlestick plots of Figure 4).
@@ -161,6 +199,31 @@ pub fn cosine_similarity_samples(trace: &TrafficTrace, window: usize) -> Vec<f64
         let current = trace.matrix(t);
         let best = (t - window..t)
             .map(|h| current.cosine_similarity(trace.matrix(h)))
+            .fold(f64::NEG_INFINITY, f64::max);
+        samples.push(best);
+    }
+    samples
+}
+
+/// Windowed cosine-similarity analysis of a sparse series (the Figure 4
+/// statistic at fabric scale, `O(nnz)` per comparison).
+pub fn sparse_cosine_similarity_analysis(
+    trace: &SparseTrace,
+    window: usize,
+) -> DistributionSummary {
+    DistributionSummary::from_samples(&sparse_cosine_similarity_samples(trace, window))
+}
+
+/// The raw per-snapshot maximum cosine similarities of a sparse series.
+pub fn sparse_cosine_similarity_samples(trace: &SparseTrace, window: usize) -> Vec<f64> {
+    let mut samples = Vec::new();
+    if trace.len() <= window || window == 0 {
+        return samples;
+    }
+    for t in window..trace.len() {
+        let current = trace.snapshot(t);
+        let best = (t - window..t)
+            .map(|h| current.cosine_similarity(trace.snapshot(h)))
             .fold(f64::NEG_INFINITY, f64::max);
         samples.push(best);
     }
@@ -278,6 +341,30 @@ mod tests {
         assert!((s.median - 1.0).abs() < 1e-12);
         assert!(cosine_similarity_samples(&t, 0).is_empty());
         assert!(cosine_similarity_samples(&t, 25).is_empty());
+    }
+
+    #[test]
+    fn sparse_stats_match_dense_on_active_slots() {
+        let t = small_trace();
+        let sparse = crate::sparse::SparseTrace::from_trace(&t);
+        let dense_var = per_pair_variance_range(&t, 0..t.len());
+        let dense_mean = per_pair_mean_range(&t, 0..t.len());
+        let sparse_var = sparse_per_pair_variance_range(&sparse, 0..sparse.len());
+        let sparse_mean = sparse_per_pair_mean_range(&sparse, 0..sparse.len());
+        for (slot, flat) in sparse.active().flat_pair_ids().enumerate() {
+            assert_eq!(sparse_var[slot].to_bits(), dense_var[flat].to_bits());
+            assert_eq!(sparse_mean[slot].to_bits(), dense_mean[flat].to_bits());
+        }
+        let dense_cos = cosine_similarity_samples(&t, 2);
+        let sparse_cos = sparse_cosine_similarity_samples(&sparse, 2);
+        assert_eq!(dense_cos.len(), sparse_cos.len());
+        for (a, b) in dense_cos.iter().zip(&sparse_cos) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(
+            sparse_cosine_similarity_analysis(&sparse, 2).count,
+            cosine_similarity_analysis(&t, 2).count
+        );
     }
 
     #[test]

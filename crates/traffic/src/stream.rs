@@ -18,6 +18,8 @@
 //! the serving loop's determinism contract (DESIGN.md §4) extends to
 //! unbounded scenarios.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -26,6 +28,7 @@ use figret_topology::Graph;
 
 use crate::gravity::gravity_matrix;
 use crate::matrix::{DemandMatrix, TrafficTrace};
+use crate::sparse::{ActivePairs, SparseDemand, SparseTrace};
 
 /// A source of demand matrices, one per tick.
 ///
@@ -37,6 +40,17 @@ pub trait DemandStream {
 
     /// The next demand matrix, or `None` if the stream is exhausted.
     fn next_demand(&mut self) -> Option<DemandMatrix>;
+}
+
+/// A source of sparse demand columns, one per tick, all aligned to one
+/// shared [`ActivePairs`] index — the native interface of the serving loop
+/// on ToR-scale fabrics, where a dense matrix per tick would cost `N²`.
+pub trait SparseDemandStream {
+    /// The pair index every yielded column is aligned to.
+    fn active(&self) -> &Arc<ActivePairs>;
+
+    /// The next demand column, or `None` if the stream is exhausted.
+    fn next_column(&mut self) -> Option<SparseDemand>;
 }
 
 /// Replays the snapshots of an existing [`TrafficTrace`] in order.
@@ -195,14 +209,22 @@ struct FlashEpisode {
 }
 
 /// An unbounded, seeded demand generator; see the module docs.
+///
+/// Natively columnar since PR 7: the per-slot base rates live over an
+/// [`ActivePairs`] index and each tick produces one [`SparseDemand`] column.
+/// [`OnlineStream::from_base`] uses the all-pairs index (whose slot order
+/// equals the old dense row-major pair order), so the dense
+/// [`DemandStream`] adapter yields bit-identical matrices to the pre-sparse
+/// implementation.
 #[derive(Debug, Clone)]
 pub struct OnlineStream {
     config: OnlineStreamConfig,
+    active: Arc<ActivePairs>,
+    /// Per-slot base rate, aligned to `active`.
     base: Vec<f64>,
-    num_nodes: usize,
     rng: ChaCha8Rng,
     tick: usize,
-    /// Random-walk drift multiplier per pair (all 1.0 when drift is off).
+    /// Random-walk drift multiplier per slot (all 1.0 when drift is off).
     drift_mult: Vec<f64>,
     flashes: Vec<FlashEpisode>,
     storm: Option<(usize, usize)>, // (victim node, remaining ticks)
@@ -217,17 +239,33 @@ impl OnlineStream {
 
     /// Builds a stream around an explicit base matrix (e.g. the mean of a
     /// recorded trace, so an online scenario continues where replay ended).
+    /// The stream runs over the all-pairs index (the dense adapter).
     pub fn from_base(base: &DemandMatrix, config: OnlineStreamConfig) -> OnlineStream {
-        let num_nodes = base.num_nodes();
-        let num_pairs = base.num_pairs();
+        let active = Arc::new(ActivePairs::all(base.num_nodes()));
+        OnlineStream::from_slots(active, base.flatten_pairs(), config)
+    }
+
+    /// Builds a stream around a sparse base column: only the column's active
+    /// pairs ever carry traffic, and per-tick work and storage are `O(nnz)`.
+    pub fn from_sparse_base(base: &SparseDemand, config: OnlineStreamConfig) -> OnlineStream {
+        OnlineStream::from_slots(Arc::clone(base.active()), base.values().to_vec(), config)
+    }
+
+    fn from_slots(
+        active: Arc<ActivePairs>,
+        base: Vec<f64>,
+        config: OnlineStreamConfig,
+    ) -> OnlineStream {
+        assert_eq!(base.len(), active.len(), "one base rate per active pair is required");
         let rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5e7e_a11f);
+        let num_slots = base.len();
         OnlineStream {
             config,
-            base: base.flatten_pairs(),
-            num_nodes,
+            active,
+            base,
             rng,
             tick: 0,
-            drift_mult: vec![1.0; num_pairs],
+            drift_mult: vec![1.0; num_slots],
             flashes: Vec::new(),
             storm: None,
         }
@@ -267,7 +305,7 @@ impl OnlineStream {
                 self.storm = if remaining > 1 { Some((node, remaining - 1)) } else { None };
             }
             if self.storm.is_none() && self.rng.gen::<f64>() < fs.probability {
-                let node = self.rng.gen_range(0..self.num_nodes);
+                let node = self.rng.gen_range(0..self.active.num_nodes());
                 let duration = self.rng.gen_range(fs.duration.0..fs.duration.1).max(1);
                 self.storm = Some((node, duration));
             }
@@ -275,42 +313,110 @@ impl OnlineStream {
     }
 }
 
-impl DemandStream for OnlineStream {
-    fn num_nodes(&self) -> usize {
-        self.num_nodes
+impl SparseDemandStream for OnlineStream {
+    fn active(&self) -> &Arc<ActivePairs> {
+        &self.active
     }
 
-    fn next_demand(&mut self) -> Option<DemandMatrix> {
+    fn next_column(&mut self) -> Option<SparseDemand> {
         self.advance_events();
         let phase = 2.0 * std::f64::consts::PI * (self.tick as f64) / self.config.diurnal_period;
         let season = 1.0 + self.config.diurnal_amplitude * phase.sin();
-        let n = self.num_nodes;
         let drain = self.config.failure_storms.map(|fs| fs.drain).unwrap_or(0.0);
-        let mut m = DemandMatrix::zeros(n);
-        let mut idx = 0usize;
-        for s in 0..n {
-            for d in 0..n {
-                if s == d {
-                    continue;
+        let active = Arc::clone(&self.active);
+        let mut column = SparseDemand::zeros(Arc::clone(&active));
+        for (slot, s, d) in active.iter() {
+            let noise = 1.0 + self.config.noise * self.rng.gen_range(-1.0..1.0);
+            let mut value = self.base[slot] * season * self.drift_mult[slot] * noise;
+            for f in &self.flashes {
+                if f.pair == slot {
+                    value *= f.magnitude;
                 }
-                let noise = 1.0 + self.config.noise * self.rng.gen_range(-1.0..1.0);
-                let mut value = self.base[idx] * season * self.drift_mult[idx] * noise;
-                for f in &self.flashes {
-                    if f.pair == idx {
-                        value *= f.magnitude;
-                    }
-                }
-                if let Some((victim, _)) = self.storm {
-                    if s == victim || d == victim {
-                        value *= 1.0 - drain;
-                    }
-                }
-                m.set(s, d, value);
-                idx += 1;
             }
+            if let Some((victim, _)) = self.storm {
+                if s == victim || d == victim {
+                    value *= 1.0 - drain;
+                }
+            }
+            column.set_slot(slot, value);
         }
         self.tick += 1;
-        Some(m)
+        Some(column)
+    }
+}
+
+impl DemandStream for OnlineStream {
+    fn num_nodes(&self) -> usize {
+        self.active.num_nodes()
+    }
+
+    fn next_demand(&mut self) -> Option<DemandMatrix> {
+        self.next_column().map(|c| c.to_matrix())
+    }
+}
+
+/// Replays the columns of an existing [`SparseTrace`] in order — the sparse
+/// counterpart of [`ReplayStream`].
+#[derive(Debug, Clone)]
+pub struct SparseReplayStream {
+    trace: SparseTrace,
+    cursor: usize,
+    looping: bool,
+}
+
+impl SparseReplayStream {
+    /// Replays the trace once, then reports exhaustion.
+    pub fn once(trace: SparseTrace) -> SparseReplayStream {
+        SparseReplayStream { trace, cursor: 0, looping: false }
+    }
+
+    /// Replays the trace forever, wrapping around at the end.
+    pub fn looping(trace: SparseTrace) -> SparseReplayStream {
+        assert!(!trace.is_empty(), "cannot loop over an empty trace");
+        SparseReplayStream { trace, cursor: 0, looping: true }
+    }
+
+    /// Starts the replay at snapshot `start` instead of 0.
+    pub fn starting_at(mut self, start: usize) -> SparseReplayStream {
+        self.cursor = start;
+        self
+    }
+
+    /// Snapshots left before exhaustion (`None` for a looping stream).
+    pub fn remaining(&self) -> Option<usize> {
+        if self.looping {
+            None
+        } else {
+            Some(self.trace.len().saturating_sub(self.cursor))
+        }
+    }
+}
+
+impl SparseDemandStream for SparseReplayStream {
+    fn active(&self) -> &Arc<ActivePairs> {
+        self.trace.active()
+    }
+
+    fn next_column(&mut self) -> Option<SparseDemand> {
+        if self.cursor >= self.trace.len() {
+            if !self.looping {
+                return None;
+            }
+            self.cursor = 0;
+        }
+        let c = self.trace.snapshot(self.cursor).clone();
+        self.cursor += 1;
+        Some(c)
+    }
+}
+
+impl DemandStream for SparseReplayStream {
+    fn num_nodes(&self) -> usize {
+        self.trace.num_nodes()
+    }
+
+    fn next_demand(&mut self) -> Option<DemandMatrix> {
+        self.next_column().map(|c| c.to_matrix())
     }
 }
 
@@ -329,6 +435,24 @@ pub fn collect_stream(
         }
     }
     TrafficTrace::new("stream", interval_seconds, matrices)
+}
+
+/// Materializes the next `ticks` columns of a sparse stream into a
+/// [`SparseTrace`] (the columnar counterpart of [`collect_stream`]).
+pub fn collect_sparse_stream(
+    stream: &mut dyn SparseDemandStream,
+    ticks: usize,
+    interval_seconds: f64,
+) -> SparseTrace {
+    let active = Arc::clone(stream.active());
+    let mut columns = Vec::with_capacity(ticks);
+    for _ in 0..ticks {
+        match stream.next_column() {
+            Some(c) => columns.push(c),
+            None => break,
+        }
+    }
+    SparseTrace::new("stream", interval_seconds, active, columns)
 }
 
 #[cfg(test)]
@@ -460,6 +584,55 @@ mod tests {
         let drained =
             (0..n).any(|v| (0..n).all(|o| o == v || (m.get(v, o) == 0.0 && m.get(o, v) == 0.0)));
         assert!(drained, "a storm with drain=1.0 must zero out one node's traffic");
+    }
+
+    #[test]
+    fn sparse_and_dense_online_streams_agree_bitwise() {
+        let g = geant();
+        let config = OnlineStreamConfig { seed: 123, ..Default::default() };
+        let mut dense = OnlineStream::from_graph(&g, 0.25, config.clone());
+        let mut sparse = OnlineStream::from_graph(&g, 0.25, config);
+        for _ in 0..25 {
+            let m = dense.next_demand().unwrap();
+            let c = sparse.next_column().unwrap();
+            assert_eq!(c.to_matrix(), m);
+        }
+    }
+
+    #[test]
+    fn sparse_base_stream_stays_on_its_support() {
+        let active = Arc::new(ActivePairs::sample_per_source(40, 4, 3));
+        let base = SparseDemand::from_values(Arc::clone(&active), vec![1.0; active.len()]).unwrap();
+        let mut s = OnlineStream::from_sparse_base(&base, OnlineStreamConfig::default());
+        assert_eq!(s.active().len(), 160);
+        let trace = collect_sparse_stream(&mut s, 10, 60.0);
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.nnz(), 160);
+        assert!(trace.snapshot(9).total() > 0.0);
+    }
+
+    #[test]
+    fn sparse_replay_matches_dense_replay() {
+        let g = geant();
+        let trace = crate::wan::wan_trace(
+            &g,
+            &crate::wan::WanTrafficConfig { num_snapshots: 6, ..Default::default() },
+        );
+        let sparse = SparseTrace::from_trace(&trace);
+        let mut a = ReplayStream::looping(trace).starting_at(4);
+        let mut b = SparseReplayStream::looping(sparse).starting_at(4);
+        assert_eq!(b.remaining(), None);
+        for _ in 0..10 {
+            assert_eq!(a.next_demand(), b.next_demand());
+        }
+        let mut once = SparseReplayStream::once(collect_sparse_stream(
+            &mut OnlineStream::from_graph(&g, 0.25, OnlineStreamConfig::default()),
+            3,
+            60.0,
+        ));
+        assert_eq!(once.remaining(), Some(3));
+        assert!(once.next_column().is_some());
+        assert_eq!(once.remaining(), Some(2));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! whose probability and magnitude are drawn from heavy-tailed distributions so
 //! that a few pairs dominate the burstiness.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -22,7 +24,8 @@ use rand_chacha::ChaCha8Rng;
 use figret_topology::Graph;
 
 use crate::gravity::gravity_matrix;
-use crate::matrix::{DemandMatrix, TrafficTrace};
+use crate::matrix::TrafficTrace;
+use crate::sparse::{ActivePairs, SparseDemand, SparseTrace};
 
 /// Parameters of the WAN trace generator.
 #[derive(Debug, Clone)]
@@ -75,62 +78,62 @@ struct PairProfile {
 }
 
 /// Generates a GEANT-like WAN trace over `graph`.
+///
+/// WANs are small, so the dense [`TrafficTrace`] remains the primary
+/// interface; the trace is assembled as columns over the all-pairs index
+/// (see [`wan_trace_sparse`]) and densified at the end, bit-identical to
+/// the pre-sparse implementation.
 pub fn wan_trace(graph: &Graph, config: &WanTrafficConfig) -> TrafficTrace {
+    wan_trace_sparse(graph, config).to_trace()
+}
+
+/// Columnar form of [`wan_trace`] over the all-pairs index (gravity bases
+/// are full, so WAN traffic has no sparse support to exploit; the columnar
+/// form exists so one snapshot series type flows through the whole stack).
+pub fn wan_trace_sparse(graph: &Graph, config: &WanTrafficConfig) -> SparseTrace {
     let n = graph.num_nodes();
+    let active = Arc::new(ActivePairs::all(n));
     let base = gravity_matrix(graph, config.load_factor);
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x0007_ea57);
 
     // Assign per-pair profiles.  Burst-prone pairs are selected at random;
     // their mean traffic is also skewed so variance heterogeneity is large.
-    let mut profiles: Vec<PairProfile> = Vec::with_capacity(n * (n - 1));
-    for s in 0..n {
-        for d in 0..n {
-            if s == d {
-                continue;
-            }
-            let bursty = rng.gen::<f64>() < config.bursty_fraction;
-            // Log-normal-ish skew of the mean around the gravity value.
-            let skew = (rng.gen::<f64>() * 2.0 - 1.0) * 0.6;
-            let mean = base.get(s, d) * (1.0 + skew).max(0.1);
-            profiles.push(PairProfile {
-                mean,
-                noise: config.noise * rng.gen_range(0.5..1.5),
-                burst_prob: if bursty {
-                    config.burst_probability * rng.gen_range(0.5..2.0)
-                } else {
-                    0.0
-                },
-                burst_low: config.burst_magnitude.0,
-                burst_high: config.burst_magnitude.1,
-            });
-        }
+    let mut profiles: Vec<PairProfile> = Vec::with_capacity(active.len());
+    for (_, s, d) in active.iter() {
+        let bursty = rng.gen::<f64>() < config.bursty_fraction;
+        // Log-normal-ish skew of the mean around the gravity value.
+        let skew = (rng.gen::<f64>() * 2.0 - 1.0) * 0.6;
+        let mean = base.get(s, d) * (1.0 + skew).max(0.1);
+        profiles.push(PairProfile {
+            mean,
+            noise: config.noise * rng.gen_range(0.5..1.5),
+            burst_prob: if bursty {
+                config.burst_probability * rng.gen_range(0.5..2.0)
+            } else {
+                0.0
+            },
+            burst_low: config.burst_magnitude.0,
+            burst_high: config.burst_magnitude.1,
+        });
     }
 
     let period = 96.0f64; // one synthetic day at 15-minute snapshots
-    let mut matrices = Vec::with_capacity(config.num_snapshots);
+    let mut columns = Vec::with_capacity(config.num_snapshots);
     for t in 0..config.num_snapshots {
         let phase = 2.0 * std::f64::consts::PI * (t as f64) / period;
         let season = 1.0 + config.diurnal_amplitude * phase.sin();
-        let mut m = DemandMatrix::zeros(n);
-        let mut idx = 0usize;
-        for s in 0..n {
-            for d in 0..n {
-                if s == d {
-                    continue;
-                }
-                let p = &profiles[idx];
-                idx += 1;
-                let noise = 1.0 + p.noise * rng.gen_range(-1.0..1.0);
-                let mut value = p.mean * season * noise;
-                if p.burst_prob > 0.0 && rng.gen::<f64>() < p.burst_prob {
-                    value *= rng.gen_range(p.burst_low..p.burst_high);
-                }
-                m.set(s, d, value);
+        let mut col = SparseDemand::zeros(Arc::clone(&active));
+        for (slot, p) in profiles.iter().enumerate() {
+            let noise = 1.0 + p.noise * rng.gen_range(-1.0..1.0);
+            let mut value = p.mean * season * noise;
+            if p.burst_prob > 0.0 && rng.gen::<f64>() < p.burst_prob {
+                value *= rng.gen_range(p.burst_low..p.burst_high);
             }
+            col.set_slot(slot, value);
         }
-        matrices.push(m);
+        columns.push(col);
     }
-    TrafficTrace::new(format!("{}-wan", graph.name()), config.interval_seconds, matrices)
+    SparseTrace::new(format!("{}-wan", graph.name()), config.interval_seconds, active, columns)
 }
 
 #[cfg(test)]
