@@ -1,0 +1,148 @@
+//! Shared setup for the sharded-fleet benchmarks (`shard_scale`,
+//! `fleet_inference`): random-regular ToR fabrics, sampled sparse pair
+//! universes, and warmed [`FleetController`]s in both the LP and the
+//! learned-inference serving modes (DESIGN.md §8).
+
+use std::sync::Arc;
+
+use figret::{FigretConfig, FigretModel};
+use figret_serve::{FleetController, PredictorKind, ReconfigPolicy, ServeController, UpdateBudget};
+use figret_te::PathSet;
+use figret_topology::FabricSpec;
+use figret_traffic::datacenter::{tor_trace_sparse, TorTrafficConfig};
+use figret_traffic::{ActivePairs, ShardPlan, SparseTrace};
+
+/// Snapshots per benchmark trace (warmup + a few ticks to cycle over).
+pub const SNAPSHOTS: usize = 10;
+/// Sliding-window length of the LP fleets.
+pub const WINDOW: usize = 2;
+/// Sampled destinations per source ToR.
+pub const PER_SOURCE: usize = 8;
+
+/// A fabric, its sampled pair universe, path set, and traffic trace —
+/// everything a fleet benchmark needs to build controllers.
+pub struct FleetCase {
+    /// k-shortest paths over the sampled universe.
+    pub paths: PathSet,
+    /// The benchmark traffic trace (sparse columns, slot order).
+    pub trace: SparseTrace,
+    /// The sampled pair universe.
+    pub active: Arc<ActivePairs>,
+    /// ToR count of the fabric (source-block partitioning granularity).
+    pub num_tors: usize,
+}
+
+/// Builds the benchmark case for a `tors`-ToR jellyfish fabric.  `steady`
+/// picks the no-churn, hair-width-burst traffic config (demand moves ~0.1%
+/// per snapshot, so warm LP bases stay near-optimal); otherwise the default
+/// on/off + burst workload.
+pub fn fleet_case(tors: usize, steady: bool) -> FleetCase {
+    let fabric = FabricSpec::jellyfish(tors).build();
+    let active = Arc::new(ActivePairs::sample_among(
+        fabric.graph.num_nodes(),
+        fabric.num_tors,
+        PER_SOURCE,
+        7 ^ 0xfab,
+    ));
+    let paths = PathSet::k_shortest_for_pairs(&fabric.graph, &active, 3);
+    let config = if steady {
+        TorTrafficConfig {
+            num_snapshots: SNAPSHOTS,
+            seed: 7,
+            on_probability: 0.0,
+            off_probability: 0.0,
+            burst_magnitude: (0.999, 1.001),
+            ..Default::default()
+        }
+    } else {
+        TorTrafficConfig { num_snapshots: SNAPSHOTS, seed: 7, ..Default::default() }
+    };
+    let trace = tor_trace_sparse(&fabric.graph, &active, &config);
+    FleetCase { paths, trace, active, num_tors: fabric.num_tors }
+}
+
+/// The benchmark reconfiguration policy: a real joint budget, so the
+/// admission layer runs its full grant path every tick.
+pub fn fleet_policy() -> ReconfigPolicy {
+    ReconfigPolicy {
+        hysteresis: 0.01,
+        budget: Some(UpdateBudget::per_window(4, 8)),
+        ..ReconfigPolicy::always_update()
+    }
+}
+
+/// Builds an LP fleet over `shards` source blocks and pays warmup + the
+/// cold first solve outside the timed region, so samples measure the
+/// steady warm-tick cost.
+pub fn warmed_lp_fleet(case: &FleetCase, shards: usize) -> FleetController {
+    let plan = ShardPlan::source_blocks(&case.active, case.num_tors, shards);
+    let mut fleet =
+        FleetController::lp(&plan, &case.paths, WINDOW, PredictorKind::LastValue, &fleet_policy());
+    for t in 0..WINDOW {
+        fleet.observe_sparse(case.trace.snapshot(t));
+    }
+    fleet.step_sparse(case.trace.snapshot(WINDOW));
+    fleet
+}
+
+/// Builds a learned-inference fleet over `shards` source blocks: each shard
+/// compiles its model into the f32 `InferencePlan` and serves it with the
+/// LP audit disabled, so ticks never touch the solver.  Weights stay at
+/// initialisation — inference cost is weight-independent, and
+/// restricted-universe training is an open ROADMAP item — so this measures
+/// serving throughput, not TE quality.  Warmup (the model's history window)
+/// and the first decision are paid here, outside the timed region.
+pub fn warmed_learned_fleet(
+    case: &FleetCase,
+    shards: usize,
+    config: &FigretConfig,
+) -> FleetController {
+    let plan = ShardPlan::source_blocks(&case.active, case.num_tors, shards);
+    let pol = fleet_policy();
+    let controllers = plan
+        .shards()
+        .iter()
+        .map(|shard| {
+            let (restricted, _) = case.paths.restrict_to(shard.active());
+            let model =
+                FigretModel::new(&restricted, &vec![0.0; restricted.num_pairs()], config.clone());
+            let mut c = ServeController::learned(
+                &restricted,
+                model,
+                PredictorKind::LastValue.build(),
+                ReconfigPolicy { budget: None, ..pol.clone() },
+            );
+            c.enable_inference_plan();
+            c.bind_universe(shard.active());
+            c
+        })
+        .collect();
+    let mut fleet = FleetController::from_controllers(&plan, controllers, &pol);
+    let window = config.history_window;
+    for t in 0..window {
+        fleet.observe_sparse(case.trace.snapshot(t));
+    }
+    fleet.step_sparse(case.trace.snapshot(window));
+    fleet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_and_learned_fleets_build_and_tick() {
+        let case = fleet_case(64, true);
+        let mut lp = warmed_lp_fleet(&case, 4);
+        let out = lp.step_sparse(case.trace.snapshot(WINDOW + 1));
+        assert!(out.global_mlu > 0.0);
+        assert_eq!(lp.num_shards(), 4);
+
+        let config = FigretConfig::fast_test();
+        let mut learned = warmed_learned_fleet(&case, 4, &config);
+        let window = config.history_window;
+        let out = learned.step_sparse(case.trace.snapshot(window + 1));
+        assert!(out.global_mlu > 0.0);
+        assert_eq!(out.decision_seconds.len(), 4);
+    }
+}

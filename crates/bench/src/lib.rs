@@ -5,6 +5,8 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
+
 pub use figret_eval::{Scenario, ScenarioOptions};
 pub use figret_topology::Topology;
 

@@ -23,7 +23,8 @@ fn main() {
         .number("budget-window", 16, "update-budget window length in ticks")
         .switch("always-update", "reconfigure every tick (batch-equivalence mode)")
         .number("online-ticks", 0, "serve N generated ticks instead of replaying the trace")
-        .text("inference", "graph", "learned-engine inference path: graph | plan");
+        .text("inference", "graph", "learned-engine inference path: graph | plan")
+        .number("shards", 0, "serve through a sharded fleet with N shards (0 = unsharded)");
     let values = flags.parse_or_exit(std::env::args().skip(1));
     let experiment = ExperimentOptions::from_flag_values(&values);
 
@@ -72,6 +73,7 @@ fn main() {
         online_ticks: values.number("online-ticks"),
         max_ticks: Some(experiment.max_eval),
         use_plan,
+        shards: values.number("shards"),
         experiment,
     };
     serve_sim(&options);

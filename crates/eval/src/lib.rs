@@ -9,6 +9,7 @@
 
 pub mod args;
 pub mod experiments;
+pub mod fleet;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -16,6 +17,7 @@ pub mod serving;
 
 pub use args::{FlagSet, FlagValues};
 pub use experiments::ExperimentOptions;
+pub use fleet::{print_fleet_report, serve_fleet, FleetRun};
 pub use runner::{omniscient_series, run_scheme, EvalOptions, Scheme, SchemeRun};
 pub use scenario::{Scenario, ScenarioOptions};
 pub use serving::{serve_replay, ServeEngine, ServeRun, ServeSimOptions};

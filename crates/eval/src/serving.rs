@@ -93,6 +93,11 @@ pub struct ServeSimOptions {
     /// decisions must not change — CI diffs `decision_digest` between the
     /// two inference paths.
     pub use_plan: bool,
+    /// When > 0, serve through a sharded [`figret_serve::FleetController`]
+    /// with this many source-block shards under one global admission budget
+    /// (`crate::fleet`).  `--shards 1` runs a one-shard fleet, whose digests
+    /// must equal the unsharded path's.  0 = the single-controller path.
+    pub shards: usize,
 }
 
 impl ServeSimOptions {
@@ -109,6 +114,7 @@ impl ServeSimOptions {
             online_ticks: 0,
             max_ticks: None,
             use_plan: false,
+            shards: 0,
         }
     }
 }
@@ -133,6 +139,13 @@ pub struct ServeRun {
     /// Fabric runs only: demand-storage accounting (sparse vs. the dense
     /// `N×N` equivalent).
     pub memory: Option<FabricMemory>,
+    /// Wall-clock seconds of the serving loop end to end (decisions +
+    /// ingestion, setup excluded).
+    pub serve_seconds: f64,
+    /// SD pairs decided per tick (the pair-universe size): each tick makes
+    /// one routing decision per active pair, so aggregate throughput is
+    /// `ticks · pairs_per_tick / serve_seconds` decisions/sec.
+    pub pairs_per_tick: usize,
 }
 
 /// Demand-storage accounting of a fabric serving run.
@@ -180,9 +193,14 @@ impl ServeRun {
 pub fn parse_topology(spec: &str) -> Result<ServeTopology, String> {
     let key = spec.to_ascii_lowercase();
     if let Some(tors) = key.strip_prefix("podfab").and_then(|n| n.parse::<usize>().ok()) {
-        if !tors.is_multiple_of(64) || tors < 128 {
+        // Mirror `two_tier_pod_size`: 64-ToR pods at scale, 8-ToR pods for
+        // CI-sized fabrics (podfab16 is the smoke-test topology).
+        let sized =
+            (tors >= 128 && tors.is_multiple_of(64)) || (tors >= 16 && tors.is_multiple_of(8));
+        if !sized {
             return Err(format!(
-                "podfab fabrics need a ToR count that is a multiple of 64 (≥ 128), got {tors}"
+                "podfab fabrics need 8-ToR pods (multiples of 8, ≥ 16) or 64-ToR pods \
+                 (multiples of 64, ≥ 128), got {tors}"
             ));
         }
         return Ok(ServeTopology::Fabric(FabricSpec::two_tier(tors)));
@@ -316,6 +334,7 @@ pub fn serve_replay(scenario: &Scenario, options: &ServeSimOptions) -> ServeRun 
     if let Some(cap) = options.max_ticks {
         indices.truncate(cap);
     }
+    let serve_start = std::time::Instant::now();
     let (log, realized) = match options.demand {
         DemandMode::Dense => {
             let mut stream = ReplayStream::once(scenario.trace.clone()).starting_at(first - warmup);
@@ -325,6 +344,7 @@ pub fn serve_replay(scenario: &Scenario, options: &ServeSimOptions) -> ServeRun 
             drive_replay_sparse(&mut controller, &scenario.trace, first - warmup, warmup, &indices)
         }
     };
+    let serve_seconds = serve_start.elapsed().as_secs_f64();
     assert_eq!(log.len(), indices.len(), "one decision per replayed test snapshot");
     let omniscient = omniscient_over(&scenario.paths, &realized);
     ServeRun {
@@ -344,6 +364,8 @@ pub fn serve_replay(scenario: &Scenario, options: &ServeSimOptions) -> ServeRun 
         lp_stats: *controller.lp_stats(),
         fell_back: controller.fell_back(),
         memory: None,
+        serve_seconds,
+        pairs_per_tick: scenario.paths.num_pairs(),
     }
 }
 
@@ -392,7 +414,9 @@ pub fn serve_online(scenario: &Scenario, ticks: usize, options: &ServeSimOptions
         ..Default::default()
     };
     let mut stream = OnlineStream::from_graph(&scenario.graph, 0.25, stream_config);
+    let serve_start = std::time::Instant::now();
     let (log, realized) = drive(&mut controller, &mut stream, warmup, Some(ticks));
+    let serve_seconds = serve_start.elapsed().as_secs_f64();
     let omniscient = omniscient_over(&scenario.paths, &realized);
     ServeRun {
         name: format!(
@@ -407,6 +431,65 @@ pub fn serve_online(scenario: &Scenario, ticks: usize, options: &ServeSimOptions
         lp_stats: *controller.lp_stats(),
         fell_back: controller.fell_back(),
         memory: None,
+        serve_seconds,
+        pairs_per_tick: scenario.paths.num_pairs(),
+    }
+}
+
+/// The shared setup of a fabric serving run — identical for the unsharded
+/// path and the sharded fleet, so `--shards 1` replays the exact same
+/// scenario (same universe, paths, trace, warmup, tick schedule) and its
+/// digests must match the unsharded run's.
+pub(crate) struct FabricServeSetup {
+    pub fabric: figret_topology::Fabric,
+    pub active: Arc<ActivePairs>,
+    pub paths: PathSet,
+    pub trace: SparseTrace,
+    /// Observation-only snapshots before the first decision.
+    pub warmup: usize,
+    /// Snapshot indices served as decision ticks, in order.
+    pub ticks: Vec<usize>,
+}
+
+impl FabricServeSetup {
+    pub(crate) fn build(spec: &FabricSpec, options: &ServeSimOptions) -> FabricServeSetup {
+        let fabric = spec.build();
+        let n = fabric.graph.num_nodes();
+        // Fixed per-source fan-out: density per_source/(tors-1), i.e. ~1.6%
+        // at 1024 ToRs with the default 16.
+        let per_source = if options.experiment.fast { 8 } else { 16 };
+        let active =
+            Arc::new(ActivePairs::sample_among(n, fabric.num_tors, per_source, spec.seed ^ 0xfab));
+        let paths = PathSet::k_shortest_for_pairs(&fabric.graph, &active, 3);
+        let trace = tor_trace_sparse(
+            &fabric.graph,
+            &active,
+            &TorTrafficConfig {
+                num_snapshots: options.experiment.snapshots,
+                seed: spec.seed,
+                ..Default::default()
+            },
+        );
+        let window = options.experiment.window;
+        let warmup = window.max(1).min(trace.len().saturating_sub(1));
+        let mut ticks: Vec<usize> = (warmup..trace.len()).collect();
+        if let Some(cap) = options.max_ticks {
+            ticks.truncate(cap);
+        }
+        FabricServeSetup { fabric, active, paths, trace, warmup, ticks }
+    }
+
+    pub(crate) fn memory(&self) -> FabricMemory {
+        let n = self.fabric.graph.num_nodes();
+        FabricMemory {
+            num_nodes: n,
+            num_tors: self.fabric.num_tors,
+            active_pairs: self.active.len(),
+            index_bytes: self.active.index_bytes(),
+            sparse_trace_bytes: self.trace.demand_storage_bytes(),
+            dense_trace_bytes: self.trace.len() * n * n * std::mem::size_of::<f64>(),
+            peak_rss_bytes: peak_rss_bytes(),
+        }
     }
 }
 
@@ -419,60 +502,73 @@ pub fn serve_online(scenario: &Scenario, ticks: usize, options: &ServeSimOptions
 /// The engine is always the warm-started LP (training a model on a generated
 /// fabric is out of scope for the serving harness).
 pub fn serve_fabric(spec: &FabricSpec, options: &ServeSimOptions) -> ServeRun {
-    let fabric = spec.build();
-    let n = fabric.graph.num_nodes();
-    // Fixed per-source fan-out: density per_source/(tors-1), i.e. ~1.6% at
-    // 1024 ToRs with the default 16.
-    let per_source = if options.experiment.fast { 8 } else { 16 };
-    let active =
-        Arc::new(ActivePairs::sample_among(n, fabric.num_tors, per_source, spec.seed ^ 0xfab));
-    let paths = PathSet::k_shortest_for_pairs(&fabric.graph, &active, 3);
-    let snapshots = options.experiment.snapshots;
-    let trace = tor_trace_sparse(
-        &fabric.graph,
-        &active,
-        &TorTrafficConfig { num_snapshots: snapshots, seed: spec.seed, ..Default::default() },
-    );
+    let setup = FabricServeSetup::build(spec, options);
     let window = options.experiment.window;
-    let mut controller =
-        ServeController::lp(&paths, window, options.predictor.build(), options.policy.clone());
-    let warmup = controller.window().max(window).min(trace.len().saturating_sub(1));
-    let mut ticks: Vec<usize> = (warmup..trace.len()).collect();
-    if let Some(cap) = options.max_ticks {
-        ticks.truncate(cap);
-    }
-    for t in 0..warmup {
-        controller.observe_sparse(trace.snapshot(t));
+    let mut controller = ServeController::lp(
+        &setup.paths,
+        window,
+        options.predictor.build(),
+        options.policy.clone(),
+    );
+    controller.bind_universe(&setup.active);
+    let serve_start = std::time::Instant::now();
+    for t in 0..setup.warmup {
+        controller.observe_sparse(setup.trace.snapshot(t));
     }
     let mut log = ServeLog::new();
-    for &t in &ticks {
-        let outcome = controller.step_sparse(trace.snapshot(t));
+    for &t in &setup.ticks {
+        let outcome = controller.step_sparse(setup.trace.snapshot(t));
         log.push(outcome.record, outcome.decision_seconds);
     }
-    let omniscient = omniscient_over_sparse(&paths, &trace, &ticks);
-    let memory = FabricMemory {
-        num_nodes: n,
-        num_tors: fabric.num_tors,
-        active_pairs: active.len(),
-        index_bytes: active.index_bytes(),
-        sparse_trace_bytes: trace.demand_storage_bytes(),
-        dense_trace_bytes: snapshots * n * n * std::mem::size_of::<f64>(),
-        peak_rss_bytes: peak_rss_bytes(),
-    };
+    let serve_seconds = serve_start.elapsed().as_secs_f64();
+    let omniscient = omniscient_over_sparse(&setup.paths, &setup.trace, &setup.ticks);
+    let memory = setup.memory();
     ServeRun {
         name: format!(
             "{} ({} ToRs, fabric, lp, {} predictor, sparse demands)",
-            fabric.graph.name(),
-            fabric.num_tors,
+            setup.fabric.graph.name(),
+            setup.fabric.num_tors,
             options.predictor.build().name()
         ),
-        indices: ticks,
+        indices: setup.ticks,
         log,
         omniscient,
         lp_stats: *controller.lp_stats(),
         fell_back: false,
         memory: Some(memory),
+        serve_seconds,
+        pairs_per_tick: setup.active.len(),
     }
+}
+
+/// Prints the demand-storage accounting table of a fabric run (shared by
+/// the single-controller and fleet reports).
+pub fn print_fabric_memory(mem: &FabricMemory) {
+    let mib = |bytes: usize| format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0));
+    let density =
+        mem.active_pairs as f64 / (mem.num_tors as f64 * (mem.num_tors as f64 - 1.0)).max(1.0);
+    let mut rows = vec![
+        vec!["fabric size".to_string(), format!("{} ToRs / {} nodes", mem.num_tors, mem.num_nodes)],
+        vec![
+            "active pairs".to_string(),
+            format!("{} ({:.2}% of ToR pairs)", mem.active_pairs, 100.0 * density),
+        ],
+        vec!["pair index".to_string(), mib(mem.index_bytes)],
+        vec!["sparse demand trace".to_string(), mib(mem.sparse_trace_bytes)],
+        vec!["dense N×N equivalent".to_string(), mib(mem.dense_trace_bytes)],
+        vec![
+            "dense / sparse ratio".to_string(),
+            format!(
+                "{:.1}x",
+                mem.dense_trace_bytes as f64
+                    / (mem.index_bytes + mem.sparse_trace_bytes).max(1) as f64
+            ),
+        ],
+    ];
+    if let Some(rss) = mem.peak_rss_bytes {
+        rows.push(vec!["peak RSS (VmHWM)".to_string(), mib(rss)]);
+    }
+    print_table("demand storage (sparse core)", &["metric", "value"], &rows);
 }
 
 /// Prints the serving report: decision summary, regret vs. omniscient,
@@ -517,6 +613,18 @@ pub fn print_serve_report(run: &ServeRun) {
             ),
         ],
         vec![
+            "ticks/sec (wall clock)".to_string(),
+            format!("{:.1}", run.log.len() as f64 / run.serve_seconds.max(1e-12)),
+        ],
+        vec![
+            "aggregate decisions/sec".to_string(),
+            format!(
+                "{:.0} ({} pairs/tick)",
+                run.log.len() as f64 * run.pairs_per_tick as f64 / run.serve_seconds.max(1e-12),
+                run.pairs_per_tick
+            ),
+        ],
+        vec![
             "fell back to LP".to_string(),
             match run.log.fallback_tick() {
                 Some(t) => format!("yes (tick {t})"),
@@ -534,34 +642,7 @@ pub fn print_serve_report(run: &ServeRun) {
     print_table("LP solver work (controller re-solves)", &work_header, &[work_row]);
 
     if let Some(mem) = &run.memory {
-        let mib = |bytes: usize| format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0));
-        let density =
-            mem.active_pairs as f64 / (mem.num_tors as f64 * (mem.num_tors as f64 - 1.0)).max(1.0);
-        let mut rows = vec![
-            vec![
-                "fabric size".to_string(),
-                format!("{} ToRs / {} nodes", mem.num_tors, mem.num_nodes),
-            ],
-            vec![
-                "active pairs".to_string(),
-                format!("{} ({:.2}% of ToR pairs)", mem.active_pairs, 100.0 * density),
-            ],
-            vec!["pair index".to_string(), mib(mem.index_bytes)],
-            vec!["sparse demand trace".to_string(), mib(mem.sparse_trace_bytes)],
-            vec!["dense N×N equivalent".to_string(), mib(mem.dense_trace_bytes)],
-            vec![
-                "dense / sparse ratio".to_string(),
-                format!(
-                    "{:.1}x",
-                    mem.dense_trace_bytes as f64
-                        / (mem.index_bytes + mem.sparse_trace_bytes).max(1) as f64
-                ),
-            ],
-        ];
-        if let Some(rss) = mem.peak_rss_bytes {
-            rows.push(vec!["peak RSS (VmHWM)".to_string(), mib(rss)]);
-        }
-        print_table("demand storage (sparse core)", &["metric", "value"], &rows);
+        print_fabric_memory(mem);
     }
 
     print_csv_series("realized_mlu", &run.log.realized_mlus());
@@ -576,8 +657,14 @@ pub fn print_serve_report(run: &ServeRun) {
 }
 
 /// Runs the full `serve_sim` experiment for the options and prints the
-/// report.
+/// report.  With `--shards N` (> 0) the run goes through the sharded fleet
+/// harness instead of the single controller.
 pub fn serve_sim(options: &ServeSimOptions) {
+    if options.shards > 0 {
+        let run = crate::fleet::serve_fleet(options, options.shards);
+        crate::fleet::print_fleet_report(&run);
+        return;
+    }
     let run = match options.topology {
         ServeTopology::Fabric(spec) => serve_fabric(&spec, options),
         ServeTopology::Table1(topology) => {
@@ -676,6 +763,11 @@ mod tests {
         assert_eq!(
             parse_topology("podfab1024").unwrap(),
             ServeTopology::Fabric(FabricSpec::two_tier(1024))
+        );
+        // The small-pod fabric the fleet CI smoke rides on (8-ToR pods).
+        assert_eq!(
+            parse_topology("podfab16").unwrap(),
+            ServeTopology::Fabric(FabricSpec::two_tier(16))
         );
         assert!(parse_topology("tor4").is_err());
         assert!(parse_topology("podfab100").is_err());

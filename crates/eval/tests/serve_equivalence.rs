@@ -30,6 +30,7 @@ fn serve_options() -> ServeSimOptions {
         online_ticks: 0,
         max_ticks: None,
         use_plan: false,
+        shards: 0,
     }
 }
 
@@ -101,6 +102,7 @@ fn plan_inference_reproduces_graph_decisions_in_replay() {
         online_ticks: 0,
         max_ticks: Some(8),
         use_plan: false,
+        shards: 0,
     };
     let plan_options = ServeSimOptions { use_plan: true, ..graph_options.clone() };
 

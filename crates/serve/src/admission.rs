@@ -1,0 +1,296 @@
+//! Global admission: one update budget and one hysteresis policy shared by
+//! every shard of a serving fleet (DESIGN.md §8).
+//!
+//! Each tick, shards that completed a [`crate::ServeController::propose`]
+//! submit a [`ShardBid`] carrying their predicted MLUs.  The admission layer
+//! applies the fleet-wide hysteresis gate to every bid, ranks the shards
+//! that want to reconfigure by predicted-MLU regret (deterministically:
+//! regret descending, shard index ascending on exact ties) and grants
+//! updates until the *joint* sliding-window budget is spent.  This closes
+//! the per-controller-budget gap: `N` shards under one
+//! `UpdateBudget::per_window(m, w)` deploy at most `m` updates per `w`
+//! ticks *in total*, exactly like a single controller would.
+//!
+//! Determinism: the ranking is a total order over bids (ties broken by the
+//! unique shard index), so the granted set is invariant to the order bids
+//! are submitted in — shard iteration order, thread interleavings and
+//! fleet-internal scheduling cannot change the outcome.
+//!
+//! With one shard the layer reproduces the unsharded controller's gate
+//! sequence bit for bit: the hysteresis formula, the eviction rule
+//! (`oldest + window <= tick`) and the grant condition (`granted < max`)
+//! are copied from [`crate::ServeController`]'s internal gates.
+
+use std::collections::VecDeque;
+
+use crate::controller::Proposal;
+use crate::log::{Action, HoldReason};
+use crate::policy::{ReconfigPolicy, UpdateBudget};
+
+/// One shard's request to reconfigure at a fleet tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardBid {
+    /// Stable shard index within the fleet (the tie-breaking key).
+    pub shard: usize,
+    /// Predicted MLU of the shard's deployed configuration on its forecast.
+    pub predicted_mlu_deployed: f64,
+    /// Predicted MLU of the shard's parked candidate on its forecast.
+    pub predicted_mlu_candidate: f64,
+}
+
+impl ShardBid {
+    /// Packages a controller's [`Proposal`] as a bid for shard `shard`.
+    pub fn from_proposal(shard: usize, proposal: &Proposal) -> ShardBid {
+        ShardBid {
+            shard,
+            predicted_mlu_deployed: proposal.predicted_mlu_deployed,
+            predicted_mlu_candidate: proposal.predicted_mlu_candidate,
+        }
+    }
+
+    /// Predicted-MLU regret of keeping the deployed configuration: the
+    /// quantity bids are ranked by.
+    pub fn regret(&self) -> f64 {
+        self.predicted_mlu_deployed - self.predicted_mlu_candidate
+    }
+}
+
+/// Aggregate admission counters over a fleet run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Fleet ticks adjudicated.
+    pub ticks: usize,
+    /// Bids submitted (shards past warmup).
+    pub bids: usize,
+    /// Bids that passed the hysteresis gate.
+    pub wants: usize,
+    /// Updates granted.
+    pub grants: usize,
+    /// Bids held below the hysteresis threshold.
+    pub holds_hysteresis: usize,
+    /// Wanting bids held because the joint budget was spent.
+    pub holds_budget: usize,
+}
+
+/// The fleet-wide admission state: shared hysteresis plus the joint
+/// sliding-window update history.
+#[derive(Debug, Clone)]
+pub struct GlobalAdmission {
+    hysteresis: f64,
+    budget: Option<UpdateBudget>,
+    /// Fleet ticks of granted updates inside the current window, oldest
+    /// first (one entry per grant; only maintained under a budget).
+    granted: VecDeque<usize>,
+    stats: AdmissionStats,
+}
+
+impl GlobalAdmission {
+    /// An admission layer with an explicit hysteresis threshold and joint
+    /// budget (`None` = unlimited).
+    pub fn new(hysteresis: f64, budget: Option<UpdateBudget>) -> GlobalAdmission {
+        GlobalAdmission {
+            hysteresis,
+            budget,
+            granted: VecDeque::new(),
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// Lifts the hysteresis and budget out of a single-controller policy
+    /// (the fallback part stays with each shard).
+    pub fn from_policy(policy: &ReconfigPolicy) -> GlobalAdmission {
+        GlobalAdmission::new(policy.hysteresis, policy.budget)
+    }
+
+    /// Adjudicates one fleet tick.  `bids` may arrive in any order and must
+    /// reference distinct shards; `actions` must hold one slot per fleet
+    /// shard, prefilled with [`Action::Warmup`] (slots without a bid — still
+    /// warming up — are left untouched).  Deterministic: the outcome depends
+    /// only on the bid *set*, never on its order.
+    pub fn admit(&mut self, tick: usize, bids: &[ShardBid], actions: &mut [Action]) {
+        self.stats.ticks += 1;
+        self.stats.bids += bids.len();
+        // Evict grants that slid out of the window (same rule as the
+        // unsharded controller's budget gate).
+        if let Some(budget) = self.budget {
+            while let Some(&oldest) = self.granted.front() {
+                if oldest + budget.window <= tick {
+                    self.granted.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut wanting: Vec<&ShardBid> = Vec::with_capacity(bids.len());
+        let mut seen = vec![false; actions.len()];
+        for bid in bids {
+            assert!(bid.shard < actions.len(), "bid for shard {} of {}", bid.shard, actions.len());
+            assert!(!seen[bid.shard], "duplicate bid for shard {}", bid.shard);
+            seen[bid.shard] = true;
+            assert_eq!(
+                actions[bid.shard],
+                Action::Warmup,
+                "shard {} already holds a non-warmup action",
+                bid.shard
+            );
+            let wants = self.hysteresis <= 0.0
+                || bid.predicted_mlu_deployed
+                    > (1.0 + self.hysteresis) * bid.predicted_mlu_candidate;
+            if wants {
+                wanting.push(bid);
+            } else {
+                actions[bid.shard] = Action::Hold(HoldReason::BelowHysteresis);
+                self.stats.holds_hysteresis += 1;
+            }
+        }
+        self.stats.wants += wanting.len();
+        // Total order: regret descending, shard index ascending on exact
+        // (bit-equal) ties — invariant to submission order.
+        wanting
+            .sort_unstable_by(|a, b| b.regret().total_cmp(&a.regret()).then(a.shard.cmp(&b.shard)));
+        let capacity =
+            self.budget.map_or(usize::MAX, |b| b.max_updates.saturating_sub(self.granted.len()));
+        for (rank, bid) in wanting.iter().enumerate() {
+            if rank < capacity {
+                actions[bid.shard] = Action::Update;
+                if self.budget.is_some() {
+                    self.granted.push_back(tick);
+                }
+                self.stats.grants += 1;
+            } else {
+                actions[bid.shard] = Action::Hold(HoldReason::BudgetExhausted);
+                self.stats.holds_budget += 1;
+            }
+        }
+    }
+
+    /// Grants still inside the current sliding window (0 without a budget).
+    pub fn granted_in_window(&self) -> usize {
+        self.granted.len()
+    }
+
+    /// The joint budget, if any.
+    pub fn budget(&self) -> Option<UpdateBudget> {
+        self.budget
+    }
+
+    /// The shared hysteresis threshold.
+    pub fn hysteresis(&self) -> f64 {
+        self.hysteresis
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(shard: usize, deployed: f64, candidate: f64) -> ShardBid {
+        ShardBid { shard, predicted_mlu_deployed: deployed, predicted_mlu_candidate: candidate }
+    }
+
+    #[test]
+    fn ranks_by_regret_and_respects_the_joint_budget() {
+        let mut adm = GlobalAdmission::new(0.0, Some(UpdateBudget::per_window(2, 8)));
+        let bids = vec![bid(0, 0.5, 0.45), bid(1, 0.9, 0.5), bid(2, 0.8, 0.5)];
+        let mut actions = vec![Action::Warmup; 3];
+        adm.admit(0, &bids, &mut actions);
+        // Regrets: shard1 0.4 > shard2 0.3 > shard0 0.05; budget 2.
+        assert_eq!(actions[1], Action::Update);
+        assert_eq!(actions[2], Action::Update);
+        assert_eq!(actions[0], Action::Hold(HoldReason::BudgetExhausted));
+        assert_eq!(adm.granted_in_window(), 2);
+        let stats = adm.stats();
+        assert_eq!((stats.bids, stats.wants, stats.grants, stats.holds_budget), (3, 3, 2, 1));
+    }
+
+    #[test]
+    fn outcome_is_invariant_to_bid_order() {
+        let bids = [bid(0, 0.7, 0.5), bid(1, 0.7, 0.5), bid(2, 0.9, 0.5), bid(3, 0.5, 0.5)];
+        let mut reference: Option<Vec<Action>> = None;
+        // All 4! = 24 permutations must produce the same per-shard actions.
+        let mut order = vec![0, 1, 2, 3];
+        for p in 0..24 {
+            order.sort_unstable();
+            for _ in 0..p {
+                next_permutation(&mut order);
+            }
+            let permuted: Vec<ShardBid> = order.iter().map(|&i| bids[i]).collect();
+            let mut adm = GlobalAdmission::new(0.01, Some(UpdateBudget::per_window(2, 4)));
+            let mut actions = vec![Action::Warmup; 4];
+            adm.admit(0, &permuted, &mut actions);
+            match &reference {
+                None => reference = Some(actions),
+                Some(r) => assert_eq!(&actions, r, "permutation {order:?} diverged"),
+            }
+        }
+        // Exact-tie regrets (shards 0 and 1) broke toward the lower index.
+        let actions = reference.unwrap();
+        assert_eq!(actions[2], Action::Update, "highest regret wins a slot");
+        assert_eq!(actions[0], Action::Update, "tie broken toward the lower shard index");
+        assert_eq!(actions[1], Action::Hold(HoldReason::BudgetExhausted));
+        assert_eq!(actions[3], Action::Hold(HoldReason::BelowHysteresis));
+    }
+
+    fn next_permutation(v: &mut [usize]) {
+        let n = v.len();
+        if n < 2 {
+            return;
+        }
+        let Some(i) = (0..n - 1).rev().find(|&i| v[i] < v[i + 1]) else {
+            v.reverse();
+            return;
+        };
+        let j = (i + 1..n).rev().find(|&j| v[j] > v[i]).unwrap();
+        v.swap(i, j);
+        v[i + 1..].reverse();
+    }
+
+    #[test]
+    fn grants_slide_out_of_the_window() {
+        let mut adm = GlobalAdmission::new(0.0, Some(UpdateBudget::per_window(1, 4)));
+        for tick in 0..10 {
+            let mut actions = vec![Action::Warmup; 1];
+            adm.admit(tick, &[bid(0, 1.0, 0.5)], &mut actions);
+            // One grant per 4-tick window: ticks 0, 4, 8 — the exact pattern
+            // the unsharded controller's budget test asserts.
+            if tick % 4 == 0 {
+                assert_eq!(actions[0], Action::Update, "tick {tick}");
+            } else {
+                assert_eq!(actions[0], Action::Hold(HoldReason::BudgetExhausted), "tick {tick}");
+            }
+        }
+    }
+
+    #[test]
+    fn hysteresis_holds_quiet_shards_without_spending_budget() {
+        let mut adm = GlobalAdmission::new(0.5, Some(UpdateBudget::per_window(4, 4)));
+        let mut actions = vec![Action::Warmup; 2];
+        adm.admit(0, &[bid(0, 0.6, 0.5), bid(1, 0.9, 0.5)], &mut actions);
+        assert_eq!(actions[0], Action::Hold(HoldReason::BelowHysteresis));
+        assert_eq!(actions[1], Action::Update);
+        assert_eq!(adm.granted_in_window(), 1);
+    }
+
+    #[test]
+    fn shards_without_bids_stay_in_warmup() {
+        let mut adm = GlobalAdmission::new(0.0, None);
+        let mut actions = vec![Action::Warmup; 3];
+        adm.admit(0, &[bid(1, 1.0, 0.5)], &mut actions);
+        assert_eq!(actions[0], Action::Warmup);
+        assert_eq!(actions[1], Action::Update);
+        assert_eq!(actions[2], Action::Warmup);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate bid")]
+    fn duplicate_bids_are_rejected() {
+        let mut adm = GlobalAdmission::new(0.0, None);
+        let mut actions = vec![Action::Warmup; 2];
+        adm.admit(0, &[bid(1, 1.0, 0.5), bid(1, 1.0, 0.5)], &mut actions);
+    }
+}

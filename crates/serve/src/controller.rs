@@ -23,14 +23,23 @@
 //! The loop is strictly sequential and every number it consumes is
 //! deterministic, so the decision log is bit-identical across runs and
 //! thread counts (DESIGN.md §4); only the measured latencies vary.
+//!
+//! Since PR 8 the tick is split into two phases so a fleet coordinator can
+//! interpose between them: [`ServeController::propose`] computes the
+//! candidate and its predicted MLUs (parking the candidate in scratch), and
+//! [`ServeController::finish_pairs`] applies an externally decided
+//! [`Action`] and ingests the realized demand.  [`ServeController::step_pairs`]
+//! composes the two with the controller's own policy gates, producing
+//! bit-identical records to the pre-split implementation.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use figret::{FigretModel, InferencePlan};
 use figret_solvers::{MluTemplate, SeriesStats};
 use figret_te::{max_link_utilization_pairs_scratch, split_ratio_churn, PathSet, TeConfig};
-use figret_traffic::{DemandMatrix, SparseDemand};
+use figret_traffic::{ActivePairs, DemandMatrix, SparseDemand};
 
 use crate::log::{Action, DecisionSource, HoldReason, TickRecord};
 use crate::policy::ReconfigPolicy;
@@ -45,6 +54,32 @@ pub struct StepOutcome {
     /// Wall-clock seconds spent in the decision phase (candidate
     /// computation + policy gates; ingestion and bookkeeping excluded).
     pub decision_seconds: f64,
+}
+
+/// One controller's decision bid, produced by [`ServeController::propose`]:
+/// the candidate configuration itself stays parked inside the controller;
+/// these are the numbers an admission layer needs to rank the bid against
+/// other shards (the predicted-MLU regret is `predicted_mlu_deployed -
+/// predicted_mlu_candidate`).
+#[derive(Debug, Clone, Copy)]
+pub struct Proposal {
+    /// Engine that produced the parked candidate.
+    pub source: DecisionSource,
+    /// Predicted MLU of the currently deployed configuration on the
+    /// forecast demand.
+    pub predicted_mlu_deployed: f64,
+    /// Predicted MLU of the parked candidate on the forecast demand.
+    pub predicted_mlu_candidate: f64,
+}
+
+/// Internal mirror of [`Proposal`] plus the measured propose-phase latency,
+/// held between `propose` and `finish_pairs`.
+#[derive(Debug, Clone, Copy)]
+struct PendingDecision {
+    source: DecisionSource,
+    deployed_mlu: f64,
+    candidate_mlu: f64,
+    seconds: f64,
 }
 
 /// Reusable per-step buffers: the steady-state decision loop allocates
@@ -77,6 +112,14 @@ pub struct ServeController {
     plan: Option<InferencePlan>,
     template: MluTemplate,
     policy: ReconfigPolicy,
+    /// The pair universe bound at construction time for the sparse entry
+    /// points; `None` until [`ServeController::bind_universe`] is called.
+    /// With a bound universe the per-call column check reduces to a
+    /// debug-only `Arc` pointer comparison.
+    universe: Option<Arc<ActivePairs>>,
+    /// Set between [`ServeController::propose`] and
+    /// [`ServeController::finish_pairs`].
+    pending: Option<PendingDecision>,
     deployed: TeConfig,
     /// Observed demand columns (one `f64` per active pair, slot order),
     /// oldest first.  Columnar on purpose: `O(window · num_pairs)` regardless
@@ -145,6 +188,8 @@ impl ServeController {
             plan: None,
             template: MluTemplate::new(paths),
             policy,
+            universe: None,
+            pending: None,
             deployed: TeConfig::uniform(paths),
             history: VecDeque::with_capacity(window + 1),
             recent_updates: VecDeque::new(),
@@ -176,11 +221,48 @@ impl ServeController {
         self.plan.is_some()
     }
 
+    /// Binds the controller to a sparse pair universe.  The universe must
+    /// have one slot per path-set pair (checked once, here); afterwards the
+    /// sparse entry points verify arriving columns with a debug-only `Arc`
+    /// identity comparison instead of a per-call universe re-derivation.
+    pub fn bind_universe(&mut self, active: &Arc<ActivePairs>) {
+        assert_eq!(
+            active.len(),
+            self.paths.num_pairs(),
+            "the bound universe must have one slot per path-set pair"
+        );
+        self.universe = Some(Arc::clone(active));
+    }
+
+    /// The bound sparse universe, if any.
+    pub fn universe(&self) -> Option<&Arc<ActivePairs>> {
+        self.universe.as_ref()
+    }
+
+    /// Checks an arriving sparse column against the controller's universe:
+    /// a debug-only pointer comparison once a universe is bound, the full
+    /// release-mode length check otherwise.
+    #[inline]
+    fn check_bound_universe(&self, demand: &SparseDemand) {
+        match &self.universe {
+            Some(bound) => debug_assert!(
+                Arc::ptr_eq(bound, demand.active()) || **demand.active() == **bound,
+                "sparse column universe does not match the bound ActivePairs"
+            ),
+            None => assert_eq!(
+                demand.len(),
+                self.paths.num_pairs(),
+                "one demand value per pair is required"
+            ),
+        }
+    }
+
     /// Ingests a demand column without a decision tick (controller warmup:
     /// feed the history prefix before serving starts).  One value per active
     /// pair, in the slot order of the controller's path-set universe.
     pub fn observe_pairs(&mut self, demand: &[f64]) {
         assert_eq!(demand.len(), self.paths.num_pairs(), "one demand value per pair is required");
+        assert!(self.pending.is_none(), "cannot observe between propose and finish");
         self.ingest(demand);
     }
 
@@ -194,10 +276,13 @@ impl ServeController {
         self.scratch.dense_pairs = buf;
     }
 
-    /// Sparse convenience for [`ServeController::observe_pairs`]: the demand
-    /// universe must be the controller's pair universe.
+    /// Sparse counterpart of [`ServeController::observe_pairs`]: the demand
+    /// universe must be the controller's pair universe (a debug-only
+    /// identity check once [`ServeController::bind_universe`] was called).
     pub fn observe_sparse(&mut self, demand: &SparseDemand) {
-        self.observe_pairs(demand.values());
+        self.check_bound_universe(demand);
+        assert!(self.pending.is_none(), "cannot observe between propose and finish");
+        self.ingest(demand.values());
     }
 
     /// Dense adapter for [`ServeController::step_pairs`]: flattens the
@@ -212,10 +297,12 @@ impl ServeController {
         outcome
     }
 
-    /// Sparse convenience for [`ServeController::step_pairs`]: the demand
-    /// universe must be the controller's pair universe.
+    /// Sparse counterpart of [`ServeController::step_pairs`]: the demand
+    /// universe must be the controller's pair universe (a debug-only
+    /// identity check once [`ServeController::bind_universe`] was called).
     pub fn step_sparse(&mut self, realized: &SparseDemand) -> StepOutcome {
-        self.step_pairs(realized.values())
+        self.check_bound_universe(realized);
+        self.step_inner(realized.values())
     }
 
     /// Advances the serving loop by one tick; see the module docs.
@@ -225,59 +312,116 @@ impl ServeController {
     /// operating on stale telemetry.
     pub fn step_pairs(&mut self, realized: &[f64]) -> StepOutcome {
         assert_eq!(realized.len(), self.paths.num_pairs(), "one demand value per pair is required");
-        let start = Instant::now();
-        // Detach the scratch arena from `self` for the duration of the step
-        // so its buffers can be borrowed alongside the other fields.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let tick = self.tick;
-        let mut action = Action::Warmup;
-        let mut source = None;
-        let mut predicted_mlu_deployed = None;
-        let mut predicted_mlu_candidate = None;
-        let mut churn = 0.0;
+        self.step_inner(realized)
+    }
 
-        if self.history.len() >= self.window {
-            scratch.predicted_pairs.resize(self.paths.num_pairs(), 0.0);
-            let have = self.predictor.predict_pairs_into(&mut scratch.predicted_pairs);
-            assert!(have, "a filled history window implies at least one observation");
-            let src = self.candidate_into(&mut scratch);
-            let deployed_mlu = max_link_utilization_pairs_scratch(
-                &self.paths,
-                &self.deployed,
-                &scratch.predicted_pairs,
-                &mut scratch.loads,
-            );
-            let candidate_mlu = max_link_utilization_pairs_scratch(
-                &self.paths,
-                &scratch.candidate,
-                &scratch.predicted_pairs,
-                &mut scratch.loads,
-            );
-            source = Some(src);
-            predicted_mlu_deployed = Some(deployed_mlu);
-            predicted_mlu_candidate = Some(candidate_mlu);
-            let wants_update = self.policy.hysteresis <= 0.0
-                || deployed_mlu > (1.0 + self.policy.hysteresis) * candidate_mlu;
-            if !wants_update {
-                action = Action::Hold(HoldReason::BelowHysteresis);
-            } else if !self.budget_allows(tick) {
-                action = Action::Hold(HoldReason::BudgetExhausted);
-            } else {
-                churn = split_ratio_churn(&self.deployed, &scratch.candidate);
-                // Deploy by swapping buffers: the old deployed config becomes
-                // the next tick's candidate scratch.
-                std::mem::swap(&mut self.deployed, &mut scratch.candidate);
-                if self.policy.budget.is_some() {
-                    // Only budgeted controllers track update history; an
-                    // unbudgeted one would otherwise grow this deque forever
-                    // on an unbounded stream.
-                    self.recent_updates.push_back(tick);
+    /// `propose` + the controller's own policy gates + `finish`: the
+    /// single-controller tick.  Record-for-record identical to the pre-split
+    /// monolithic step.
+    fn step_inner(&mut self, realized: &[f64]) -> StepOutcome {
+        let action = match self.propose() {
+            None => Action::Warmup,
+            Some(p) => {
+                let wants_update = self.policy.hysteresis <= 0.0
+                    || p.predicted_mlu_deployed
+                        > (1.0 + self.policy.hysteresis) * p.predicted_mlu_candidate;
+                if !wants_update {
+                    Action::Hold(HoldReason::BelowHysteresis)
+                } else if !self.budget_allows(self.tick) {
+                    Action::Hold(HoldReason::BudgetExhausted)
+                } else {
+                    Action::Update
                 }
-                action = Action::Update;
             }
-            self.decisions += 1;
+        };
+        self.finish_inner(realized, action)
+    }
+
+    /// Phase 1 of a two-phase tick (timed; the decision hot path): forecast
+    /// the next demand, compute the candidate configuration (parked in
+    /// scratch until the finish phase) and evaluate the predicted MLUs of
+    /// the deployed and candidate configurations.  Returns `None` while the
+    /// history window is still filling (the tick must then finish as
+    /// [`Action::Warmup`]).
+    ///
+    /// A fleet coordinator calls this on every shard, ranks the returned
+    /// bids under the shared admission policy, and finishes each shard with
+    /// the granted or held action.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called again before the pending tick was finished.
+    pub fn propose(&mut self) -> Option<Proposal> {
+        assert!(self.pending.is_none(), "propose called twice without a finish");
+        if self.history.len() < self.window {
+            return None;
         }
-        let decision_seconds = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        // Detach the scratch arena from `self` for the duration of the
+        // phase so its buffers can be borrowed alongside the other fields.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.predicted_pairs.resize(self.paths.num_pairs(), 0.0);
+        let have = self.predictor.predict_pairs_into(&mut scratch.predicted_pairs);
+        assert!(have, "a filled history window implies at least one observation");
+        let source = self.candidate_into(&mut scratch);
+        let deployed_mlu = max_link_utilization_pairs_scratch(
+            &self.paths,
+            &self.deployed,
+            &scratch.predicted_pairs,
+            &mut scratch.loads,
+        );
+        let candidate_mlu = max_link_utilization_pairs_scratch(
+            &self.paths,
+            &scratch.candidate,
+            &scratch.predicted_pairs,
+            &mut scratch.loads,
+        );
+        self.scratch = scratch;
+        self.decisions += 1;
+        let seconds = start.elapsed().as_secs_f64();
+        self.pending = Some(PendingDecision { source, deployed_mlu, candidate_mlu, seconds });
+        Some(Proposal {
+            source,
+            predicted_mlu_deployed: deployed_mlu,
+            predicted_mlu_candidate: candidate_mlu,
+        })
+    }
+
+    /// Phase 2 of a two-phase tick: applies an externally decided `action`
+    /// (deploying the parked candidate on [`Action::Update`]), ingests the
+    /// realized demand and records the realized MLU.  The action must be
+    /// [`Action::Warmup`] exactly when the preceding [`ServeController::propose`]
+    /// returned `None`.
+    pub fn finish_pairs(&mut self, realized: &[f64], action: Action) -> StepOutcome {
+        assert_eq!(realized.len(), self.paths.num_pairs(), "one demand value per pair is required");
+        self.finish_inner(realized, action)
+    }
+
+    fn finish_inner(&mut self, realized: &[f64], action: Action) -> StepOutcome {
+        let pending = self.pending.take();
+        assert_eq!(
+            pending.is_none(),
+            action == Action::Warmup,
+            "Action::Warmup is required exactly when propose returned None"
+        );
+        let tick = self.tick;
+        let start = Instant::now();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut churn = 0.0;
+        if action == Action::Update {
+            churn = split_ratio_churn(&self.deployed, &scratch.candidate);
+            // Deploy by swapping buffers: the old deployed config becomes
+            // the next tick's candidate scratch.
+            std::mem::swap(&mut self.deployed, &mut scratch.candidate);
+            if self.policy.budget.is_some() {
+                // Only budgeted controllers track update history; an
+                // unbudgeted one would otherwise grow this deque forever on
+                // an unbounded stream.  Fleet shards run with `budget: None`
+                // — the admission layer owns the joint update history.
+                self.recent_updates.push_back(tick);
+            }
+        }
+        let decision_seconds = pending.map_or(0.0, |p| p.seconds) + start.elapsed().as_secs_f64();
 
         self.ingest(realized);
         let realized_mlu = max_link_utilization_pairs_scratch(
@@ -292,9 +436,9 @@ impl ServeController {
             record: TickRecord {
                 tick,
                 action,
-                source,
-                predicted_mlu_deployed,
-                predicted_mlu_candidate,
+                source: pending.map(|p| p.source),
+                predicted_mlu_deployed: pending.map(|p| p.deployed_mlu),
+                predicted_mlu_candidate: pending.map(|p| p.candidate_mlu),
                 realized_mlu,
                 churn,
             },
@@ -410,6 +554,32 @@ impl ServeController {
     /// The currently deployed configuration.
     pub fn deployed(&self) -> &TeConfig {
         &self.deployed
+    }
+
+    /// Edge-load vector of the most recent realized-MLU evaluation (one
+    /// entry per edge of the path set's edge universe, which
+    /// `PathSet::restrict_to` preserves in full).  A fleet sums these across
+    /// shards in stable shard order and folds once
+    /// ([`figret_te::max_utilization_of_loads`]) to recover the exact global
+    /// MLU.  Valid until the next propose/step call.
+    pub fn last_realized_loads(&self) -> &[f64] {
+        &self.scratch.loads
+    }
+
+    /// Number of SD pairs in the controller's pair universe.
+    pub fn num_pairs(&self) -> usize {
+        self.paths.num_pairs()
+    }
+
+    /// The controller's path set (a fleet checks shards share one edge
+    /// universe through this).
+    pub fn paths(&self) -> &PathSet {
+        &self.paths
+    }
+
+    /// The controller's reconfiguration policy.
+    pub fn policy(&self) -> &ReconfigPolicy {
+        &self.policy
     }
 
     /// Warmup window length (observed demands required before deciding).

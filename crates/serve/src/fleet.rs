@@ -1,0 +1,490 @@
+//! The sharded serving fleet: pod-partitioned controllers under one global
+//! budget (DESIGN.md §8).
+//!
+//! A [`FleetController`] owns one [`ServeController`] per shard of a
+//! [`figret_traffic::ShardPlan`].  Each fleet tick:
+//!
+//! 1. **Scatter**: the parent demand column is gathered into per-shard
+//!    sub-columns along each shard's `parent_slots` map.
+//! 2. **Propose** (data-parallel): every shard forecasts its sub-demand and
+//!    computes a candidate configuration ([`ServeController::propose`]),
+//!    returning a predicted-MLU bid.  Shards are moved through an owning
+//!    `into_par_iter`, so each runs on its own thread with its own scratch —
+//!    steady-state allocation-free, no shared mutable state.
+//! 3. **Admit** (sequential): the [`GlobalAdmission`] layer ranks the bids
+//!    and grants updates under the *joint* hysteresis + sliding-window
+//!    budget (shard controllers run with `budget: None`; the fleet owns the
+//!    update history).
+//! 4. **Finish** (data-parallel): every shard applies its granted or held
+//!    action and ingests its realized sub-demand
+//!    ([`ServeController::finish_pairs`]).
+//! 5. **Merge** (sequential, stable shard order): per-shard records append
+//!    to per-shard logs, and the per-shard edge-load vectors — every
+//!    restricted path set preserves the full edge universe — are summed in
+//!    shard order and folded once into the exact global realized MLU.
+//!
+//! Determinism: shards are independent and individually deterministic, the
+//! parallel phases preserve order, admission is invariant to bid order, and
+//! the merge walks shards in stable plan order — so fleet logs and digests
+//! are bit-identical at any `RAYON_NUM_THREADS`.  A single-shard fleet
+//! replays the unsharded [`ServeController`] record for record.
+
+use rayon::prelude::*;
+
+use figret_solvers::SeriesStats;
+use figret_te::{max_utilization_of_loads, PathSet};
+use figret_traffic::{ShardPlan, ShardUniverse, SparseDemand};
+
+use crate::admission::{AdmissionStats, GlobalAdmission, ShardBid};
+use crate::controller::{Proposal, ServeController, StepOutcome};
+use crate::log::{Action, ServeLog};
+use crate::policy::ReconfigPolicy;
+use crate::predictor::PredictorKind;
+
+/// One shard of the fleet: a controller over a restricted pair universe plus
+/// the gather scratch for its sub-columns.
+#[derive(Debug)]
+struct FleetShard {
+    controller: ServeController,
+    universe: ShardUniverse,
+    /// Gathered sub-column (one value per shard pair), reused every tick.
+    column: Vec<f64>,
+}
+
+/// The merged result of one fleet tick.
+#[derive(Debug, Clone)]
+pub struct FleetTickOutcome {
+    /// Fleet tick index (every shard ticks once per fleet tick).
+    pub tick: usize,
+    /// Exact global realized MLU: per-shard edge loads summed in stable
+    /// shard order over the shared edge universe, folded once.
+    pub global_mlu: f64,
+    /// Action taken by each shard, in stable shard order.
+    pub actions: Vec<Action>,
+    /// Decision-phase wall-clock seconds of each shard (propose + apply),
+    /// in stable shard order.
+    pub decision_seconds: Vec<f64>,
+}
+
+/// A pod-partitioned serving fleet under one global admission policy; see
+/// the module docs.
+pub struct FleetController {
+    shards: Vec<FleetShard>,
+    /// Per-shard decision logs, parallel to `shards`.
+    logs: Vec<ServeLog>,
+    admission: GlobalAdmission,
+    edge_capacities: Vec<f64>,
+    /// Summed per-shard edge loads, reused every tick.
+    global_loads: Vec<f64>,
+    parent_pairs: usize,
+    tick: usize,
+}
+
+impl std::fmt::Debug for FleetController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetController")
+            .field("shards", &self.shards.len())
+            .field("parent_pairs", &self.parent_pairs)
+            .field("tick", &self.tick)
+            .finish()
+    }
+}
+
+impl FleetController {
+    /// A fleet of warm-started-LP controllers, one per shard of `plan`.
+    /// Each shard gets the restriction of `paths` to its pair universe (its
+    /// own LP template and basis), a fresh `predictor` instance, and a copy
+    /// of `policy` with the budget stripped — the hysteresis and budget of
+    /// `policy` move into the shared [`GlobalAdmission`] layer.
+    pub fn lp(
+        plan: &ShardPlan,
+        paths: &PathSet,
+        window: usize,
+        predictor: PredictorKind,
+        policy: &ReconfigPolicy,
+    ) -> FleetController {
+        let controllers = plan
+            .shards()
+            .iter()
+            .map(|shard| {
+                let (restricted, _) = paths.restrict_to(shard.active());
+                let mut c = ServeController::lp(
+                    &restricted,
+                    window,
+                    predictor.build(),
+                    ReconfigPolicy { budget: None, ..policy.clone() },
+                );
+                c.bind_universe(shard.active());
+                c
+            })
+            .collect();
+        FleetController::from_controllers(plan, controllers, policy)
+    }
+
+    /// A fleet over pre-built shard controllers (learned shards, custom
+    /// predictors), in plan order.  Each controller must cover exactly its
+    /// shard's pair universe and must carry no local update budget — the
+    /// joint budget and hysteresis of `policy` live in the admission layer.
+    pub fn from_controllers(
+        plan: &ShardPlan,
+        controllers: Vec<ServeController>,
+        policy: &ReconfigPolicy,
+    ) -> FleetController {
+        assert_eq!(
+            controllers.len(),
+            plan.num_shards(),
+            "one controller per plan shard is required"
+        );
+        assert!(!controllers.is_empty(), "a fleet needs at least one shard");
+        let mut shards = Vec::with_capacity(controllers.len());
+        let mut edge_capacities: Vec<f64> = Vec::new();
+        for (controller, universe) in controllers.into_iter().zip(plan.shards()) {
+            assert_eq!(
+                controller.num_pairs(),
+                universe.len(),
+                "shard '{}': controller must cover its pair universe",
+                universe.label()
+            );
+            assert!(
+                controller.policy().budget.is_none(),
+                "shard '{}': fleet shards must not carry a local update budget",
+                universe.label()
+            );
+            let capacities = controller.paths().edge_capacities();
+            if edge_capacities.is_empty() {
+                edge_capacities = capacities.to_vec();
+            } else {
+                assert_eq!(
+                    edge_capacities,
+                    capacities,
+                    "shard '{}': every shard must share the edge universe",
+                    universe.label()
+                );
+            }
+            let column = Vec::with_capacity(universe.len());
+            shards.push(FleetShard { controller, universe: universe.clone(), column });
+        }
+        let num_edges = edge_capacities.len();
+        FleetController {
+            logs: vec![ServeLog::new(); shards.len()],
+            shards,
+            admission: GlobalAdmission::from_policy(policy),
+            edge_capacities,
+            global_loads: vec![0.0; num_edges],
+            parent_pairs: plan.parent().len(),
+            tick: 0,
+        }
+    }
+
+    /// Ingests a parent demand column (one value per parent pair, slot
+    /// order) into every shard without a decision tick — fleet warmup.
+    pub fn observe_column(&mut self, parent_column: &[f64]) {
+        assert_eq!(
+            parent_column.len(),
+            self.parent_pairs,
+            "one demand value per parent pair is required"
+        );
+        for s in &mut self.shards {
+            let mut column = std::mem::take(&mut s.column);
+            s.universe.gather_into(parent_column, &mut column);
+            s.controller.observe_pairs(&column);
+            s.column = column;
+        }
+    }
+
+    /// Sparse adapter for [`FleetController::observe_column`]: the demand
+    /// must live on the plan's parent universe.
+    pub fn observe_sparse(&mut self, demand: &SparseDemand) {
+        self.observe_column(demand.values());
+    }
+
+    /// Advances every shard by one tick; see the module docs.  `parent_column`
+    /// is the realized demand over the parent universe, arriving *after* the
+    /// decisions, exactly as in [`ServeController::step_pairs`].
+    pub fn step_column(&mut self, parent_column: &[f64]) -> FleetTickOutcome {
+        assert_eq!(
+            parent_column.len(),
+            self.parent_pairs,
+            "one demand value per parent pair is required"
+        );
+        let tick = self.tick;
+        // Scatter: gather each shard's sub-column from the parent column.
+        for s in &mut self.shards {
+            let mut column = std::mem::take(&mut s.column);
+            s.universe.gather_into(parent_column, &mut column);
+            s.column = column;
+        }
+        // Propose (data-parallel): shards move onto worker threads and come
+        // back in stable order with their bids.
+        let shards = std::mem::take(&mut self.shards);
+        let proposed: Vec<(FleetShard, Option<Proposal>)> = shards
+            .into_par_iter()
+            .map(|mut s| {
+                let proposal = s.controller.propose();
+                (s, proposal)
+            })
+            .collect();
+        // Admit (sequential): rank the bids under the joint policy.
+        let mut bids = Vec::with_capacity(proposed.len());
+        for (shard, (_, proposal)) in proposed.iter().enumerate() {
+            if let Some(p) = proposal {
+                bids.push(ShardBid::from_proposal(shard, p));
+            }
+        }
+        let mut actions = vec![Action::Warmup; proposed.len()];
+        self.admission.admit(tick, &bids, &mut actions);
+        // Finish (data-parallel): apply the granted/held actions and ingest
+        // the realized sub-demands.
+        let work: Vec<(FleetShard, Action)> =
+            proposed.into_iter().zip(&actions).map(|((s, _), &action)| (s, action)).collect();
+        let finished: Vec<(FleetShard, StepOutcome)> = work
+            .into_par_iter()
+            .map(|(mut s, action)| {
+                let outcome = s.controller.finish_pairs(&s.column, action);
+                (s, outcome)
+            })
+            .collect();
+        // Merge in stable shard order: logs, latencies, and the global MLU
+        // from summed per-shard edge loads.
+        self.global_loads.clear();
+        self.global_loads.resize(self.edge_capacities.len(), 0.0);
+        let mut decision_seconds = Vec::with_capacity(finished.len());
+        for ((s, outcome), log) in finished.into_iter().zip(&mut self.logs) {
+            for (g, l) in self.global_loads.iter_mut().zip(s.controller.last_realized_loads()) {
+                *g += l;
+            }
+            decision_seconds.push(outcome.decision_seconds);
+            log.push(outcome.record, outcome.decision_seconds);
+            self.shards.push(s);
+        }
+        let global_mlu = max_utilization_of_loads(&self.global_loads, &self.edge_capacities);
+        self.tick += 1;
+        FleetTickOutcome { tick, global_mlu, actions, decision_seconds }
+    }
+
+    /// Sparse adapter for [`FleetController::step_column`]: the demand must
+    /// live on the plan's parent universe.
+    pub fn step_sparse(&mut self, realized: &SparseDemand) -> FleetTickOutcome {
+        self.step_column(realized.values())
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of pairs in the parent universe (the per-tick decision count).
+    pub fn total_pairs(&self) -> usize {
+        self.parent_pairs
+    }
+
+    /// Pairs owned by each shard, in stable shard order.
+    pub fn shard_pairs(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.universe.len()).collect()
+    }
+
+    /// Shard labels, in stable shard order.
+    pub fn shard_labels(&self) -> Vec<&str> {
+        self.shards.iter().map(|s| s.universe.label()).collect()
+    }
+
+    /// Fleet ticks taken so far.
+    pub fn ticks(&self) -> usize {
+        self.tick
+    }
+
+    /// Per-shard decision logs, in stable shard order.
+    pub fn logs(&self) -> &[ServeLog] {
+        &self.logs
+    }
+
+    /// Consumes the fleet and hands over the per-shard logs, in stable
+    /// shard order (harnesses keep the logs past the fleet's lifetime).
+    pub fn into_logs(self) -> Vec<ServeLog> {
+        self.logs
+    }
+
+    /// Aggregate admission counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// The shared admission layer.
+    pub fn admission(&self) -> &GlobalAdmission {
+        &self.admission
+    }
+
+    /// LP solver work summed over every shard.
+    pub fn lp_stats(&self) -> SeriesStats {
+        let mut merged = SeriesStats::default();
+        for s in &self.shards {
+            merged.merge(s.controller.lp_stats());
+        }
+        merged
+    }
+
+    /// How many shards have permanently fallen back to the LP.
+    pub fn fell_back_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.controller.fell_back()).count()
+    }
+
+    /// Deployed updates summed over every shard log.
+    pub fn update_count(&self) -> usize {
+        self.logs.iter().map(ServeLog::update_count).sum()
+    }
+
+    /// Fleet digest: for a single shard, exactly the shard log's digest (a
+    /// one-shard fleet *is* the unsharded controller, and CI compares the
+    /// two directly); for several shards, an FNV-1a fold of the per-shard
+    /// digests in stable shard order.
+    pub fn digest(&self) -> u64 {
+        FleetController::fold(self.logs.iter().map(ServeLog::digest))
+    }
+
+    /// Decision-only fleet digest (same structure as
+    /// [`FleetController::digest`] over [`ServeLog::decision_digest`]).
+    pub fn decision_digest(&self) -> u64 {
+        FleetController::fold(self.logs.iter().map(ServeLog::decision_digest))
+    }
+
+    fn fold(mut parts: impl ExactSizeIterator<Item = u64>) -> u64 {
+        if parts.len() == 1 {
+            return parts.next().expect("length checked above");
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for part in parts {
+            for b in part.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FallbackPolicy, UpdateBudget};
+    use crate::predictor::LastValue;
+    use figret_topology::{Topology, TopologySpec};
+    use figret_traffic::datacenter::{pod_trace, PodTrafficConfig};
+    use figret_traffic::{ActivePairs, TrafficTrace};
+    use std::sync::Arc;
+
+    fn pod_setup(snapshots: usize) -> (PathSet, TrafficTrace, Arc<ActivePairs>) {
+        let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
+        let ps = PathSet::k_shortest(&g, 3);
+        let trace =
+            pod_trace(&g, &PodTrafficConfig { num_snapshots: snapshots, ..Default::default() });
+        let active = Arc::new(ActivePairs::all(g.num_nodes()));
+        (ps, trace, active)
+    }
+
+    fn policy() -> ReconfigPolicy {
+        ReconfigPolicy {
+            hysteresis: 0.05,
+            budget: Some(UpdateBudget::per_window(2, 6)),
+            fallback: FallbackPolicy::disabled(),
+        }
+    }
+
+    #[test]
+    fn single_shard_fleet_replays_the_unsharded_controller() {
+        let (ps, trace, active) = pod_setup(20);
+        let plan = ShardPlan::single(&active);
+        let mut fleet = FleetController::lp(&plan, &ps, 2, PredictorKind::LastValue, &policy());
+        let mut solo = ServeController::lp(&ps, 2, Box::new(LastValue::new()), policy());
+        let mut solo_log = ServeLog::new();
+        for t in 0..trace.len() {
+            let column = trace.matrix(t).flatten_pairs();
+            if t < 2 {
+                fleet.observe_column(&column);
+                solo.observe_pairs(&column);
+            } else {
+                fleet.step_column(&column);
+                let out = solo.step_pairs(&column);
+                solo_log.push(out.record, out.decision_seconds);
+            }
+        }
+        assert!(solo_log.update_count() > 0, "the comparison must exercise real updates");
+        assert_eq!(fleet.logs()[0].records, solo_log.records);
+        assert_eq!(fleet.digest(), solo_log.digest());
+        assert_eq!(fleet.decision_digest(), solo_log.decision_digest());
+    }
+
+    #[test]
+    fn fleet_respects_the_joint_budget_and_merges_deterministically() {
+        let (ps, trace, active) = pod_setup(24);
+        let plan = ShardPlan::source_blocks(&active, trace.num_nodes(), 2);
+        assert_eq!(plan.num_shards(), 2);
+        let run = || {
+            let mut fleet = FleetController::lp(&plan, &ps, 2, PredictorKind::LastValue, &policy());
+            for t in 0..trace.len() {
+                let column = trace.matrix(t).flatten_pairs();
+                if t < 2 {
+                    fleet.observe_column(&column);
+                } else {
+                    let out = fleet.step_column(&column);
+                    assert!(out.global_mlu.is_finite() && out.global_mlu > 0.0);
+                    assert_eq!(out.actions.len(), 2);
+                }
+            }
+            fleet
+        };
+        let fleet = run();
+        assert!(fleet.update_count() > 0, "the run must exercise real updates");
+        // Joint budget: across both shards, every 6-tick window holds at
+        // most 2 updates.
+        let budget = policy().budget.unwrap();
+        let ticks = fleet.ticks();
+        for start in 0..ticks {
+            let in_window: usize = fleet
+                .logs()
+                .iter()
+                .flat_map(|log| &log.records)
+                .filter(|r| {
+                    r.action == Action::Update && r.tick >= start && r.tick < start + budget.window
+                })
+                .count();
+            assert!(
+                in_window <= budget.max_updates,
+                "window [{start}, {}) holds {in_window} updates",
+                start + budget.window
+            );
+        }
+        // Bit-identical replay.
+        let again = run();
+        assert_eq!(fleet.digest(), again.digest());
+        assert_eq!(fleet.admission_stats(), again.admission_stats());
+    }
+
+    #[test]
+    fn global_mlu_merges_shard_loads_exactly() {
+        let (ps, trace, active) = pod_setup(16);
+        let plan = ShardPlan::source_blocks(&active, trace.num_nodes(), 3);
+        let always = ReconfigPolicy::always_update();
+        let mut fleet = FleetController::lp(&plan, &ps, 2, PredictorKind::LastValue, &always);
+        let single = ShardPlan::single(&active);
+        let mut solo = FleetController::lp(&single, &ps, 2, PredictorKind::LastValue, &always);
+        for t in 0..trace.len() {
+            let column = trace.matrix(t).flatten_pairs();
+            if t < 2 {
+                fleet.observe_column(&column);
+                solo.observe_column(&column);
+            } else {
+                let out = fleet.step_column(&column);
+                assert!(out.global_mlu.is_finite() && out.global_mlu > 0.0);
+                // One shard: the merged global MLU is the realized MLU of
+                // the single controller, bit for bit (same loads, same fold).
+                let s = solo.step_column(&column);
+                let record_mlu = solo.logs()[0].records.last().unwrap().realized_mlu;
+                assert_eq!(s.global_mlu.to_bits(), record_mlu.to_bits());
+                // Per-shard LPs can beat or trail the joint LP on individual
+                // links, but both serve the same total demand on the same
+                // edge universe — only sanity bounds relate the two.
+                assert!(out.global_mlu <= 10.0 * s.global_mlu + 1.0);
+            }
+        }
+    }
+}

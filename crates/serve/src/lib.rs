@@ -14,7 +14,12 @@
 //! * [`controller`] — the serving loop itself, pairing learned inference
 //!   with a warm-started [`figret_solvers::MluTemplate`] LP re-solve;
 //! * [`log`] — the bit-deterministic event/decision log plus measured
-//!   per-decision latencies.
+//!   per-decision latencies;
+//! * [`admission`] — the fleet-wide admission layer: one hysteresis gate and
+//!   one sliding-window update budget shared by every shard;
+//! * [`fleet`] — the sharded serving fleet: shard controllers stepped
+//!   data-parallel under the global admission layer, merged in stable shard
+//!   order for bit-determinism at any thread count (DESIGN.md §8).
 //!
 //! Demand arrives through the [`figret_traffic::DemandStream`] trait
 //! (trace replay or the unbounded online generators), so serving scenarios
@@ -46,12 +51,16 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod controller;
+pub mod fleet;
 pub mod log;
 pub mod policy;
 pub mod predictor;
 
-pub use controller::{ServeController, StepOutcome};
+pub use admission::{AdmissionStats, GlobalAdmission, ShardBid};
+pub use controller::{Proposal, ServeController, StepOutcome};
+pub use fleet::{FleetController, FleetTickOutcome};
 pub use log::{Action, DecisionSource, HoldReason, ServeLog, TickRecord};
 pub use policy::{FallbackPolicy, ReconfigPolicy, UpdateBudget};
 pub use predictor::{Ewma, LastValue, OnlinePredictor, PredictorKind, SlidingMax, SlidingMean};

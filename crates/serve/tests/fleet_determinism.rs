@@ -1,0 +1,209 @@
+//! Fleet determinism and global-budget contracts (DESIGN.md §8).
+//!
+//! * **Serial-oracle equivalence**: the data-parallel fleet tick must equal
+//!   a strictly sequential re-implementation of the same protocol (gather →
+//!   propose per shard in order → admit → finish per shard in order).  The
+//!   parallel phases only move independent shards onto threads and collect
+//!   them back in stable order, so the logs must be bit-identical — this is
+//!   the in-process form of the `RAYON_NUM_THREADS=1` vs `=4` CI diff (the
+//!   vendored rayon caches its thread count per process, so CI varies it
+//!   across processes while this test pins the semantics).
+//! * **Proptest determinism**: over random (traffic seed, shard count,
+//!   joint budget, hysteresis), replaying the same fleet twice is
+//!   bit-identical, a one-shard fleet reproduces the unsharded
+//!   [`ServeController`] exactly, and the merged logs never exceed the
+//!   joint budget in any sliding window.
+
+use std::sync::Arc;
+
+use figret_serve::{
+    Action, FleetController, GlobalAdmission, LastValue, PredictorKind, ReconfigPolicy,
+    ServeController, ServeLog, ShardBid, UpdateBudget,
+};
+use figret_te::PathSet;
+use figret_topology::{Topology, TopologySpec};
+use figret_traffic::datacenter::{pod_trace, PodTrafficConfig};
+use figret_traffic::{ActivePairs, ShardPlan, TrafficTrace};
+use proptest::prelude::*;
+
+const WINDOW: usize = 2;
+
+fn setup(snapshots: usize, seed: u64) -> (PathSet, TrafficTrace, Arc<ActivePairs>) {
+    let g = TopologySpec::full_scale(Topology::MetaDbPod).build();
+    let paths = PathSet::k_shortest(&g, 3);
+    let trace =
+        pod_trace(&g, &PodTrafficConfig { num_snapshots: snapshots, seed, ..Default::default() });
+    let active = Arc::new(ActivePairs::all(g.num_nodes()));
+    (paths, trace, active)
+}
+
+fn drive_fleet(fleet: &mut FleetController, trace: &TrafficTrace) {
+    for t in 0..trace.len() {
+        let column = trace.matrix(t).flatten_pairs();
+        if t < WINDOW {
+            fleet.observe_column(&column);
+        } else {
+            fleet.step_column(&column);
+        }
+    }
+}
+
+/// A strictly sequential re-implementation of the fleet tick protocol:
+/// the oracle the parallel [`FleetController`] must match bit for bit.
+fn serial_oracle(
+    plan: &ShardPlan,
+    paths: &PathSet,
+    policy: &ReconfigPolicy,
+    trace: &TrafficTrace,
+) -> Vec<ServeLog> {
+    let mut controllers: Vec<ServeController> = plan
+        .shards()
+        .iter()
+        .map(|shard| {
+            let (restricted, _) = paths.restrict_to(shard.active());
+            let mut c = ServeController::lp(
+                &restricted,
+                WINDOW,
+                Box::new(LastValue::new()),
+                ReconfigPolicy { budget: None, ..policy.clone() },
+            );
+            c.bind_universe(shard.active());
+            c
+        })
+        .collect();
+    let mut admission = GlobalAdmission::from_policy(policy);
+    let mut logs = vec![ServeLog::new(); controllers.len()];
+    let mut column = Vec::new();
+    let mut tick = 0;
+    for t in 0..trace.len() {
+        let parent = trace.matrix(t).flatten_pairs();
+        if t < WINDOW {
+            for (shard, c) in plan.shards().iter().zip(&mut controllers) {
+                shard.gather_into(&parent, &mut column);
+                c.observe_pairs(&column);
+            }
+            continue;
+        }
+        let mut bids = Vec::new();
+        let mut proposals = Vec::with_capacity(controllers.len());
+        for (i, (shard, c)) in plan.shards().iter().zip(&mut controllers).enumerate() {
+            shard.gather_into(&parent, &mut column);
+            let proposal = c.propose();
+            if let Some(p) = &proposal {
+                bids.push(ShardBid::from_proposal(i, p));
+            }
+            proposals.push(proposal);
+        }
+        let mut actions = vec![Action::Warmup; controllers.len()];
+        admission.admit(tick, &bids, &mut actions);
+        for (i, (shard, c)) in plan.shards().iter().zip(&mut controllers).enumerate() {
+            shard.gather_into(&parent, &mut column);
+            let outcome = c.finish_pairs(&column, actions[i]);
+            logs[i].push(outcome.record, outcome.decision_seconds);
+        }
+        tick += 1;
+    }
+    logs
+}
+
+#[test]
+fn parallel_fleet_matches_the_serial_oracle() {
+    let (paths, trace, active) = setup(18, 7);
+    let policy = ReconfigPolicy {
+        hysteresis: 0.02,
+        budget: Some(UpdateBudget::per_window(2, 5)),
+        ..ReconfigPolicy::always_update()
+    };
+    for shards in [1, 2, 3] {
+        let plan = ShardPlan::source_blocks(&active, trace.num_nodes(), shards);
+        let mut fleet =
+            FleetController::lp(&plan, &paths, WINDOW, PredictorKind::LastValue, &policy);
+        drive_fleet(&mut fleet, &trace);
+        let oracle = serial_oracle(&plan, &paths, &policy, &trace);
+        assert_eq!(fleet.logs().len(), oracle.len());
+        for (parallel, serial) in fleet.logs().iter().zip(&oracle) {
+            assert_eq!(parallel.records, serial.records, "{shards}-shard fleet diverged");
+        }
+        assert!(fleet.update_count() > 0, "the comparison must exercise real updates");
+    }
+}
+
+fn window_update_counts(logs: &[ServeLog], window: usize, ticks: usize) -> Vec<usize> {
+    (0..ticks)
+        .map(|start| {
+            logs.iter()
+                .flat_map(|log| &log.records)
+                .filter(|r| {
+                    r.action == Action::Update && r.tick >= start && r.tick < start + window
+                })
+                .count()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn fleet_digests_are_deterministic_and_budget_bounded(
+        seed in 0u64..1000,
+        shards in 1usize..5,
+        max_updates in 1usize..3,
+        budget_window in 3usize..7,
+        hyst_step in 0usize..2,
+    ) {
+        let hysteresis = 0.05 * hyst_step as f64;
+        let (paths, trace, active) = setup(12, seed);
+        let policy = ReconfigPolicy {
+            hysteresis,
+            budget: Some(UpdateBudget::per_window(max_updates, budget_window)),
+            ..ReconfigPolicy::always_update()
+        };
+        let plan = ShardPlan::source_blocks(&active, trace.num_nodes(), shards);
+        let run = || {
+            let mut fleet =
+                FleetController::lp(&plan, &paths, WINDOW, PredictorKind::LastValue, &policy);
+            drive_fleet(&mut fleet, &trace);
+            fleet
+        };
+        let fleet = run();
+        let again = run();
+        // Bit-identical replay: digests, admission counters, merged records.
+        prop_assert_eq!(fleet.digest(), again.digest());
+        prop_assert_eq!(fleet.decision_digest(), again.decision_digest());
+        prop_assert_eq!(fleet.admission_stats(), again.admission_stats());
+        // Joint budget: no sliding window across ALL shards exceeds it.
+        let ticks = fleet.ticks();
+        for (start, count) in
+            window_update_counts(fleet.logs(), budget_window, ticks).iter().enumerate()
+        {
+            prop_assert!(
+                *count <= max_updates,
+                "window [{}, {}) holds {} updates (budget {})",
+                start, start + budget_window, count, max_updates
+            );
+        }
+        // A one-shard fleet is the unsharded controller, record for record.
+        if shards == 1 {
+            let mut solo = ServeController::lp(
+                &paths,
+                WINDOW,
+                Box::new(LastValue::new()),
+                policy.clone(),
+            );
+            let mut log = ServeLog::new();
+            for t in 0..trace.len() {
+                let column = trace.matrix(t).flatten_pairs();
+                if t < WINDOW {
+                    solo.observe_pairs(&column);
+                } else {
+                    let out = solo.step_pairs(&column);
+                    log.push(out.record, out.decision_seconds);
+                }
+            }
+            prop_assert_eq!(&fleet.logs()[0].records, &log.records);
+            prop_assert_eq!(fleet.digest(), log.digest());
+            prop_assert_eq!(fleet.decision_digest(), log.decision_digest());
+        }
+    }
+}

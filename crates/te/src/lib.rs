@@ -48,7 +48,7 @@ pub use failures::{available_paths, reroute_around_failures, reroute_with_mask};
 pub use mlu::{
     bottleneck_edge, edge_loads, edge_utilizations, max_link_utilization,
     max_link_utilization_naive, max_link_utilization_pairs, max_link_utilization_pairs_scratch,
-    max_link_utilization_sparse, path_flows,
+    max_link_utilization_sparse, max_utilization_of_loads, path_flows,
 };
 pub use objective::{
     congestion_event_count, congestion_event_rate, mean, normalize_by, relative_change,

@@ -103,6 +103,20 @@ pub fn max_link_utilization_pairs_scratch(
     loads.iter().zip(paths.edge_capacities()).map(|(l, c)| l / c).fold(0.0, f64::max)
 }
 
+/// Maximum utilization of an explicit edge-load vector: `max_e loads[e] /
+/// capacities[e]`, folded in edge order like every MLU evaluator here.
+///
+/// The sharded serving fleet uses this to recover the *global* realized MLU
+/// from per-shard work: each shard's restricted path set keeps the full edge
+/// universe (`PathSet::restrict_to` preserves `num_edges` and capacities), so
+/// summing the shards' [`max_link_utilization_pairs_scratch`] load buffers in
+/// stable shard order and folding once is exact — and bit-deterministic —
+/// without ever evaluating the merged configuration on the merged demand.
+pub fn max_utilization_of_loads(loads: &[f64], capacities: &[f64]) -> f64 {
+    assert_eq!(loads.len(), capacities.len(), "one load per edge is required");
+    loads.iter().zip(capacities).map(|(l, c)| l / c).fold(0.0, f64::max)
+}
+
 /// The edge achieving the maximum utilization, with its utilization.
 /// Returns `None` when the path set has no edges.
 pub fn bottleneck_edge(

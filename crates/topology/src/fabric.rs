@@ -57,6 +57,26 @@ pub struct FabricSpec {
     pub seed: u64,
 }
 
+/// Pod size used by the two-tier preset at a given ToR count: 64-ToR pods
+/// at production scale (multiples of 64, at least 128 ToRs), 8-ToR pods for
+/// small fabrics (multiples of 8, at least 16 ToRs).  Shard planners use
+/// this to align pod partitions with the built topology.
+///
+/// # Panics
+///
+/// Panics when `tors` fits neither sizing rule.
+pub fn two_tier_pod_size(tors: usize) -> usize {
+    if tors >= 128 && tors.is_multiple_of(64) {
+        64
+    } else {
+        assert!(
+            tors >= 16 && tors.is_multiple_of(8),
+            "the two-tier preset needs 8- or 64-ToR pods ({tors} ToRs fits neither)"
+        );
+        8
+    }
+}
+
 /// A built fabric: the graph plus the ToR/forwarding split.
 ///
 /// ToRs are the node-id prefix `0..num_tors`; any remaining nodes are
@@ -77,14 +97,16 @@ impl FabricSpec {
         FabricSpec { tors, flavor: FabricFlavor::RandomRegular { degree: 16 }, seed: 7 }
     }
 
-    /// The standard two-tier preset at a given ToR count: 64-ToR pods with
-    /// 4 aggregation switches each, default seed.  `tors` must be a
-    /// multiple of 64.
+    /// The standard two-tier preset at a given ToR count: pods of
+    /// [`two_tier_pod_size`] ToRs with 4 aggregation switches each, default
+    /// seed.  Production-scale fabrics (multiples of 64, at least 128 ToRs)
+    /// get 64-ToR pods; small test fabrics (multiples of 8, at least 16
+    /// ToRs) get 8-ToR pods so CI-sized pod topologies exist.
     pub fn two_tier(tors: usize) -> FabricSpec {
-        assert!(tors.is_multiple_of(64), "the two-tier preset uses 64-ToR pods");
+        let pod = two_tier_pod_size(tors);
         FabricSpec {
             tors,
-            flavor: FabricFlavor::TwoTierPod { pods: tors / 64, aggs_per_pod: 4 },
+            flavor: FabricFlavor::TwoTierPod { pods: tors / pod, aggs_per_pod: 4 },
             seed: 7,
         }
     }
@@ -205,8 +227,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "64-ToR pods")]
+    #[should_panic(expected = "fits neither")]
     fn two_tier_preset_rejects_ragged_sizes() {
         FabricSpec::two_tier(100);
+    }
+
+    #[test]
+    fn two_tier_pod_sizes_cover_small_and_large_fabrics() {
+        assert_eq!(two_tier_pod_size(16), 8);
+        assert_eq!(two_tier_pod_size(64), 8); // below 128: small pods
+        assert_eq!(two_tier_pod_size(128), 64);
+        assert_eq!(two_tier_pod_size(512), 64);
+        let small = FabricSpec::two_tier(16).build();
+        assert_eq!(small.num_tors, 16);
+        // 2 pods of 8 ToRs, 4 aggs each.
+        assert_eq!(small.graph.num_nodes(), 16 + 2 * 4);
+        assert!(small.graph.is_strongly_connected());
     }
 }

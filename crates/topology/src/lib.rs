@@ -38,7 +38,7 @@ pub mod paths;
 pub mod racke;
 pub mod shortest;
 
-pub use fabric::{Fabric, FabricFlavor, FabricSpec};
+pub use fabric::{two_tier_pod_size, Fabric, FabricFlavor, FabricSpec};
 pub use failures::{random_link_failures, FailureScenario};
 pub use generators::{build_topology, Scale, Topology, TopologySpec};
 pub use graph::{Edge, EdgeId, Graph, GraphError, NodeId};

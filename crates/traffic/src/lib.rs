@@ -32,6 +32,7 @@ pub mod matrix;
 pub mod ops;
 pub mod perturb;
 pub mod pfabric;
+pub mod shard;
 pub mod sparse;
 pub mod split;
 pub mod stats;
@@ -52,6 +53,7 @@ pub use perturb::{
 pub use pfabric::{
     pfabric_trace, pfabric_trace_sparse, sample_web_search_flow_size, PFabricConfig,
 };
+pub use shard::{ShardPlan, ShardUniverse};
 pub use sparse::{ActivePairs, SparseDemand, SparseTrace};
 pub use split::{TrainTestSplit, WindowDataset, WindowSample};
 pub use stats::{
