@@ -16,7 +16,7 @@ use figret_nn::{
     Adam, AdamConfig, Graph, InferencePlan, Mlp, MlpConfig, Optimizer, OutputActivation, Tensor,
 };
 use figret_te::{DiffTe, MluAggregation, PathSet, TeConfig};
-use figret_traffic::{DemandMatrix, WindowDataset, WindowSample};
+use figret_traffic::{DemandMatrix, FlatWindowDataset, WindowDataset, WindowSample};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -140,6 +140,26 @@ impl FigretModel {
         features
     }
 
+    /// Columnar counterpart of [`FigretModel::features_from_history`]: the
+    /// same concatenate-and-scale arithmetic over flat per-tick columns, so
+    /// the two paths produce bit-identical features for equivalent data.
+    fn features_from_columns(&self, history: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(
+            history.len(),
+            self.config.history_window,
+            "history must contain exactly H demand columns"
+        );
+        let mut features = Vec::with_capacity(self.config.history_window * self.num_pairs);
+        for row in history {
+            assert_eq!(row.len(), self.num_pairs, "one demand value per pair is required");
+            features.extend_from_slice(row);
+        }
+        for f in &mut features {
+            *f /= self.feature_scale;
+        }
+        features
+    }
+
     /// Trains the model on a window dataset (as produced by
     /// [`WindowDataset::from_trace`] over the training split) with shuffled
     /// mini-batch SGD.
@@ -169,7 +189,6 @@ impl FigretModel {
             self.mlp.parameters(),
             AdamConfig { learning_rate: self.config.learning_rate, ..Default::default() },
         );
-        let params = self.mlp.parameters();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x7a11_5eed);
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         let mut report = TrainingReport { samples_per_epoch: dataset.len(), ..Default::default() };
@@ -192,31 +211,10 @@ impl FigretModel {
                     .par_chunks(MICROBATCH)
                     .map(|chunk| self.microbatch_gradients(chunk))
                     .collect();
-
-                // Stable-order reduction: sum the per-chunk gradient sums in
-                // chunk order, then average over the batch.
-                let scale = 1.0 / batch.len() as f64;
-                let mut accumulated: Vec<Tensor> = params
-                    .iter()
-                    .map(|&p| Tensor::zeros(self.graph.value(p).rows(), self.graph.value(p).cols()))
-                    .collect();
-                for partial in &partials {
-                    for (acc, g) in accumulated.iter_mut().zip(&partial.grads) {
-                        acc.add_assign(g);
-                    }
-                    sum_loss += partial.loss_sum;
-                    sum_mlu += partial.mlu_sum;
-                    sum_penalty += partial.penalty_sum;
-                }
-                // reset() above already zeroed every gradient on the master
-                // tape; the merged microbatch gradients are the only writes.
-                for (p, mut acc) in params.iter().zip(accumulated) {
-                    for v in acc.data_mut() {
-                        *v *= scale;
-                    }
-                    self.graph.add_grad(*p, &acc);
-                }
-                adam.step(&mut self.graph);
+                let (loss, mlu, penalty) = self.reduce_and_step(&mut adam, &partials, batch.len());
+                sum_loss += loss;
+                sum_mlu += mlu;
+                sum_penalty += penalty;
             }
             let n = dataset.len() as f64;
             report.epochs.push(EpochStats {
@@ -229,23 +227,146 @@ impl FigretModel {
         report
     }
 
+    /// Trains the model on a flat columnar dataset (observed demand columns,
+    /// e.g. drained from a serving controller's history window) with the
+    /// same shuffled, microbatched, deterministically reduced mini-batch SGD
+    /// as [`FigretModel::train`].  On a dense universe the two trainers are
+    /// bit-identical for equivalent data: same shuffle order, same chunk
+    /// boundaries, same feature and gradient arithmetic.  This is the
+    /// online-retraining path of the serving recovery subsystem — and it
+    /// works on restricted shard universes, where no dense `N×N` matrices
+    /// exist to build a [`WindowDataset`] from.
+    pub fn train_flat(&mut self, dataset: &FlatWindowDataset) -> TrainingReport {
+        assert!(!dataset.is_empty(), "the training dataset is empty");
+        assert_eq!(
+            dataset.window(),
+            self.config.history_window,
+            "dataset window must match the configured history window"
+        );
+        assert_eq!(dataset.num_pairs(), self.num_pairs, "one demand value per pair is required");
+        let start = std::time::Instant::now();
+        // Feature scale: the largest demand seen in any history window, the
+        // exact statistic the dense trainer computes.
+        let max_demand = dataset.max_history_entry();
+        self.feature_scale = if max_demand > 0.0 { max_demand } else { 1.0 };
+
+        let mut adam = Adam::new(
+            &self.graph,
+            self.mlp.parameters(),
+            AdamConfig { learning_rate: self.config.learning_rate, ..Default::default() },
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x7a11_5eed);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let mut report = TrainingReport { samples_per_epoch: dataset.len(), ..Default::default() };
+        let batch_size = self.config.batch_size.max(1);
+
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut sum_loss = 0.0;
+            let mut sum_mlu = 0.0;
+            let mut sum_penalty = 0.0;
+            for batch in order.chunks(batch_size) {
+                self.graph.reset();
+                let partials: Vec<MicrobatchGradients> = batch
+                    .par_chunks(MICROBATCH)
+                    .map(|chunk| self.microbatch_gradients_flat(dataset, chunk))
+                    .collect();
+                let (loss, mlu, penalty) = self.reduce_and_step(&mut adam, &partials, batch.len());
+                sum_loss += loss;
+                sum_mlu += mlu;
+                sum_penalty += penalty;
+            }
+            let n = dataset.len() as f64;
+            report.epochs.push(EpochStats {
+                mean_loss: sum_loss / n,
+                mean_mlu: sum_mlu / n,
+                mean_penalty: sum_penalty / n,
+            });
+        }
+        report.wall_seconds = start.elapsed().as_secs_f64();
+        report
+    }
+
+    /// Stable-order batch reduction shared by both trainers: sums the
+    /// per-microbatch gradient sums in chunk order, averages over the batch,
+    /// and applies one Adam step.  Returns the summed (loss, MLU, penalty)
+    /// terms of the batch.  `graph.reset()` must have run before the
+    /// microbatch pass, so the merged gradients are the only writes.
+    fn reduce_and_step(
+        &mut self,
+        adam: &mut Adam,
+        partials: &[MicrobatchGradients],
+        batch_len: usize,
+    ) -> (f64, f64, f64) {
+        let params = self.mlp.parameters();
+        let scale = 1.0 / batch_len as f64;
+        let mut accumulated: Vec<Tensor> = params
+            .iter()
+            .map(|&p| Tensor::zeros(self.graph.value(p).rows(), self.graph.value(p).cols()))
+            .collect();
+        let (mut loss, mut mlu, mut penalty) = (0.0, 0.0, 0.0);
+        for partial in partials {
+            for (acc, g) in accumulated.iter_mut().zip(&partial.grads) {
+                acc.add_assign(g);
+            }
+            loss += partial.loss_sum;
+            mlu += partial.mlu_sum;
+            penalty += partial.penalty_sum;
+        }
+        for (p, mut acc) in params.iter().zip(accumulated) {
+            for v in acc.data_mut() {
+                *v *= scale;
+            }
+            self.graph.add_grad(*p, &acc);
+        }
+        adam.step(&mut self.graph);
+        (loss, mlu, penalty)
+    }
+
     /// Runs one batched forward/backward pass over a microbatch on a clone of
     /// the parameter tape and returns the *sums* (not means) of the parameter
     /// gradients and loss terms over the microbatch's samples.
     fn microbatch_gradients(&self, chunk: &[&WindowSample]) -> MicrobatchGradients {
-        let mut graph = self.graph.clone();
         let feature_rows: Vec<Vec<f64>> =
             chunk.iter().map(|s| self.features_from_history(&s.history)).collect();
-        let feature_refs: Vec<&[f64]> = feature_rows.iter().map(|r| r.as_slice()).collect();
         let mut demand_rows = Vec::with_capacity(chunk.len() * self.num_pairs);
         for sample in chunk {
             demand_rows.extend(sample.target.flatten_pairs());
         }
+        self.microbatch_gradients_rows(&feature_rows, &demand_rows)
+    }
 
+    /// Columnar counterpart of [`FigretModel::microbatch_gradients`]: sample
+    /// indices into a [`FlatWindowDataset`] instead of owned window samples.
+    /// The feature and target arithmetic is identical, so the flat trainer
+    /// bit-matches the dense trainer on equivalent data.
+    fn microbatch_gradients_flat(
+        &self,
+        dataset: &FlatWindowDataset,
+        chunk: &[usize],
+    ) -> MicrobatchGradients {
+        let feature_rows: Vec<Vec<f64>> =
+            chunk.iter().map(|&i| self.features_from_columns(dataset.history(i))).collect();
+        let mut demand_rows = Vec::with_capacity(chunk.len() * self.num_pairs);
+        for &i in chunk {
+            demand_rows.extend_from_slice(dataset.target(i));
+        }
+        self.microbatch_gradients_rows(&feature_rows, &demand_rows)
+    }
+
+    /// The shared forward/backward core of both trainers, over prepared
+    /// (already feature-scaled) input rows and raw target demand rows.
+    fn microbatch_gradients_rows(
+        &self,
+        feature_rows: &[Vec<f64>],
+        demand_rows: &[f64],
+    ) -> MicrobatchGradients {
+        let mut graph = self.graph.clone();
+        let feature_refs: Vec<&[f64]> = feature_rows.iter().map(|r| r.as_slice()).collect();
         let input = graph.input(Tensor::stack_rows(&feature_refs));
         let raw = self.mlp.forward(&mut graph, input);
         let ratios = self.diff.normalize(&mut graph, raw);
-        let mlu_col = self.diff.mlu_batch(&mut graph, ratios, &demand_rows, MluAggregation::Max);
+        let mlu_col = self.diff.mlu_batch(&mut graph, ratios, demand_rows, MluAggregation::Max);
         let mlu_sum: f64 = graph.value(mlu_col).data().iter().sum();
         let (loss_col, penalty_sum) = if self.config.robustness_weight > 0.0 {
             let penalty = self.diff.sensitivity_penalty(&mut graph, ratios, &self.variance_weights);
@@ -520,6 +641,42 @@ mod tests {
         // Identical loss trajectories regardless of when/where the parallel
         // microbatch gradients were computed.
         assert_eq!(run(config.clone()), run(config));
+    }
+
+    #[test]
+    fn train_flat_bit_matches_dense_training() {
+        let (ps, trace) = setup();
+        let split = TrainTestSplit::chronological(trace.len(), 0.75);
+        let variances = per_pair_variance_range(&trace, split.train.clone());
+        let config = FigretConfig { epochs: 3, ..FigretConfig::fast_test() };
+        let h = config.history_window;
+        let dense = WindowDataset::from_trace(&trace, h, split.train.clone());
+        // The same training range as flat columns: matrices 0..cut flattened
+        // in slot order, so flat sample `i` is dense sample `i` exactly.
+        let columns: Vec<Vec<f64>> =
+            split.train.clone().map(|t| trace.matrix(t).flatten_pairs()).collect();
+        let flat = FlatWindowDataset::from_columns(h, columns);
+        assert_eq!(flat.len(), dense.len());
+
+        let mut dense_model = FigretModel::new(&ps, &variances, config.clone());
+        let dense_report = dense_model.train(&dense);
+        let mut flat_model = FigretModel::new(&ps, &variances, config);
+        let flat_report = flat_model.train_flat(&flat);
+
+        // Same shuffle, same chunking, same arithmetic: per-epoch stats are
+        // bit-equal, not merely close.
+        for (d, f) in dense_report.epochs.iter().zip(&flat_report.epochs) {
+            assert_eq!(d.mean_loss, f.mean_loss);
+            assert_eq!(d.mean_mlu, f.mean_mlu);
+            assert_eq!(d.mean_penalty, f.mean_penalty);
+        }
+        // And so are the trained predictors.
+        let t = trace.len() - 1;
+        let history: Vec<DemandMatrix> = (t - h..t).map(|i| trace.matrix(i).clone()).collect();
+        let flat_history: Vec<Vec<f64>> = history.iter().map(|m| m.flatten_pairs()).collect();
+        let dense_cfg = dense_model.predict(&ps, &history);
+        let flat_cfg = flat_model.predict_flat(&ps, &flat_history);
+        assert_eq!(dense_cfg.ratios(), flat_cfg.ratios());
     }
 
     #[test]

@@ -24,7 +24,12 @@ fn main() {
         .switch("always-update", "reconfigure every tick (batch-equivalence mode)")
         .number("online-ticks", 0, "serve N generated ticks instead of replaying the trace")
         .text("inference", "graph", "learned-engine inference path: graph | plan")
-        .number("shards", 0, "serve through a sharded fleet with N shards (0 = unsharded)");
+        .number("shards", 0, "serve through a sharded fleet with N shards (0 = unsharded)")
+        .number("retrain-every", 0, "retrain a challenger every N ticks while degraded (0 = off)")
+        .number("retrain-window", 32, "observed demand columns kept for challenger retraining")
+        .number("promotion-patience", 3, "consecutive shadow-audit wins before promotion")
+        .number("shift-tick", 0, "online mode: inject a step shift N decision ticks in (0 = none)")
+        .float("shift-factor", 4.0, "step-shift magnitude (even slots ×f, odd slots ×1/f)");
     let values = flags.parse_or_exit(std::env::args().skip(1));
     let experiment = ExperimentOptions::from_flag_values(&values);
 
@@ -64,16 +69,35 @@ fn main() {
         }
     };
 
+    let retrain_every = values.number("retrain-every");
+    let shift_tick = values.number("shift-tick");
+    let online_ticks = values.number("online-ticks");
+    let shards = values.number("shards");
+    if retrain_every > 0 && engine != ServeEngine::Learned {
+        fail("--retrain-every requires --engine learned (recovery retrains a model)".to_string());
+    }
+    if retrain_every > 0 && shards > 0 {
+        fail("--retrain-every is not supported on the --shards harness (LP shards)".to_string());
+    }
+    if shift_tick > 0 && online_ticks == 0 {
+        fail("--shift-tick shifts the generated stream; it requires --online-ticks".to_string());
+    }
+
     let options = ServeSimOptions {
         topology,
         demand,
         engine,
         predictor,
         policy,
-        online_ticks: values.number("online-ticks"),
+        online_ticks,
         max_ticks: Some(experiment.max_eval),
         use_plan,
-        shards: values.number("shards"),
+        shards,
+        retrain_every,
+        retrain_window: values.number("retrain-window"),
+        promotion_patience: values.number("promotion-patience"),
+        shift_tick,
+        shift_factor: values.float("shift-factor"),
         experiment,
     };
     serve_sim(&options);

@@ -19,14 +19,17 @@
 use std::sync::Arc;
 
 use figret::FigretModel;
-use figret_serve::{PredictorKind, ReconfigPolicy, ServeController, ServeLog};
+use figret_serve::{
+    PredictorKind, ReconfigPolicy, RecoveryConfig, RecoveryStats, ServeController, ServeLog,
+    Transition,
+};
 use figret_solvers::{MluTemplate, SeriesStats};
 use figret_te::{max_link_utilization_pairs, normalize_by, PathSet, SchemeQuality};
 use figret_topology::{FabricSpec, Topology};
 use figret_traffic::{
     datacenter::{tor_trace_sparse, TorTrafficConfig},
     per_pair_variance_range, ActivePairs, DemandMatrix, DemandStream, OnlineStream,
-    OnlineStreamConfig, ReplayStream, SparseTrace, TrafficTrace, WindowDataset,
+    OnlineStreamConfig, ReplayStream, SparseTrace, StepShiftConfig, TrafficTrace, WindowDataset,
 };
 
 use crate::experiments::ExperimentOptions;
@@ -98,6 +101,23 @@ pub struct ServeSimOptions {
     /// (`crate::fleet`).  `--shards 1` runs a one-shard fleet, whose digests
     /// must equal the unsharded path's.  0 = the single-controller path.
     pub shards: usize,
+    /// Learned engine only: when > 0, enable the self-healing recovery
+    /// ladder (DESIGN.md §9) and retrain a challenger every this many ticks
+    /// while degraded.  0 leaves degradation terminal (PR 5 behavior).
+    pub retrain_every: usize,
+    /// Recovery: observed demand columns kept as the challenger's sliding
+    /// training window.
+    pub retrain_window: usize,
+    /// Recovery: consecutive shadow-audit wins before a challenger is
+    /// promoted back to live serving.
+    pub promotion_patience: usize,
+    /// Online mode only: when > 0, inject a deterministic step shift into
+    /// the generated stream this many decision ticks into the run (the
+    /// distribution-shift drill the recovery ladder is judged on).
+    pub shift_tick: usize,
+    /// Step-shift magnitude: even pair slots scale by the factor, odd slots
+    /// by its reciprocal (aggregate volume is roughly preserved).
+    pub shift_factor: f64,
 }
 
 impl ServeSimOptions {
@@ -115,7 +135,26 @@ impl ServeSimOptions {
             max_ticks: None,
             use_plan: false,
             shards: 0,
+            retrain_every: 0,
+            retrain_window: 32,
+            promotion_patience: 3,
+            shift_tick: 0,
+            shift_factor: 4.0,
         }
+    }
+
+    /// The recovery configuration of the run, when recovery is on.
+    fn recovery_config(&self) -> Option<RecoveryConfig> {
+        (self.retrain_every > 0).then(|| RecoveryConfig {
+            retrain_window: self.retrain_window,
+            retrain_every: self.retrain_every,
+            promotion_patience: self.promotion_patience,
+            // Challengers train on a handful of recent columns, so rounds
+            // are cheap even at serving-grade depth; shallow retraining
+            // plateaus far above the LP and never clears the audit margin.
+            retrain_epochs: 150,
+            ..RecoveryConfig::default()
+        })
     }
 }
 
@@ -146,6 +185,8 @@ pub struct ServeRun {
     /// one routing decision per active pair, so aggregate throughput is
     /// `ticks · pairs_per_tick / serve_seconds` decisions/sec.
     pub pairs_per_tick: usize,
+    /// Recovery counters, when the self-healing ladder was enabled.
+    pub recovery: Option<RecoveryStats>,
 }
 
 /// Demand-storage accounting of a fabric serving run.
@@ -184,6 +225,92 @@ impl ServeRun {
         let normalized = normalize_by(&self.log.realized_mlus(), &self.omniscient);
         SchemeQuality::from_normalized(&self.name, &normalized)
     }
+
+    /// Recovery-loop summary derived from the transition log and the
+    /// controller's recovery counters; `None` when recovery was off.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        let stats = self.recovery?;
+        let end = self.log.records.last().map(|r| r.tick + 1).unwrap_or(0);
+        let mut fallback_ticks = 0;
+        let mut degraded_since: Option<usize> = None;
+        for t in &self.log.transitions {
+            match t.transition {
+                Transition::Degraded | Transition::Demoted => {
+                    degraded_since.get_or_insert(t.tick);
+                }
+                Transition::Promoted => {
+                    if let Some(since) = degraded_since.take() {
+                        fallback_ticks += t.tick - since;
+                    }
+                }
+                Transition::PlanRetired | Transition::RetrainStarted => {}
+            }
+        }
+        if let Some(since) = degraded_since {
+            fallback_ticks += end.saturating_sub(since);
+        }
+        let first_degraded = self
+            .log
+            .transitions
+            .iter()
+            .find(|t| matches!(t.transition, Transition::Degraded | Transition::Demoted))
+            .map(|t| t.tick);
+        let time_to_recovery = match (first_degraded, self.log.recovery_tick()) {
+            (Some(d), Some(p)) => Some(p - d),
+            _ => None,
+        };
+        let post_recovery_regret = self.log.recovery_tick().and_then(|p| {
+            let post: Vec<f64> = self
+                .log
+                .records
+                .iter()
+                .zip(&self.omniscient)
+                .filter(|(r, _)| r.tick >= p)
+                .map(|(r, &o)| r.realized_mlu / o.max(1e-12))
+                .collect();
+            (!post.is_empty()).then(|| post.iter().sum::<f64>() / post.len() as f64)
+        });
+        Some(RecoveryReport {
+            degraded_events: self.log.transition_count(Transition::Degraded)
+                + self.log.transition_count(Transition::Demoted),
+            retrains: stats.retrains,
+            promotions: stats.promotions,
+            detector_trips: stats.detector_trips,
+            fallback_ticks,
+            time_to_recovery,
+            post_recovery_regret,
+            retrain_seconds: stats.retrain_seconds,
+            retrain_cost_per_tick: stats.retrain_seconds / self.log.len().max(1) as f64,
+        })
+    }
+}
+
+/// What the self-healing ladder did over one serving run — the numbers a
+/// recovery story is judged by: how long the controller sat on the LP, how
+/// fast it got back to model serving, and how good serving was afterwards.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// `Degraded` plus `Demoted` transitions (drift episodes entered).
+    pub degraded_events: usize,
+    /// Challenger training rounds completed.
+    pub retrains: usize,
+    /// Challengers promoted back to live serving.
+    pub promotions: usize,
+    /// CUSUM drift-detector trips.
+    pub detector_trips: usize,
+    /// Decision ticks spent serving the LP fallback.
+    pub fallback_ticks: usize,
+    /// Ticks from the first degradation to the first promotion, when the
+    /// run recovered.
+    pub time_to_recovery: Option<usize>,
+    /// Mean realized/omniscient MLU over the ticks after the first
+    /// promotion (the post-recovery serving quality).
+    pub post_recovery_regret: Option<f64>,
+    /// Wall-clock seconds spent retraining challengers (off the decision
+    /// path's latency accounting).
+    pub retrain_seconds: f64,
+    /// Retraining cost amortized over every decision tick of the run.
+    pub retrain_cost_per_tick: f64,
 }
 
 /// Parses a CLI topology spelling: the Table 1 names lowercased with `-`
@@ -252,6 +379,9 @@ fn build_controller(scenario: &Scenario, options: &ServeSimOptions) -> ServeCont
                 ServeController::learned(&scenario.paths, model, predictor, options.policy.clone());
             if options.use_plan {
                 controller.enable_inference_plan();
+            }
+            if let Some(recovery) = options.recovery_config() {
+                controller.enable_recovery(recovery);
             }
             controller
         }
@@ -366,6 +496,7 @@ pub fn serve_replay(scenario: &Scenario, options: &ServeSimOptions) -> ServeRun 
         memory: None,
         serve_seconds,
         pairs_per_tick: scenario.paths.num_pairs(),
+        recovery: controller.recovery_enabled().then(|| controller.recovery_stats()),
     }
 }
 
@@ -411,11 +542,32 @@ pub fn serve_online(scenario: &Scenario, ticks: usize, options: &ServeSimOptions
     let stream_config = OnlineStreamConfig {
         interval_seconds: scenario.trace.interval_seconds(),
         seed: 0x5eed ^ (ticks as u64),
+        // Shift ticks count decision ticks, so the stream-side trigger sits
+        // past the warmup observations.
+        shift: (options.shift_tick > 0).then(|| StepShiftConfig {
+            at_tick: warmup + options.shift_tick,
+            factor: options.shift_factor,
+        }),
         ..Default::default()
     };
     let mut stream = OnlineStream::from_graph(&scenario.graph, 0.25, stream_config);
     let serve_start = std::time::Instant::now();
-    let (log, realized) = drive(&mut controller, &mut stream, warmup, Some(ticks));
+    for _ in 0..warmup {
+        let demand = stream.next_demand().expect("the online stream is endless");
+        controller.observe(&demand);
+    }
+    // The online loop records transitions and stream annotations alongside
+    // the decision records (unlike the replay path's plain `drive`), so the
+    // report can narrate the recovery ladder against the stream's episodes.
+    let mut log = ServeLog::new();
+    let mut realized = Vec::with_capacity(ticks);
+    while realized.len() < ticks {
+        let demand = stream.next_demand().expect("the online stream is endless");
+        let outcome = controller.step(&demand);
+        log.annotate(outcome.record.tick, stream.annotation());
+        log.record_outcome(&outcome);
+        realized.push(demand);
+    }
     let serve_seconds = serve_start.elapsed().as_secs_f64();
     let omniscient = omniscient_over(&scenario.paths, &realized);
     ServeRun {
@@ -433,6 +585,7 @@ pub fn serve_online(scenario: &Scenario, ticks: usize, options: &ServeSimOptions
         memory: None,
         serve_seconds,
         pairs_per_tick: scenario.paths.num_pairs(),
+        recovery: controller.recovery_enabled().then(|| controller.recovery_stats()),
     }
 }
 
@@ -538,6 +691,7 @@ pub fn serve_fabric(spec: &FabricSpec, options: &ServeSimOptions) -> ServeRun {
         memory: Some(memory),
         serve_seconds,
         pairs_per_tick: setup.active.len(),
+        recovery: None,
     }
 }
 
@@ -641,8 +795,56 @@ pub fn print_serve_report(run: &ServeRun) {
     work_row.extend(lp_work_columns(&run.lp_stats));
     print_table("LP solver work (controller re-solves)", &work_header, &[work_row]);
 
+    if let Some(rec) = run.recovery_report() {
+        let rows = vec![
+            vec!["drift episodes entered".to_string(), format!("{}", rec.degraded_events)],
+            vec!["detector trips (CUSUM)".to_string(), format!("{}", rec.detector_trips)],
+            vec!["challenger retrains".to_string(), format!("{}", rec.retrains)],
+            vec!["promotions".to_string(), format!("{}", rec.promotions)],
+            vec!["ticks in LP fallback".to_string(), format!("{}", rec.fallback_ticks)],
+            vec![
+                "time to recovery".to_string(),
+                match rec.time_to_recovery {
+                    Some(t) => format!("{t} ticks"),
+                    None => "never recovered".to_string(),
+                },
+            ],
+            vec![
+                "post-recovery regret (mean)".to_string(),
+                match rec.post_recovery_regret {
+                    Some(r) => format!("{r:.3}"),
+                    None => "n/a".to_string(),
+                },
+            ],
+            vec![
+                "retrain cost".to_string(),
+                format!(
+                    "{:.3} s total / {:.1} µs per tick",
+                    rec.retrain_seconds,
+                    1e6 * rec.retrain_cost_per_tick
+                ),
+            ],
+        ];
+        print_table("self-healing recovery", &["metric", "value"], &rows);
+    }
+
     if let Some(mem) = &run.memory {
         print_fabric_memory(mem);
+    }
+
+    // Machine-greppable transition and annotation lines: CI asserts a
+    // `,Promoted` line on the recovery smoke run.
+    for t in &run.log.transitions {
+        println!("transition,{},{:?}", t.tick, t.transition);
+    }
+    for (tick, ann) in &run.log.annotations {
+        println!(
+            "stream_event,{tick},storm={},flashes={},drift_spread={:.3},shifted={}",
+            ann.storm_victim.map(|v| v as i64).unwrap_or(-1),
+            ann.active_flashes,
+            ann.drift_spread,
+            ann.shifted
+        );
     }
 
     print_csv_series("realized_mlu", &run.log.realized_mlus());

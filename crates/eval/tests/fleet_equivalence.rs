@@ -39,6 +39,7 @@ fn geant_options() -> ServeSimOptions {
         max_ticks: Some(12),
         use_plan: false,
         shards: 0,
+        ..ServeSimOptions::new(ExperimentOptions::default())
     }
 }
 

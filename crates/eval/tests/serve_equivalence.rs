@@ -31,6 +31,7 @@ fn serve_options() -> ServeSimOptions {
         max_ticks: None,
         use_plan: false,
         shards: 0,
+        ..ServeSimOptions::new(ExperimentOptions::default())
     }
 }
 
@@ -103,6 +104,7 @@ fn plan_inference_reproduces_graph_decisions_in_replay() {
         max_ticks: Some(8),
         use_plan: false,
         shards: 0,
+        ..ServeSimOptions::new(ExperimentOptions::default())
     };
     let plan_options = ServeSimOptions { use_plan: true, ..graph_options.clone() };
 

@@ -15,10 +15,18 @@
 //!    deployed configuration is recorded.
 //!
 //! While serving learned configurations the controller periodically audits
-//! them against the LP re-solve and permanently falls back to the LP once
-//! the model has degraded for `patience` consecutive audits — the safety
-//! valve for traffic that drifted away from the training distribution
-//! (§5.4 of the paper measures exactly this failure mode).
+//! them against the LP re-solve and falls back to the LP once the model
+//! has degraded for `patience` consecutive audits — the safety valve for
+//! traffic that drifted away from the training distribution (§5.4 of the
+//! paper measures exactly this failure mode).  Without recovery the
+//! fallback is terminal; with [`ServeController::enable_recovery`] it is
+//! one state of the self-healing ladder (DESIGN.md §9): a CUSUM drift
+//! detector can trip the fallback early, a [`crate::RecoveryManager`]
+//! retrains challenger models on the observed-demand window while degraded,
+//! and a challenger that beats the LP for `promotion_patience` consecutive
+//! shadow audits is promoted back to live serving (with demotion and
+//! re-entry on regression).  Every transition is typed, tick-stamped and
+//! folded into the log digests.
 //!
 //! The loop is strictly sequential and every number it consumes is
 //! deterministic, so the decision log is bit-identical across runs and
@@ -41,9 +49,10 @@ use figret_solvers::{MluTemplate, SeriesStats};
 use figret_te::{max_link_utilization_pairs_scratch, split_ratio_churn, PathSet, TeConfig};
 use figret_traffic::{ActivePairs, DemandMatrix, SparseDemand};
 
-use crate::log::{Action, DecisionSource, HoldReason, TickRecord};
+use crate::log::{Action, DecisionSource, HoldReason, TickRecord, Transition};
 use crate::policy::ReconfigPolicy;
 use crate::predictor::OnlinePredictor;
+use crate::recovery::{RecoveryConfig, RecoveryManager, RecoveryStats};
 
 /// The result of one controller tick: the deterministic record plus the
 /// measured decision latency.
@@ -54,6 +63,10 @@ pub struct StepOutcome {
     /// Wall-clock seconds spent in the decision phase (candidate
     /// computation + policy gates; ingestion and bookkeeping excluded).
     pub decision_seconds: f64,
+    /// Recovery-ladder transitions this tick produced (empty on almost
+    /// every tick).  [`crate::ServeLog::record_outcome`] stamps them with
+    /// the record's tick and folds them into the digests.
+    pub transitions: Vec<Transition>,
 }
 
 /// One controller's decision bid, produced by [`ServeController::propose`]:
@@ -132,6 +145,20 @@ pub struct ServeController {
     tick: usize,
     lp_stats: SeriesStats,
     scratch: StepScratch,
+    /// The self-healing state machine; `None` keeps PR 5's terminal
+    /// fallback.  See [`ServeController::enable_recovery`].
+    recovery: Option<RecoveryManager>,
+    /// Whether [`ServeController::enable_inference_plan`] was ever called:
+    /// a promoted challenger is recompiled into a fresh plan iff the
+    /// operator originally asked for plan serving (even if the ladder has
+    /// since retired the old plan).
+    plan_was_enabled: bool,
+    /// Transitions produced since the last finished tick; drained into the
+    /// tick's [`StepOutcome`].
+    pending_transitions: Vec<Transition>,
+    /// 0 for the originally installed model; the challenger generation
+    /// after each promotion.
+    model_generation: u64,
 }
 
 impl std::fmt::Debug for ServeController {
@@ -199,6 +226,10 @@ impl ServeController {
             tick: 0,
             lp_stats: SeriesStats::default(),
             scratch: StepScratch::default(),
+            recovery: None,
+            plan_was_enabled: false,
+            pending_transitions: Vec::new(),
+            model_generation: 0,
         }
     }
 
@@ -214,6 +245,34 @@ impl ServeController {
     pub fn enable_inference_plan(&mut self) {
         let model = self.model.as_ref().expect("the inference plan requires a learned controller");
         self.plan = Some(model.compile_plan());
+        self.plan_was_enabled = true;
+    }
+
+    /// Arms the self-healing state machine (DESIGN.md §9): drift detection
+    /// on predicted-vs-realized MLU, online challenger retraining while
+    /// degraded, and shadow promotion back to learned serving.  Columns
+    /// already in the history window seed the retraining buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an LP-only controller (there is no model to heal).
+    pub fn enable_recovery(&mut self, config: RecoveryConfig) {
+        assert!(self.model.is_some(), "recovery requires a learned controller");
+        let mut manager = RecoveryManager::new(config);
+        for column in &self.history {
+            manager.ingest(column);
+        }
+        self.recovery = Some(manager);
+    }
+
+    /// Whether the self-healing state machine is armed.
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Recovery counters (zeroes when recovery is disabled).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.as_ref().map(|r| r.stats()).unwrap_or_default()
     }
 
     /// Whether model decisions go through the compiled f32 plan.
@@ -431,6 +490,7 @@ impl ServeController {
             &mut scratch.loads,
         );
         self.scratch = scratch;
+        self.recovery_after_ingest(tick, realized_mlu, action, pending);
         self.tick += 1;
         StepOutcome {
             record: TickRecord {
@@ -443,51 +503,185 @@ impl ServeController {
                 churn,
             },
             decision_seconds,
+            transitions: std::mem::take(&mut self.pending_transitions),
+        }
+    }
+
+    /// Recovery bookkeeping of the ingest phase: feed the drift detector
+    /// with this tick's relative forecast error (only while the model is
+    /// live — degraded ticks serve the LP, whose forecast error is the
+    /// predictor's problem, not the model's), and run the tick-scheduled
+    /// challenger retraining while degraded.
+    fn recovery_after_ingest(
+        &mut self,
+        tick: usize,
+        realized_mlu: f64,
+        action: Action,
+        pending: Option<PendingDecision>,
+    ) {
+        if self.recovery.is_none() {
+            return;
+        }
+        if !self.fell_back {
+            if let Some(p) = pending {
+                let predicted =
+                    if action == Action::Update { p.candidate_mlu } else { p.deployed_mlu };
+                let error = (realized_mlu - predicted).abs() / realized_mlu.max(1e-9);
+                let recovery = self.recovery.as_mut().expect("checked above");
+                recovery.observe_error(error);
+            }
+            return;
+        }
+        let recovery = self.recovery.as_mut().expect("checked above");
+        if recovery.should_retrain(tick) {
+            let incumbent = self
+                .model
+                .as_ref()
+                .expect("recovery requires a learned controller")
+                .config()
+                .clone();
+            if recovery.retrain(&self.paths, &incumbent) {
+                self.pending_transitions.push(Transition::RetrainStarted);
+            }
         }
     }
 
     /// Computes the candidate configuration for the forecast demand in
     /// `scratch.predicted_pairs`, leaves it in `scratch.candidate` and
-    /// applies the learned-mode audit/fallback logic.
+    /// applies the learned-mode audit/fallback/recovery logic.
     fn candidate_into(&mut self, scratch: &mut StepScratch) -> DecisionSource {
-        let use_model = self.model.is_some() && !self.fell_back;
-        if !use_model {
+        if self.model.is_none() {
             scratch.candidate = self.lp_candidate(&scratch.predicted_pairs);
             return DecisionSource::LpWarm;
+        }
+        if self.fell_back {
+            return self.fallback_candidate_into(scratch);
         }
         self.model_candidate_into(scratch);
         let fb = self.policy.fallback;
         let audit = fb.audit_every > 0 && self.decisions.is_multiple_of(fb.audit_every);
-        if !audit {
-            return DecisionSource::Model;
+        let mut lp_candidate = None;
+        if audit {
+            let lp = self.lp_candidate(&scratch.predicted_pairs);
+            let model_mlu = max_link_utilization_pairs_scratch(
+                &self.paths,
+                &scratch.candidate,
+                &scratch.predicted_pairs,
+                &mut scratch.loads,
+            );
+            let lp_mlu = max_link_utilization_pairs_scratch(
+                &self.paths,
+                &lp,
+                &scratch.predicted_pairs,
+                &mut scratch.loads,
+            );
+            if model_mlu > fb.degradation * lp_mlu {
+                self.degraded_streak += 1;
+            } else {
+                self.degraded_streak = 0;
+            }
+            lp_candidate = Some(lp);
         }
-        let lp_candidate = self.lp_candidate(&scratch.predicted_pairs);
-        let model_mlu = max_link_utilization_pairs_scratch(
-            &self.paths,
-            &scratch.candidate,
-            &scratch.predicted_pairs,
-            &mut scratch.loads,
-        );
+        let audit_tripped = audit && self.degraded_streak >= fb.patience;
+        let drift_tripped = self.recovery.as_mut().is_some_and(|r| r.take_drift_flag());
+        if audit_tripped || drift_tripped {
+            return self.degrade(scratch, lp_candidate);
+        }
+        DecisionSource::Model
+    }
+
+    /// Steps the degradation ladder down one rung after an audit or drift
+    /// trip.  With recovery armed and the f32 plan still active, the first
+    /// rung only *retires the plan* — the f64 reference graph gets its own
+    /// chance before the model is abandoned.  Otherwise the controller
+    /// falls back to the warm LP; with recovery armed the fallback is a
+    /// state (retraining begins), without it PR 5's terminal behavior is
+    /// preserved bit for bit.
+    fn degrade(
+        &mut self,
+        scratch: &mut StepScratch,
+        lp_candidate: Option<TeConfig>,
+    ) -> DecisionSource {
+        self.degraded_streak = 0;
+        if let Some(recovery) = self.recovery.as_mut() {
+            recovery.reset_detector();
+            if self.plan.is_some() {
+                self.plan = None;
+                self.pending_transitions.push(Transition::PlanRetired);
+                // Keep the graph model's candidate already in scratch.
+                return DecisionSource::Model;
+            }
+        }
+        self.fell_back = true;
+        self.pending_transitions.push(if self.model_generation > 0 {
+            Transition::Demoted
+        } else {
+            Transition::Degraded
+        });
+        if self.model_generation > 0 {
+            if let Some(recovery) = self.recovery.as_mut() {
+                recovery.note_demotion();
+            }
+        }
+        // The audit that tripped already has the better LP candidate in
+        // hand; a pure drift trip computes it now.
+        scratch.candidate =
+            lp_candidate.unwrap_or_else(|| self.lp_candidate(&scratch.predicted_pairs));
+        DecisionSource::LpWarm
+    }
+
+    /// Fallback-mode decision: serve the warm LP re-solve and — with
+    /// recovery armed and a challenger in shadow — audit the challenger
+    /// against the LP on the same forecast.  `promotion_patience`
+    /// consecutive wins promote the challenger to the live model, ending
+    /// the fallback; its winning candidate is served immediately.
+    fn fallback_candidate_into(&mut self, scratch: &mut StepScratch) -> DecisionSource {
+        let lp = self.lp_candidate(&scratch.predicted_pairs);
+        let has_shadow = self.recovery.as_ref().is_some_and(|r| r.shadow().is_some());
+        if !has_shadow {
+            scratch.candidate = lp;
+            return DecisionSource::LpWarm;
+        }
         let lp_mlu = max_link_utilization_pairs_scratch(
             &self.paths,
-            &lp_candidate,
+            &lp,
             &scratch.predicted_pairs,
             &mut scratch.loads,
         );
-        if model_mlu > fb.degradation * lp_mlu {
-            self.degraded_streak += 1;
-        } else {
-            self.degraded_streak = 0;
+        let history: &[Vec<f64>] = self.history.make_contiguous();
+        let recovery = self.recovery.as_mut().expect("shadow implies recovery");
+        let margin = recovery.config().promotion_margin;
+        let patience = recovery.config().promotion_patience;
+        let shadow = recovery.shadow_mut().expect("shadow presence checked above");
+        let challenger = shadow.candidate(&self.paths, history);
+        let challenger_mlu = max_link_utilization_pairs_scratch(
+            &self.paths,
+            &challenger,
+            &scratch.predicted_pairs,
+            &mut scratch.loads,
+        );
+        let won = challenger_mlu <= margin * lp_mlu;
+        let wins = shadow.record_audit(won);
+        if wins >= patience {
+            let shadow = recovery.take_shadow().expect("shadow presence checked above");
+            recovery.note_promotion();
+            recovery.reset_detector();
+            self.model_generation = shadow.generation();
+            let model = shadow.into_model();
+            if self.plan_was_enabled {
+                self.plan = Some(model.compile_plan());
+            }
+            self.model = Some(model);
+            self.fell_back = false;
+            self.pending_transitions.push(Transition::Promoted);
+            // Serve the winning challenger candidate this very tick (it was
+            // computed through the graph; the recompiled plan takes over
+            // from the next decision).
+            scratch.candidate = challenger;
+            return DecisionSource::Model;
         }
-        if self.degraded_streak >= fb.patience {
-            // The audit that trips the threshold already has the better LP
-            // candidate in hand: serve it immediately and stay on the LP.
-            self.fell_back = true;
-            scratch.candidate = lp_candidate;
-            DecisionSource::LpWarm
-        } else {
-            DecisionSource::Model
-        }
+        scratch.candidate = lp;
+        DecisionSource::LpWarm
     }
 
     /// Fills `scratch.candidate` with the model's configuration — through
@@ -540,6 +734,9 @@ impl ServeController {
 
     fn ingest(&mut self, demand: &[f64]) {
         self.predictor.observe_pairs(demand);
+        if let Some(recovery) = self.recovery.as_mut() {
+            recovery.ingest(demand);
+        }
         if self.history.len() >= self.window {
             // Steady state: recycle the evicted column's allocation instead
             // of cloning the arrival.
@@ -592,9 +789,22 @@ impl ServeController {
         self.tick
     }
 
-    /// Whether the controller has permanently fallen back to the LP.
+    /// Whether the controller is *currently* fallen back to the LP.
+    /// Terminal without recovery; with recovery armed a later promotion
+    /// clears it.
     pub fn fell_back(&self) -> bool {
         self.fell_back
+    }
+
+    /// Whether the controller carries a model (live or degraded).
+    pub fn is_learned(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// 0 while the originally installed model serves; the promoted
+    /// challenger's generation afterwards.
+    pub fn model_generation(&self) -> u64 {
+        self.model_generation
     }
 
     /// Accumulated LP solver work (warm-start acceptance, pivots) over every

@@ -254,7 +254,7 @@ impl FleetController {
                 *g += l;
             }
             decision_seconds.push(outcome.decision_seconds);
-            log.push(outcome.record, outcome.decision_seconds);
+            log.record_outcome(&outcome);
             self.shards.push(s);
         }
         let global_mlu = max_utilization_of_loads(&self.global_loads, &self.edge_capacities);
@@ -323,9 +323,31 @@ impl FleetController {
         merged
     }
 
-    /// How many shards have permanently fallen back to the LP.
+    /// How many shards are currently fallen back to the LP (terminal
+    /// without recovery; shards with recovery armed can promote their way
+    /// back out).
     pub fn fell_back_shards(&self) -> usize {
         self.shards.iter().filter(|s| s.controller.fell_back()).count()
+    }
+
+    /// How many shards serve a promoted challenger (model generation > 0).
+    pub fn promoted_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.controller.model_generation() > 0).count()
+    }
+
+    /// Recovery counters summed over every shard.
+    pub fn recovery_stats(&self) -> crate::recovery::RecoveryStats {
+        let mut total = crate::recovery::RecoveryStats::default();
+        for s in &self.shards {
+            let stats = s.controller.recovery_stats();
+            total.retrains += stats.retrains;
+            total.retrain_seconds += stats.retrain_seconds;
+            total.retrain_samples += stats.retrain_samples;
+            total.promotions += stats.promotions;
+            total.demotions += stats.demotions;
+            total.detector_trips += stats.detector_trips;
+        }
+        total
     }
 
     /// Deployed updates summed over every shard log.

@@ -19,7 +19,12 @@
 //!   one sliding-window update budget shared by every shard;
 //! * [`fleet`] — the sharded serving fleet: shard controllers stepped
 //!   data-parallel under the global admission layer, merged in stable shard
-//!   order for bit-determinism at any thread count (DESIGN.md §8).
+//!   order for bit-determinism at any thread count (DESIGN.md §8);
+//! * [`recovery`] — the self-healing state machine: CUSUM drift detection
+//!   and deterministic online retraining of challenger models while the
+//!   controller is degraded (DESIGN.md §9);
+//! * [`shadow`] — shadow-mode challengers audited tick-by-tick against the
+//!   warm LP reference and promoted after sustained wins.
 //!
 //! Demand arrives through the [`figret_traffic::DemandStream`] trait
 //! (trace replay or the unbounded online generators), so serving scenarios
@@ -57,10 +62,16 @@ pub mod fleet;
 pub mod log;
 pub mod policy;
 pub mod predictor;
+pub mod recovery;
+pub mod shadow;
 
 pub use admission::{AdmissionStats, GlobalAdmission, ShardBid};
 pub use controller::{Proposal, ServeController, StepOutcome};
 pub use fleet::{FleetController, FleetTickOutcome};
-pub use log::{Action, DecisionSource, HoldReason, ServeLog, TickRecord};
+pub use log::{
+    Action, DecisionSource, HoldReason, ServeLog, TickRecord, Transition, TransitionRecord,
+};
 pub use policy::{FallbackPolicy, ReconfigPolicy, UpdateBudget};
 pub use predictor::{Ewma, LastValue, OnlinePredictor, PredictorKind, SlidingMax, SlidingMean};
+pub use recovery::{CusumConfig, CusumDetector, RecoveryConfig, RecoveryManager, RecoveryStats};
+pub use shadow::ShadowModel;

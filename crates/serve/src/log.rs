@@ -8,7 +8,7 @@
 //! are real measurements, not reproducible values) and summarized as
 //! percentiles.
 
-use figret_traffic::percentile;
+use figret_traffic::{percentile, StreamAnnotation};
 
 /// Which engine produced the candidate configuration of a decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +39,38 @@ pub enum Action {
     Hold(HoldReason),
     /// The candidate was deployed.
     Update,
+}
+
+/// A state transition of the degradation-and-recovery ladder
+/// (DESIGN.md §9).  Transitions are deterministic events: they are folded
+/// into both digests, so a run that degrades, retrains or promotes at a
+/// different tick produces a different digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The compiled f32 inference plan was retired; model decisions fall
+    /// back to the f64 reference graph (first rung of the ladder).
+    PlanRetired,
+    /// The model failed `patience` consecutive audits; the controller now
+    /// serves warm LP re-solves.
+    Degraded,
+    /// A retraining round produced a fresh challenger (now in shadow mode).
+    RetrainStarted,
+    /// A challenger won `promotion_patience` consecutive shadow audits and
+    /// became the live model.
+    Promoted,
+    /// A previously promoted model regressed and the controller returned
+    /// to the LP.
+    Demoted,
+}
+
+/// One recovery-ladder transition, stamped with the decision tick it
+/// happened at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionRecord {
+    /// Tick index of the decision that caused the transition.
+    pub tick: usize,
+    /// What happened.
+    pub transition: Transition,
 }
 
 /// One tick of the serving loop.
@@ -72,6 +104,15 @@ pub struct ServeLog {
     /// Wall-clock seconds spent in the decision phase of each tick
     /// (parallel array to `records`; excluded from determinism checks).
     pub latencies_seconds: Vec<f64>,
+    /// Recovery-ladder transitions in tick order (typically sparse).
+    /// Deterministic: folded into both digests.
+    pub transitions: Vec<TransitionRecord>,
+    /// Active stream episodes (storms, flash crowds, step shifts) per tick,
+    /// as reported by the demand generator.  Pure scenario description —
+    /// what the *environment* did, not what the controller decided — so
+    /// annotations are excluded from the digests: a run must digest
+    /// identically whether or not its driver recorded them.
+    pub annotations: Vec<(usize, StreamAnnotation)>,
 }
 
 impl ServeLog {
@@ -84,6 +125,31 @@ impl ServeLog {
     pub fn push(&mut self, record: TickRecord, latency_seconds: f64) {
         self.records.push(record);
         self.latencies_seconds.push(latency_seconds);
+    }
+
+    /// Appends one controller tick outcome: the record, its decision
+    /// latency, and any recovery transitions the tick produced (stamped
+    /// with the record's tick index).
+    pub fn record_outcome(&mut self, outcome: &crate::controller::StepOutcome) {
+        let tick = outcome.record.tick;
+        for &transition in &outcome.transitions {
+            self.transitions.push(TransitionRecord { tick, transition });
+        }
+        self.push(outcome.record.clone(), outcome.decision_seconds);
+    }
+
+    /// Attaches a stream annotation to a tick.  Quiet annotations (no
+    /// active episode) are dropped, so the vector stays proportional to
+    /// the scenario's event count rather than its length.
+    pub fn annotate(&mut self, tick: usize, annotation: StreamAnnotation) {
+        if !annotation.is_quiet() {
+            self.annotations.push((tick, annotation));
+        }
+    }
+
+    /// Number of logged transitions of a given kind.
+    pub fn transition_count(&self, transition: Transition) -> usize {
+        self.transitions.iter().filter(|t| t.transition == transition).count()
     }
 
     /// Number of ticks logged.
@@ -140,6 +206,22 @@ impl ServeLog {
         None
     }
 
+    /// The tick of the first [`Transition::Promoted`] at or after the first
+    /// degradation ([`Transition::Degraded`] or [`Transition::Demoted`]) —
+    /// i.e. when the controller *recovered* learned serving, if it ever
+    /// did.  `None` when the run never degraded or never recovered.
+    pub fn recovery_tick(&self) -> Option<usize> {
+        let degraded_at = self
+            .transitions
+            .iter()
+            .find(|t| matches!(t.transition, Transition::Degraded | Transition::Demoted))?
+            .tick;
+        self.transitions
+            .iter()
+            .find(|t| t.transition == Transition::Promoted && t.tick >= degraded_at)
+            .map(|t| t.tick)
+    }
+
     /// FNV-1a digest of the deterministic record fields.  Two runs of the
     /// same (seed, scenario, policy) must produce identical digests on any
     /// machine and thread count; CI compares digests across
@@ -160,6 +242,10 @@ impl ServeLog {
             eat(r.predicted_mlu_candidate.map(f64::to_bits).unwrap_or(0));
             eat(r.realized_mlu.to_bits());
             eat(r.churn.to_bits());
+        }
+        for t in &self.transitions {
+            eat(t.tick as u64);
+            eat(Self::transition_code(t.transition));
         }
         h
     }
@@ -187,7 +273,21 @@ impl ServeLog {
             eat(Self::action_code(r.action));
             eat(Self::source_code(r.source));
         }
+        for t in &self.transitions {
+            eat(t.tick as u64);
+            eat(Self::transition_code(t.transition));
+        }
         h
+    }
+
+    fn transition_code(transition: Transition) -> u64 {
+        match transition {
+            Transition::PlanRetired => 1,
+            Transition::Degraded => 2,
+            Transition::RetrainStarted => 3,
+            Transition::Promoted => 4,
+            Transition::Demoted => 5,
+        }
     }
 
     fn action_code(action: Action) -> u64 {
@@ -269,6 +369,42 @@ mod tests {
         let mut c = ServeLog::new();
         c.push(record(0, Action::Hold(HoldReason::BelowHysteresis), 0.0), 0.1);
         assert_ne!(a.decision_digest(), c.decision_digest());
+    }
+
+    #[test]
+    fn transitions_change_both_digests_and_locate_recovery() {
+        let mut a = ServeLog::new();
+        a.push(record(0, Action::Update, 1.0), 0.1);
+        let mut b = a.clone();
+        assert_eq!(a.recovery_tick(), None);
+        b.transitions.push(TransitionRecord { tick: 0, transition: Transition::Degraded });
+        b.transitions.push(TransitionRecord { tick: 2, transition: Transition::RetrainStarted });
+        b.transitions.push(TransitionRecord { tick: 5, transition: Transition::Promoted });
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.decision_digest(), b.decision_digest());
+        assert_eq!(b.transition_count(Transition::RetrainStarted), 1);
+        assert_eq!(b.recovery_tick(), Some(5));
+        // A promotion *before* any degradation is not a recovery.
+        let mut c = ServeLog::new();
+        c.transitions.push(TransitionRecord { tick: 1, transition: Transition::Promoted });
+        assert_eq!(c.recovery_tick(), None);
+        // Demotion re-arms: the next promotion at/after it counts.
+        c.transitions.push(TransitionRecord { tick: 3, transition: Transition::Demoted });
+        assert_eq!(c.recovery_tick(), None);
+        c.transitions.push(TransitionRecord { tick: 8, transition: Transition::Promoted });
+        assert_eq!(c.recovery_tick(), Some(8));
+    }
+
+    #[test]
+    fn annotations_skip_quiet_ticks_and_leave_digests_alone() {
+        let mut log = ServeLog::new();
+        log.push(record(0, Action::Update, 1.0), 0.1);
+        let before = log.digest();
+        log.annotate(0, StreamAnnotation::default());
+        assert!(log.annotations.is_empty(), "quiet annotations are dropped");
+        log.annotate(1, StreamAnnotation { storm_victim: Some(3), ..Default::default() });
+        assert_eq!(log.annotations.len(), 1);
+        assert_eq!(log.digest(), before, "annotations are scenario description, not behavior");
     }
 
     #[test]

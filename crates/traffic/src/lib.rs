@@ -55,7 +55,7 @@ pub use pfabric::{
 };
 pub use shard::{ShardPlan, ShardUniverse};
 pub use sparse::{ActivePairs, SparseDemand, SparseTrace};
-pub use split::{TrainTestSplit, WindowDataset, WindowSample};
+pub use split::{FlatWindowDataset, TrainTestSplit, WindowDataset, WindowSample};
 pub use stats::{
     cosine_similarity_analysis, cosine_similarity_samples, per_pair_mean_range, per_pair_std_range,
     per_pair_variance, per_pair_variance_range, percentile, sparse_cosine_similarity_analysis,
@@ -65,7 +65,7 @@ pub use stats::{
 pub use stream::{
     collect_sparse_stream, collect_stream, DemandStream, DriftConfig, FailureStormConfig,
     FlashCrowdConfig, OnlineStream, OnlineStreamConfig, ReplayStream, SparseDemandStream,
-    SparseReplayStream,
+    SparseReplayStream, StepShiftConfig, StreamAnnotation,
 };
 
 #[cfg(test)]

@@ -117,6 +117,115 @@ impl WindowDataset {
     }
 }
 
+/// A history-window dataset over flat per-tick demand *columns* (one `f64`
+/// per active pair, slot order) — the columnar counterpart of
+/// [`WindowDataset`], and the shape the serving controller's history buffer
+/// already has.  Columns are stored once and samples borrow overlapping
+/// windows, so a buffer of `T` columns yields `T - window` samples with no
+/// per-sample cloning.  This is what lets shard/fleet controllers retrain
+/// on their restricted pair universes: a restricted universe has no dense
+/// `N×N` matrix to build a [`WindowSample`] from.
+#[derive(Debug, Clone)]
+pub struct FlatWindowDataset {
+    window: usize,
+    num_pairs: usize,
+    /// Observed demand columns in tick order, oldest first.
+    columns: Vec<Vec<f64>>,
+}
+
+impl FlatWindowDataset {
+    /// Wraps a run of observed columns.  Sample `i` pairs the history
+    /// `columns[i..i + window]` with the target `columns[i + window]`.
+    pub fn from_columns(window: usize, columns: Vec<Vec<f64>>) -> FlatWindowDataset {
+        assert!(window >= 1, "window must be at least 1");
+        let num_pairs = columns.first().map(|c| c.len()).unwrap_or(0);
+        assert!(
+            columns.iter().all(|c| c.len() == num_pairs),
+            "all columns must share one pair universe"
+        );
+        FlatWindowDataset { window, num_pairs, columns }
+    }
+
+    /// Window length `H`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Values per column (the pair-universe size).
+    pub fn num_pairs(&self) -> usize {
+        self.num_pairs
+    }
+
+    /// Number of (history, target) samples.
+    pub fn len(&self) -> usize {
+        self.columns.len().saturating_sub(self.window)
+    }
+
+    /// `true` if no column run is long enough to form a sample.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimension of the flattened feature vector (`H * num_pairs`).
+    pub fn feature_dim(&self) -> usize {
+        self.window * self.num_pairs
+    }
+
+    /// The history window of sample `i` (`window` columns, oldest first).
+    pub fn history(&self, i: usize) -> &[Vec<f64>] {
+        &self.columns[i..i + self.window]
+    }
+
+    /// The target column of sample `i`.
+    pub fn target(&self, i: usize) -> &[f64] {
+        &self.columns[i + self.window]
+    }
+
+    /// Largest demand value appearing in any sample's history window — the
+    /// feature scale of training (matches the dense trainer, whose scale is
+    /// the max over all sample histories; targets are excluded the same way).
+    pub fn max_history_entry(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        // Histories cover every column except the final target.
+        self.columns[..self.columns.len() - 1]
+            .iter()
+            .flat_map(|c| c.iter().copied())
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Per-slot demand variance over every stored column (population
+    /// variance) — the burst statistic feeding FIGRET's robustness term when
+    /// retraining on observed traffic.
+    pub fn per_slot_variance(&self) -> Vec<f64> {
+        let n = self.columns.len();
+        if n == 0 {
+            return vec![0.0; self.num_pairs];
+        }
+        let mut mean = vec![0.0; self.num_pairs];
+        for c in &self.columns {
+            for (m, v) in mean.iter_mut().zip(c) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut var = vec![0.0; self.num_pairs];
+        for c in &self.columns {
+            for ((s, v), m) in var.iter_mut().zip(c).zip(&mean) {
+                let d = v - m;
+                *s += d * d;
+            }
+        }
+        for s in &mut var {
+            *s /= n as f64;
+        }
+        var
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +271,44 @@ mod tests {
         assert_eq!(first.target, *t.matrix(3));
         assert_eq!(first.features(), vec![0.0, 0.0, 1.0, 2.0, 2.0, 4.0]);
         assert_eq!(ds.feature_dim(), 6);
+    }
+
+    #[test]
+    fn flat_dataset_mirrors_the_dense_window_dataset() {
+        let t = trace(10);
+        let columns: Vec<Vec<f64>> = (0..10).map(|i| t.matrix(i).flatten_pairs()).collect();
+        let flat = FlatWindowDataset::from_columns(3, columns);
+        let dense = WindowDataset::from_trace(&t, 3, 0..10);
+        assert_eq!(flat.len(), dense.len());
+        assert_eq!(flat.feature_dim(), dense.feature_dim());
+        assert_eq!(flat.num_pairs(), 2);
+        for (i, sample) in dense.samples.iter().enumerate() {
+            let flat_features: Vec<f64> =
+                flat.history(i).iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(flat_features, sample.features());
+            assert_eq!(flat.target(i), sample.target.flatten_pairs());
+        }
+        // Max over histories only: the final target column (9.0, 18.0) is
+        // excluded, so the max history entry comes from column 8.
+        assert_eq!(flat.max_history_entry(), 16.0);
+    }
+
+    #[test]
+    fn flat_dataset_variance_and_degenerate_cases() {
+        let columns = vec![vec![1.0, 4.0], vec![3.0, 4.0]];
+        let flat = FlatWindowDataset::from_columns(1, columns);
+        assert_eq!(flat.len(), 1);
+        // Population variance: mean (2, 4), squared deviations (1, 0).
+        assert_eq!(flat.per_slot_variance(), vec![1.0, 0.0]);
+        let short = FlatWindowDataset::from_columns(4, vec![vec![1.0]; 3]);
+        assert!(short.is_empty());
+        assert_eq!(short.max_history_entry(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one pair universe")]
+    fn flat_dataset_rejects_ragged_columns() {
+        FlatWindowDataset::from_columns(1, vec![vec![1.0, 2.0], vec![1.0]]);
     }
 
     #[test]

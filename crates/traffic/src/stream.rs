@@ -164,6 +164,48 @@ impl Default for FailureStormConfig {
     }
 }
 
+/// A deterministic, permanent step change in the demand *distribution* at a
+/// known tick: from `at_tick` on, even slots scale by `factor` and odd slots
+/// by `1 / factor`.  Total volume stays roughly constant while the shape of
+/// the matrix changes abruptly — the sustained distribution shift a model
+/// trained on the old shape cannot follow (ISSUE 9's recovery trigger).
+/// Applying the shift consumes no randomness, so adding one to a config
+/// leaves every other draw of the stream bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepShiftConfig {
+    /// First tick (0-based, counting generated columns) the shift applies to.
+    pub at_tick: usize,
+    /// Multiplicative magnitude of the shift (> 0); even slots scale by
+    /// `factor`, odd slots by `1 / factor`.
+    pub factor: f64,
+}
+
+/// The event state behind one generated column: which episodes were active
+/// when it was produced.  Obtained from [`OnlineStream::annotation`] right
+/// after pulling a column, and attached to serving logs so recovery
+/// behaviour can be correlated with its cause (storms and flash crowds are
+/// otherwise invisible in serving output).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamAnnotation {
+    /// Node whose traffic is being drained by an active failure storm.
+    pub storm_victim: Option<usize>,
+    /// Number of flash-crowd episodes active on this column.
+    pub active_flashes: usize,
+    /// Spread of the random-walk drift multipliers (max/min; 1.0 = no
+    /// drift accumulated yet or drift disabled).
+    pub drift_spread: f64,
+    /// Whether the permanent [`StepShiftConfig`] step change is in effect.
+    pub shifted: bool,
+}
+
+impl StreamAnnotation {
+    /// `true` when nothing noteworthy was active (no storm, no flash
+    /// crowds, no step shift) — quiet ticks are usually not worth logging.
+    pub fn is_quiet(&self) -> bool {
+        self.storm_victim.is_none() && self.active_flashes == 0 && !self.shifted
+    }
+}
+
 /// Parameters of the unbounded online generator.
 #[derive(Debug, Clone)]
 pub struct OnlineStreamConfig {
@@ -181,6 +223,9 @@ pub struct OnlineStreamConfig {
     pub flash_crowds: Option<FlashCrowdConfig>,
     /// Failure-storm episode injection (`None` disables).
     pub failure_storms: Option<FailureStormConfig>,
+    /// Permanent distribution step change (`None` disables).  Consumes no
+    /// randomness: configs that differ only here draw identical noise.
+    pub shift: Option<StepShiftConfig>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -195,6 +240,7 @@ impl Default for OnlineStreamConfig {
             drift: Some(DriftConfig::default()),
             flash_crowds: Some(FlashCrowdConfig::default()),
             failure_storms: Some(FailureStormConfig::default()),
+            shift: None,
             seed: 31,
         }
     }
@@ -276,6 +322,38 @@ impl OnlineStream {
         self.tick
     }
 
+    /// The event state behind the most recently generated column (call right
+    /// after [`SparseDemandStream::next_column`] /
+    /// [`DemandStream::next_demand`]).  Before the first column it describes
+    /// the initial quiet state.
+    pub fn annotation(&self) -> StreamAnnotation {
+        let spread = match self.config.drift {
+            None => 1.0,
+            Some(_) => {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for &m in &self.drift_mult {
+                    lo = lo.min(m);
+                    hi = hi.max(m);
+                }
+                if lo.is_finite() && lo > 0.0 {
+                    hi / lo
+                } else {
+                    1.0
+                }
+            }
+        };
+        StreamAnnotation {
+            storm_victim: self.storm.map(|(node, _)| node),
+            active_flashes: self.flashes.len(),
+            drift_spread: spread,
+            // `tick` was already advanced past the generated column, so the
+            // column at tick `t = self.tick - 1` was shifted iff
+            // `t >= at_tick`.
+            shifted: self.config.shift.is_some_and(|s| self.tick > s.at_tick),
+        }
+    }
+
     /// Advances the event state one tick.  Randomness is consumed in a fixed
     /// order (drift, then flash crowds, then storms) so the stream is fully
     /// determined by (config, seed).
@@ -323,11 +401,15 @@ impl SparseDemandStream for OnlineStream {
         let phase = 2.0 * std::f64::consts::PI * (self.tick as f64) / self.config.diurnal_period;
         let season = 1.0 + self.config.diurnal_amplitude * phase.sin();
         let drain = self.config.failure_storms.map(|fs| fs.drain).unwrap_or(0.0);
+        let shift = self.config.shift.filter(|s| self.tick >= s.at_tick);
         let active = Arc::clone(&self.active);
         let mut column = SparseDemand::zeros(Arc::clone(&active));
         for (slot, s, d) in active.iter() {
             let noise = 1.0 + self.config.noise * self.rng.gen_range(-1.0..1.0);
             let mut value = self.base[slot] * season * self.drift_mult[slot] * noise;
+            if let Some(sh) = shift {
+                value *= if slot % 2 == 0 { sh.factor } else { 1.0 / sh.factor };
+            }
             for f in &self.flashes {
                 if f.pair == slot {
                     value *= f.magnitude;
@@ -633,6 +715,60 @@ mod tests {
         assert_eq!(once.remaining(), Some(3));
         assert!(once.next_column().is_some());
         assert_eq!(once.remaining(), Some(2));
+    }
+
+    #[test]
+    fn step_shift_changes_the_shape_without_consuming_randomness() {
+        let g = geant();
+        let base = OnlineStreamConfig { seed: 44, ..Default::default() };
+        let shifted = OnlineStreamConfig {
+            shift: Some(StepShiftConfig { at_tick: 3, factor: 4.0 }),
+            ..base.clone()
+        };
+        let mut a = OnlineStream::from_graph(&g, 0.25, base);
+        let mut b = OnlineStream::from_graph(&g, 0.25, shifted);
+        for t in 0..8 {
+            let ma = a.next_demand().unwrap();
+            let mb = b.next_demand().unwrap();
+            if t < 3 {
+                // The shift consumes no RNG: pre-shift columns are
+                // bit-identical to the unshifted stream's.
+                assert_eq!(ma, mb, "tick {t} must be untouched before the shift");
+                assert!(!b.annotation().shifted);
+            } else {
+                assert_ne!(ma, mb, "tick {t} must be reshaped by the shift");
+                assert!(b.annotation().shifted);
+                // Even slots scale by 4, odd by 1/4: totals stay comparable
+                // while the shape changes (paired slots swap magnitudes).
+                let (ta, tb) = (ma.total(), mb.total());
+                assert!(tb > 0.5 * ta && tb < 5.0 * ta, "tick {t}: {ta} vs {tb}");
+            }
+        }
+    }
+
+    #[test]
+    fn annotation_reports_active_episodes() {
+        let g = geant();
+        let config = OnlineStreamConfig {
+            noise: 0.0,
+            drift: None,
+            flash_crowds: None,
+            failure_storms: Some(FailureStormConfig {
+                probability: 1.0,
+                duration: (3, 4),
+                drain: 0.5,
+            }),
+            seed: 9,
+            ..Default::default()
+        };
+        let mut s = OnlineStream::from_graph(&g, 0.25, config);
+        assert!(s.annotation().is_quiet(), "no episodes before the first column");
+        s.next_demand().unwrap();
+        let ann = s.annotation();
+        assert!(ann.storm_victim.is_some(), "a p=1.0 storm must be active");
+        assert_eq!(ann.active_flashes, 0);
+        assert_eq!(ann.drift_spread, 1.0);
+        assert!(!ann.is_quiet());
     }
 
     #[test]
