@@ -162,12 +162,17 @@ impl FlagSet {
     pub fn parse_or_exit<I: IntoIterator<Item = String>>(&self, args: I) -> FlagValues {
         match self.parse(args) {
             Ok(values) => values,
-            Err(message) => {
-                eprintln!("error: {message}\n");
-                eprintln!("{}", self.usage());
-                std::process::exit(2);
-            }
+            Err(message) => self.usage_error(&message),
         }
+    }
+
+    /// Reports a usage error that parsing alone cannot catch (an invalid
+    /// value or flag combination): prints the error plus the usage message
+    /// to stderr and exits with status 2, exactly like a parse error.
+    pub fn usage_error(&self, message: &str) -> ! {
+        eprintln!("error: {message}\n");
+        eprintln!("{}", self.usage());
+        std::process::exit(2);
     }
 }
 

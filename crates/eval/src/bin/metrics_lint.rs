@@ -1,0 +1,31 @@
+//! metrics_lint — validates Prometheus-style exposition files
+//! (DESIGN.md §10).
+//!
+//! CI runs this over the `.prom` snapshots `serve_sim --metrics-out`
+//! writes: metric-name and label syntax, parseable sample values, and a
+//! `# TYPE` declaration preceding every family.  Exits 0 when every file
+//! lints clean (printing its sample count), 1 on the first malformed file,
+//! 2 on usage errors.
+
+use figret_telemetry::lint_exposition;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "--help" || p == "-h") {
+        eprintln!("usage: metrics_lint FILE.prom [FILE.prom ...]");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read '{path}': {e}");
+            std::process::exit(2);
+        });
+        match lint_exposition(&text) {
+            Ok(samples) => println!("{path}: ok ({samples} samples)"),
+            Err(message) => {
+                eprintln!("{path}: {message}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -29,7 +29,9 @@ fn main() {
         .number("retrain-window", 32, "observed demand columns kept for challenger retraining")
         .number("promotion-patience", 3, "consecutive shadow-audit wins before promotion")
         .number("shift-tick", 0, "online mode: inject a step shift N decision ticks in (0 = none)")
-        .float("shift-factor", 4.0, "step-shift magnitude (even slots ×f, odd slots ×1/f)");
+        .float("shift-factor", 4.0, "step-shift magnitude (even slots ×f, odd slots ×1/f)")
+        .text("metrics-out", "", "write metrics to PATH.jsonl (stream) and PATH.prom (exposition)")
+        .number("metrics-every", 10, "metrics snapshot cadence in decision ticks");
     let values = flags.parse_or_exit(std::env::args().skip(1));
     let experiment = ExperimentOptions::from_flag_values(&values);
 
@@ -69,6 +71,30 @@ fn main() {
         }
     };
 
+    let metrics_every = values.number("metrics-every");
+    if metrics_every == 0 {
+        flags.usage_error("--metrics-every must be at least 1 tick");
+    }
+    let metrics_out = match values.text("metrics-out") {
+        "" => None,
+        base => {
+            let base = std::path::PathBuf::from(base);
+            // Probe both output files now so a bad path is a usage error,
+            // not a mid-run panic.  create+append never truncates a file an
+            // earlier run left behind; the sink truncates when it opens.
+            for ext in ["jsonl", "prom"] {
+                let probe = std::path::PathBuf::from(format!("{}.{ext}", base.display()));
+                if let Err(e) = std::fs::OpenOptions::new().create(true).append(true).open(&probe) {
+                    flags.usage_error(&format!(
+                        "--metrics-out: cannot write '{}': {e}",
+                        probe.display()
+                    ));
+                }
+            }
+            Some(base)
+        }
+    };
+
     let retrain_every = values.number("retrain-every");
     let shift_tick = values.number("shift-tick");
     let online_ticks = values.number("online-ticks");
@@ -98,6 +124,8 @@ fn main() {
         promotion_patience: values.number("promotion-patience"),
         shift_tick,
         shift_factor: values.float("shift-factor"),
+        metrics_out,
+        metrics_every,
         experiment,
     };
     serve_sim(&options);

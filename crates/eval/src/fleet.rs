@@ -18,13 +18,18 @@ use std::sync::Arc;
 
 use figret_serve::{AdmissionStats, FleetController, HoldReason, ServeLog};
 use figret_solvers::SeriesStats;
+use figret_telemetry::Registry;
 use figret_topology::{FabricSpec, Topology};
 use figret_traffic::{ActivePairs, ShardPlan};
 
-use crate::report::{lp_work_columns, lp_work_header, print_csv_series, print_table};
+use crate::profile::print_profile_report;
+use crate::report::{
+    latency_histogram, latency_us, lp_work_columns, lp_work_header, print_csv_series, print_table,
+};
 use crate::scenario::Scenario;
 use crate::serving::{
-    print_fabric_memory, FabricMemory, FabricServeSetup, ServeSimOptions, ServeTopology,
+    print_fabric_memory, FabricMemory, FabricServeSetup, MetricsStream, ServeSimOptions,
+    ServeTopology,
 };
 
 /// The result of one sharded fleet serving run.
@@ -55,6 +60,9 @@ pub struct FleetRun {
     pub decision_digest: u64,
     /// Fabric runs only: demand-storage accounting.
     pub memory: Option<FabricMemory>,
+    /// Final merged telemetry snapshot (fleet phases + every shard's
+    /// registry, merged in stable shard order), when the run was armed.
+    pub telemetry: Option<Registry>,
 }
 
 impl FleetRun {
@@ -108,7 +116,17 @@ fn finish_run(
         digest: fleet.digest(),
         decision_digest: fleet.decision_digest(),
         memory,
+        telemetry: fleet.telemetry_snapshot(),
         logs: fleet.into_logs(),
+    }
+}
+
+/// Streams fleet metrics after one fleet tick: LP shards raise no recovery
+/// transitions, so the stream is periodic merged-registry snapshots (the
+/// snapshot covers every fleet phase span and every shard's counters).
+fn fleet_metrics_tick(metrics: &mut Option<MetricsStream>, tick: usize, fleet: &FleetController) {
+    if let Some(m) = metrics.as_mut() {
+        m.on_tick_lazy(tick, || fleet.telemetry_snapshot().expect("armed run"));
     }
 }
 
@@ -125,6 +143,10 @@ fn serve_fleet_fabric(spec: &FabricSpec, shards: usize, options: &ServeSimOption
         options.predictor,
         &options.policy,
     );
+    let mut metrics = MetricsStream::create(options);
+    if metrics.is_some() {
+        fleet.enable_telemetry();
+    }
     let serve_start = std::time::Instant::now();
     for t in 0..setup.warmup {
         fleet.observe_sparse(setup.trace.snapshot(t));
@@ -132,9 +154,13 @@ fn serve_fleet_fabric(spec: &FabricSpec, shards: usize, options: &ServeSimOption
     let mut global_mlus = Vec::with_capacity(setup.ticks.len());
     for &t in &setup.ticks {
         let out = fleet.step_sparse(setup.trace.snapshot(t));
+        fleet_metrics_tick(&mut metrics, out.tick, &fleet);
         global_mlus.push(out.global_mlu);
     }
     let serve_seconds = serve_start.elapsed().as_secs_f64();
+    if let Some(m) = metrics.as_mut() {
+        m.finish(&fleet.telemetry_snapshot().expect("armed run"));
+    }
     let name = format!(
         "{} ({} ToRs, fleet, {} shards, lp, {} predictor, sparse demands)",
         setup.fabric.graph.name(),
@@ -164,6 +190,10 @@ fn serve_fleet_replay(topology: Topology, shards: usize, options: &ServeSimOptio
     let plan = ShardPlan::source_blocks(&active, n, shards);
     let mut fleet =
         FleetController::lp(&plan, &scenario.paths, window, options.predictor, &options.policy);
+    let mut metrics = MetricsStream::create(options);
+    if metrics.is_some() {
+        fleet.enable_telemetry();
+    }
     let mut column = vec![0.0; active.len()];
     let serve_start = std::time::Instant::now();
     for t in first - warmup..first {
@@ -174,9 +204,13 @@ fn serve_fleet_replay(topology: Topology, shards: usize, options: &ServeSimOptio
     for &t in &indices {
         scenario.trace.matrix(t).flatten_pairs_into(&mut column);
         let out = fleet.step_column(&column);
+        fleet_metrics_tick(&mut metrics, out.tick, &fleet);
         global_mlus.push(out.global_mlu);
     }
     let serve_seconds = serve_start.elapsed().as_secs_f64();
+    if let Some(m) = metrics.as_mut() {
+        m.finish(&fleet.telemetry_snapshot().expect("armed run"));
+    }
     let name = format!(
         "{} (replay, fleet, {} shards, lp, {} predictor)",
         scenario.name,
@@ -227,14 +261,15 @@ pub fn print_fleet_report(run: &FleetRun) {
         .iter()
         .enumerate()
         .map(|(i, log)| {
+            let lat = latency_histogram(&log.latencies_seconds);
             vec![
                 run.shard_labels[i].clone(),
                 format!("{}", run.shard_pairs[i]),
                 format!("{}", log.update_count()),
                 format!("{}", log.hold_count(HoldReason::BelowHysteresis)),
                 format!("{}", log.hold_count(HoldReason::BudgetExhausted)),
-                format!("{:.1} µs", 1e6 * log.latency_percentile(0.5)),
-                format!("{:.1} µs", 1e6 * log.latency_percentile(0.99)),
+                latency_us(&lat, 0.5),
+                latency_us(&lat, 0.99),
             ]
         })
         .collect();
@@ -252,6 +287,10 @@ pub fn print_fleet_report(run: &FleetRun) {
 
     if let Some(mem) = &run.memory {
         print_fabric_memory(mem);
+    }
+
+    if let Some(registry) = &run.telemetry {
+        print_profile_report(registry, run.serve_seconds);
     }
 
     print_csv_series("global_mlu", &run.global_mlus);

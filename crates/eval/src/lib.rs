@@ -10,6 +10,7 @@
 pub mod args;
 pub mod experiments;
 pub mod fleet;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -18,6 +19,7 @@ pub mod serving;
 pub use args::{FlagSet, FlagValues};
 pub use experiments::ExperimentOptions;
 pub use fleet::{print_fleet_report, serve_fleet, FleetRun};
+pub use profile::print_profile_report;
 pub use runner::{omniscient_series, run_scheme, EvalOptions, Scheme, SchemeRun};
 pub use scenario::{Scenario, ScenarioOptions};
 pub use serving::{serve_replay, ServeEngine, ServeRun, ServeSimOptions};

@@ -1,0 +1,125 @@
+//! End-of-run serving profile report (DESIGN.md §10): renders a telemetry
+//! [`Registry`] snapshot as the per-phase self-time breakdown, the
+//! recovery-transition rate table and the counter roll-up that `serve_sim`
+//! prints next to its regret/churn numbers.
+//!
+//! The report is a *rendering* of out-of-band metrics — nothing here feeds
+//! back into the serving loop or its digests.
+
+use figret_telemetry::{Histogram, Registry};
+
+use crate::report::print_table;
+
+/// One span row of the profile: a `*_seconds` histogram with its share of
+/// the run's wall clock.
+struct SpanRow<'a> {
+    name: &'a str,
+    hist: &'a Histogram,
+}
+
+fn us(seconds: f64) -> String {
+    format!("{:.1}", 1e6 * seconds)
+}
+
+/// Prints the profile report of an armed serving run: every non-empty
+/// `*_seconds` span histogram (count, total self-time, share of the serving
+/// wall clock, p50/p90/p99), the recovery-transition rates, and the
+/// non-zero counters.  `serve_seconds` is the end-to-end serving wall
+/// clock the share column is normalized by.
+///
+/// Span totals are *not* disjoint: `figret_serve_decision_seconds` covers
+/// the predict/candidate/MLU-eval sub-spans, and the LP phase spans nest
+/// inside the candidate span — shares can sum past 100%.
+pub fn print_profile_report(registry: &Registry, serve_seconds: f64) {
+    let spans: Vec<SpanRow<'_>> = registry
+        .histograms()
+        .into_iter()
+        .filter(|(name, hist)| name.contains("_seconds") && !hist.is_empty())
+        .map(|(name, hist)| SpanRow { name, hist })
+        .collect();
+    if !spans.is_empty() {
+        let wall = serve_seconds.max(1e-12);
+        let rows: Vec<Vec<String>> = spans
+            .iter()
+            .map(|s| {
+                vec![
+                    s.name.to_string(),
+                    format!("{}", s.hist.count()),
+                    format!("{:.4} s", s.hist.sum()),
+                    format!("{:.1}%", 100.0 * s.hist.sum() / wall),
+                    us(s.hist.quantile(0.5)),
+                    us(s.hist.quantile(0.9)),
+                    us(s.hist.quantile(0.99)),
+                ]
+            })
+            .collect();
+        print_table(
+            "profile — span self-time (shares overlap across nested spans)",
+            &["span", "count", "total", "share", "p50 µs", "p90 µs", "p99 µs"],
+            &rows,
+        );
+    }
+
+    let ticks = registry
+        .counter_by_name("figret_serve_ticks_total")
+        .or_else(|| registry.counter_by_name("figret_fleet_ticks_total"))
+        .unwrap_or(0);
+    let transitions: Vec<(&str, u64)> = registry
+        .counters()
+        .into_iter()
+        .filter(|(name, value)| name.starts_with("figret_recovery_transitions_total") && *value > 0)
+        .collect();
+    if !transitions.is_empty() {
+        let rows: Vec<Vec<String>> = transitions
+            .iter()
+            .map(|(name, value)| {
+                let kind = name
+                    .split("kind=\"")
+                    .nth(1)
+                    .and_then(|s| s.strip_suffix("\"}"))
+                    .unwrap_or(name);
+                vec![
+                    kind.to_string(),
+                    format!("{value}"),
+                    format!("{:.2}", 1000.0 * *value as f64 / ticks.max(1) as f64),
+                ]
+            })
+            .collect();
+        print_table("profile — transitions", &["kind", "count", "per 1k ticks"], &rows);
+    }
+
+    let counters: Vec<Vec<String>> = registry
+        .counters()
+        .into_iter()
+        .filter(|(_, value)| *value > 0)
+        .map(|(name, value)| vec![name.to_string(), format!("{value}")])
+        .collect();
+    if !counters.is_empty() {
+        print_table("profile — counters", &["counter", "value"], &counters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_report_renders_spans_transitions_and_counters() {
+        let mut r = Registry::new();
+        let t = r.counter("figret_serve_ticks_total");
+        r.add(t, 80);
+        let d = r.counter("figret_recovery_transitions_total{kind=\"promoted\"}");
+        r.inc(d);
+        let h = r.histogram("figret_serve_decision_seconds");
+        for i in 1..=10 {
+            r.observe(h, i as f64 * 1e-5);
+        }
+        r.histogram("figret_serve_finish_seconds"); // empty: must be skipped
+        print_profile_report(&r, 0.5); // must not panic
+    }
+
+    #[test]
+    fn profile_report_handles_an_empty_registry() {
+        print_profile_report(&Registry::new(), 1.0); // must not panic
+    }
+}

@@ -4,7 +4,22 @@
 
 use figret_solvers::SeriesStats;
 use figret_te::SchemeQuality;
+use figret_telemetry::Histogram;
 use figret_traffic::DistributionSummary;
+
+/// Folds measured decision latencies into a shared telemetry histogram —
+/// the single percentile implementation every serving report prints from
+/// (previously each report sorted its own copy of the sample vector).
+/// Quantiles come back as fixed-log-bucket upper bounds, within one bucket
+/// width of the exact order statistic.
+pub fn latency_histogram(samples_seconds: &[f64]) -> Histogram {
+    Histogram::from_samples(samples_seconds)
+}
+
+/// Formats a latency quantile in microseconds (reports print `p50 / p99`).
+pub fn latency_us(hist: &Histogram, q: f64) -> String {
+    format!("{:.1} µs", 1e6 * hist.quantile(q))
+}
 
 /// Prints a table with a header row and aligned columns.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

@@ -16,15 +16,17 @@
 //! through an identical warm-started template, so its per-tick MLUs match
 //! the batch path bit for bit (`tests/serve_equivalence.rs` enforces 1e-9).
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use figret::FigretModel;
 use figret_serve::{
     PredictorKind, ReconfigPolicy, RecoveryConfig, RecoveryStats, ServeController, ServeLog,
-    Transition,
+    StepOutcome, Transition,
 };
 use figret_solvers::{MluTemplate, SeriesStats};
 use figret_te::{max_link_utilization_pairs, normalize_by, PathSet, SchemeQuality};
+use figret_telemetry::{exposition, JsonlSink, Registry};
 use figret_topology::{FabricSpec, Topology};
 use figret_traffic::{
     datacenter::{tor_trace_sparse, TorTrafficConfig},
@@ -33,7 +35,10 @@ use figret_traffic::{
 };
 
 use crate::experiments::ExperimentOptions;
-use crate::report::{lp_work_columns, lp_work_header, print_csv_series, print_table};
+use crate::profile::print_profile_report;
+use crate::report::{
+    latency_histogram, latency_us, lp_work_columns, lp_work_header, print_csv_series, print_table,
+};
 use crate::scenario::Scenario;
 
 /// Which engine the controller serves from.
@@ -118,6 +123,14 @@ pub struct ServeSimOptions {
     /// Step-shift magnitude: even pair slots scale by the factor, odd slots
     /// by its reciprocal (aggregate volume is roughly preserved).
     pub shift_factor: f64,
+    /// When set, arm out-of-band telemetry (DESIGN.md §10) and write a
+    /// JSONL event stream to `<PATH>.jsonl` plus a final Prometheus-style
+    /// exposition snapshot to `<PATH>.prom`.  Decision digests are
+    /// bit-identical with telemetry armed or disarmed.
+    pub metrics_out: Option<PathBuf>,
+    /// Snapshot cadence of the JSONL stream, in decision ticks (transition
+    /// events are always streamed as they happen).
+    pub metrics_every: usize,
 }
 
 impl ServeSimOptions {
@@ -140,6 +153,8 @@ impl ServeSimOptions {
             promotion_patience: 3,
             shift_tick: 0,
             shift_factor: 4.0,
+            metrics_out: None,
+            metrics_every: 10,
         }
     }
 
@@ -155,6 +170,72 @@ impl ServeSimOptions {
             retrain_epochs: 150,
             ..RecoveryConfig::default()
         })
+    }
+}
+
+/// The live metrics stream of an armed run: transition events as they
+/// happen, registry snapshots every `every` decision ticks, a final
+/// snapshot at end of run, and the Prometheus-style exposition file written
+/// by [`MetricsStream::finish`].
+pub(crate) struct MetricsStream {
+    sink: JsonlSink,
+    every: usize,
+    prom_path: PathBuf,
+    served: usize,
+}
+
+impl MetricsStream {
+    /// Opens `<base>.jsonl` for the options' `--metrics-out` base path;
+    /// `None` when metrics are off.  The serve_sim entry point validated
+    /// the parent directory, so file creation failing here is a race (the
+    /// directory vanished), reported as a panic with the path.
+    pub(crate) fn create(options: &ServeSimOptions) -> Option<MetricsStream> {
+        let base = options.metrics_out.as_ref()?;
+        let jsonl_path = PathBuf::from(format!("{}.jsonl", base.display()));
+        let prom_path = PathBuf::from(format!("{}.prom", base.display()));
+        let sink = JsonlSink::create(&jsonl_path).unwrap_or_else(|e| {
+            panic!("cannot create metrics stream '{}': {e}", jsonl_path.display())
+        });
+        Some(MetricsStream { sink, every: options.metrics_every.max(1), prom_path, served: 0 })
+    }
+
+    /// Streams one finished tick: every transition as its own event line,
+    /// and a full registry snapshot every `every` ticks.
+    pub(crate) fn on_tick(&mut self, tick: usize, transitions: &[Transition], registry: &Registry) {
+        for t in transitions {
+            self.sink
+                .event("transition", tick as u64, &[("kind", &format!("{t:?}"))])
+                .expect("metrics stream write failed");
+        }
+        self.served += 1;
+        if self.served.is_multiple_of(self.every) {
+            self.sink.snapshot(tick as u64, registry).expect("metrics stream write failed");
+        }
+    }
+
+    /// Convenience wrapper over [`MetricsStream::on_tick`] for a
+    /// single-controller step outcome.
+    pub(crate) fn on_outcome(&mut self, outcome: &StepOutcome, registry: &Registry) {
+        self.on_tick(outcome.record.tick, &outcome.transitions, registry);
+    }
+
+    /// Like [`MetricsStream::on_tick`] but with a lazily built registry —
+    /// the fleet's merged snapshot is only materialized on the ticks that
+    /// actually emit one.
+    pub(crate) fn on_tick_lazy(&mut self, tick: usize, registry: impl FnOnce() -> Registry) {
+        self.served += 1;
+        if self.served.is_multiple_of(self.every) {
+            self.sink.snapshot(tick as u64, &registry()).expect("metrics stream write failed");
+        }
+    }
+
+    /// Writes the final snapshot, the exposition file, and flushes.
+    pub(crate) fn finish(&mut self, registry: &Registry) {
+        self.sink.snapshot(self.served as u64, registry).expect("metrics stream write failed");
+        self.sink.flush().expect("metrics stream flush failed");
+        std::fs::write(&self.prom_path, exposition(registry))
+            .unwrap_or_else(|e| panic!("cannot write '{}': {e}", self.prom_path.display()));
+        println!("metrics_out,{},{}", self.sink.path().display(), self.prom_path.display());
     }
 }
 
@@ -187,6 +268,9 @@ pub struct ServeRun {
     pub pairs_per_tick: usize,
     /// Recovery counters, when the self-healing ladder was enabled.
     pub recovery: Option<RecoveryStats>,
+    /// Final telemetry registry snapshot, when the run was armed
+    /// (`--metrics-out`); feeds the end-of-run profile report.
+    pub telemetry: Option<Registry>,
 }
 
 /// Demand-storage accounting of a fabric serving run.
@@ -396,6 +480,7 @@ fn drive(
     stream: &mut dyn DemandStream,
     warmup: usize,
     ticks: Option<usize>,
+    mut metrics: Option<&mut MetricsStream>,
 ) -> (ServeLog, Vec<DemandMatrix>) {
     for _ in 0..warmup {
         let demand = stream.next_demand().expect("stream ended during controller warmup");
@@ -407,6 +492,9 @@ fn drive(
     while realized.len() < limit {
         let Some(demand) = stream.next_demand() else { break };
         let outcome = controller.step(&demand);
+        if let Some(m) = metrics.as_deref_mut() {
+            m.on_outcome(&outcome, controller.telemetry_registry().expect("armed run"));
+        }
         log.push(outcome.record, outcome.decision_seconds);
         realized.push(demand);
     }
@@ -458,6 +546,10 @@ fn engine_name(options: &ServeSimOptions) -> &'static str {
 pub fn serve_replay(scenario: &Scenario, options: &ServeSimOptions) -> ServeRun {
     let window = options.experiment.window;
     let mut controller = build_controller(scenario, options);
+    let mut metrics = MetricsStream::create(options);
+    if metrics.is_some() {
+        controller.enable_telemetry();
+    }
     let warmup = controller.window().max(window);
     let first = scenario.split.test.start.max(warmup);
     let mut indices: Vec<usize> = (first..scenario.trace.len()).collect();
@@ -468,13 +560,21 @@ pub fn serve_replay(scenario: &Scenario, options: &ServeSimOptions) -> ServeRun 
     let (log, realized) = match options.demand {
         DemandMode::Dense => {
             let mut stream = ReplayStream::once(scenario.trace.clone()).starting_at(first - warmup);
-            drive(&mut controller, &mut stream, warmup, Some(indices.len()))
+            drive(&mut controller, &mut stream, warmup, Some(indices.len()), metrics.as_mut())
         }
-        DemandMode::Sparse => {
-            drive_replay_sparse(&mut controller, &scenario.trace, first - warmup, warmup, &indices)
-        }
+        DemandMode::Sparse => drive_replay_sparse(
+            &mut controller,
+            &scenario.trace,
+            first - warmup,
+            warmup,
+            &indices,
+            metrics.as_mut(),
+        ),
     };
     let serve_seconds = serve_start.elapsed().as_secs_f64();
+    if let Some(m) = metrics.as_mut() {
+        m.finish(controller.telemetry_registry().expect("armed run"));
+    }
     assert_eq!(log.len(), indices.len(), "one decision per replayed test snapshot");
     let omniscient = omniscient_over(&scenario.paths, &realized);
     ServeRun {
@@ -497,6 +597,7 @@ pub fn serve_replay(scenario: &Scenario, options: &ServeSimOptions) -> ServeRun 
         serve_seconds,
         pairs_per_tick: scenario.paths.num_pairs(),
         recovery: controller.recovery_enabled().then(|| controller.recovery_stats()),
+        telemetry: controller.telemetry_snapshot(),
     }
 }
 
@@ -511,6 +612,7 @@ fn drive_replay_sparse(
     start: usize,
     warmup: usize,
     indices: &[usize],
+    mut metrics: Option<&mut MetricsStream>,
 ) -> (ServeLog, Vec<DemandMatrix>) {
     let strace = SparseTrace::from_trace(trace);
     let mut column = vec![0.0; strace.active().num_total_pairs()];
@@ -525,6 +627,9 @@ fn drive_replay_sparse(
         debug_assert_eq!(t, index, "replay ticks must be contiguous");
         strace.snapshot(t).scatter_pairs_into(&mut column);
         let outcome = controller.step_pairs(&column);
+        if let Some(m) = metrics.as_deref_mut() {
+            m.on_outcome(&outcome, controller.telemetry_registry().expect("armed run"));
+        }
         log.push(outcome.record, outcome.decision_seconds);
         realized.push(trace.matrix(t).clone());
     }
@@ -538,6 +643,10 @@ fn drive_replay_sparse(
 /// situation the fallback policy guards against.
 pub fn serve_online(scenario: &Scenario, ticks: usize, options: &ServeSimOptions) -> ServeRun {
     let mut controller = build_controller(scenario, options);
+    let mut metrics = MetricsStream::create(options);
+    if metrics.is_some() {
+        controller.enable_telemetry();
+    }
     let warmup = controller.window().max(options.experiment.window);
     let stream_config = OnlineStreamConfig {
         interval_seconds: scenario.trace.interval_seconds(),
@@ -564,11 +673,17 @@ pub fn serve_online(scenario: &Scenario, ticks: usize, options: &ServeSimOptions
     while realized.len() < ticks {
         let demand = stream.next_demand().expect("the online stream is endless");
         let outcome = controller.step(&demand);
+        if let Some(m) = metrics.as_mut() {
+            m.on_outcome(&outcome, controller.telemetry_registry().expect("armed run"));
+        }
         log.annotate(outcome.record.tick, stream.annotation());
         log.record_outcome(&outcome);
         realized.push(demand);
     }
     let serve_seconds = serve_start.elapsed().as_secs_f64();
+    if let Some(m) = metrics.as_mut() {
+        m.finish(controller.telemetry_registry().expect("armed run"));
+    }
     let omniscient = omniscient_over(&scenario.paths, &realized);
     ServeRun {
         name: format!(
@@ -586,6 +701,7 @@ pub fn serve_online(scenario: &Scenario, ticks: usize, options: &ServeSimOptions
         serve_seconds,
         pairs_per_tick: scenario.paths.num_pairs(),
         recovery: controller.recovery_enabled().then(|| controller.recovery_stats()),
+        telemetry: controller.telemetry_snapshot(),
     }
 }
 
@@ -664,6 +780,10 @@ pub fn serve_fabric(spec: &FabricSpec, options: &ServeSimOptions) -> ServeRun {
         options.policy.clone(),
     );
     controller.bind_universe(&setup.active);
+    let mut metrics = MetricsStream::create(options);
+    if metrics.is_some() {
+        controller.enable_telemetry();
+    }
     let serve_start = std::time::Instant::now();
     for t in 0..setup.warmup {
         controller.observe_sparse(setup.trace.snapshot(t));
@@ -671,9 +791,15 @@ pub fn serve_fabric(spec: &FabricSpec, options: &ServeSimOptions) -> ServeRun {
     let mut log = ServeLog::new();
     for &t in &setup.ticks {
         let outcome = controller.step_sparse(setup.trace.snapshot(t));
+        if let Some(m) = metrics.as_mut() {
+            m.on_outcome(&outcome, controller.telemetry_registry().expect("armed run"));
+        }
         log.push(outcome.record, outcome.decision_seconds);
     }
     let serve_seconds = serve_start.elapsed().as_secs_f64();
+    if let Some(m) = metrics.as_mut() {
+        m.finish(controller.telemetry_registry().expect("armed run"));
+    }
     let omniscient = omniscient_over_sparse(&setup.paths, &setup.trace, &setup.ticks);
     let memory = setup.memory();
     ServeRun {
@@ -692,6 +818,7 @@ pub fn serve_fabric(spec: &FabricSpec, options: &ServeSimOptions) -> ServeRun {
         serve_seconds,
         pairs_per_tick: setup.active.len(),
         recovery: None,
+        telemetry: controller.telemetry_snapshot(),
     }
 }
 
@@ -758,14 +885,10 @@ pub fn print_serve_report(run: &ServeRun) {
                 regret.normalized_mlu.mean, regret.normalized_mlu.p99, regret.normalized_mlu.max
             ),
         ],
-        vec![
-            "decision latency p50/p99".to_string(),
-            format!(
-                "{:.1} µs / {:.1} µs",
-                1e6 * run.log.latency_percentile(0.5),
-                1e6 * run.log.latency_percentile(0.99)
-            ),
-        ],
+        vec!["decision latency p50/p99".to_string(), {
+            let lat = latency_histogram(&run.log.latencies_seconds);
+            format!("{} / {}", latency_us(&lat, 0.5), latency_us(&lat, 0.99))
+        }],
         vec![
             "ticks/sec (wall clock)".to_string(),
             format!("{:.1}", run.log.len() as f64 / run.serve_seconds.max(1e-12)),
@@ -830,6 +953,10 @@ pub fn print_serve_report(run: &ServeRun) {
 
     if let Some(mem) = &run.memory {
         print_fabric_memory(mem);
+    }
+
+    if let Some(registry) = &run.telemetry {
+        print_profile_report(registry, run.serve_seconds);
     }
 
     // Machine-greppable transition and annotation lines: CI asserts a

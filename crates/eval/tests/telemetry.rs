@@ -1,0 +1,249 @@
+//! Telemetry acceptance contracts of `serve_sim --metrics-out` (DESIGN.md
+//! §10), all driven through the real binary like `fleet_equivalence.rs`:
+//!
+//! * arming metrics never changes a digest — `decision_log_digest` and
+//!   `decision_digest` are bit-identical with metrics on and off, under
+//!   `RAYON_NUM_THREADS=1` and `=4` (the vendored rayon caches its thread
+//!   count per process, so the variation must cross a process boundary);
+//! * the deterministic exposition lines (`_total` counters, histogram
+//!   `_count`s) agree across thread counts, and every `.prom` file lints;
+//! * the 80-tick recovery drill streams its full transition ladder to the
+//!   JSONL sink next to LP-solve and serve-span coverage, and a sharded
+//!   fleet run covers all five fleet phases;
+//! * bad metrics flags are usage errors (exit 2 + usage text), not panics.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use figret_telemetry::lint_exposition;
+
+/// A fresh per-test output base under the system temp dir; `serve_sim`
+/// appends `.jsonl` / `.prom` to it.
+fn temp_base(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("figret_metrics_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir must be creatable");
+    dir.join("run")
+}
+
+fn serve_sim(args: &[&str], threads: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_serve_sim"))
+        .args(args)
+        .env("RAYON_NUM_THREADS", threads)
+        .output()
+        .expect("serve_sim must run")
+}
+
+fn stdout_of(out: std::process::Output) -> String {
+    assert!(out.status.success(), "serve_sim failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout).expect("utf-8 report")
+}
+
+fn digest_lines(output: &str) -> Vec<&str> {
+    output
+        .lines()
+        .filter(|l| l.starts_with("decision_log_digest,") || l.starts_with("decision_digest,"))
+        .collect()
+}
+
+/// The deterministic subset of an exposition file: counter samples and
+/// histogram `_count` samples.  Quantiles and `_sum`s are wall-clock.
+fn deterministic_prom_lines(text: &str) -> Vec<&str> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            let name = l.split([' ', '{']).next().unwrap_or("");
+            name.ends_with("_total") || name.ends_with("_count")
+        })
+        .collect()
+}
+
+fn read(path: &PathBuf) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read '{}': {e}", path.display()))
+}
+
+const GEANT_ARGS: &[&str] = &[
+    "--topology",
+    "geant",
+    "--engine",
+    "lp",
+    "--fast",
+    "--snapshots",
+    "10",
+    "--window",
+    "2",
+    "--max-eval",
+    "6",
+];
+
+#[test]
+fn metrics_are_out_of_band_and_deterministic_across_thread_counts() {
+    let mut reports = Vec::new();
+    let mut prom_texts = Vec::new();
+    for threads in ["1", "4"] {
+        let base = temp_base(&format!("geant_t{threads}"));
+        let base_str = base.display().to_string();
+        let mut args = GEANT_ARGS.to_vec();
+        args.extend(["--metrics-out", &base_str, "--metrics-every", "2"]);
+        let armed = stdout_of(serve_sim(&args, threads));
+        assert!(
+            armed.lines().any(|l| l.starts_with("metrics_out,")),
+            "the report must point at the metrics files:\n{armed}"
+        );
+
+        let jsonl = read(&PathBuf::from(format!("{base_str}.jsonl")));
+        assert!(
+            jsonl.lines().any(|l| l.contains("\"event\":\"snapshot\"")),
+            "the JSONL stream must carry registry snapshots:\n{jsonl}"
+        );
+        let prom = read(&PathBuf::from(format!("{base_str}.prom")));
+        let samples = lint_exposition(&prom)
+            .unwrap_or_else(|e| panic!("exposition must lint clean: {e}\n{prom}"));
+        assert!(samples > 10, "the exposition must carry real samples, got {samples}");
+        prom_texts.push(prom);
+
+        let disarmed = stdout_of(serve_sim(GEANT_ARGS, threads));
+        assert_eq!(
+            digest_lines(&armed),
+            digest_lines(&disarmed),
+            "arming metrics must not perturb the digests (threads={threads})"
+        );
+        reports.push(armed);
+    }
+    assert_eq!(
+        digest_lines(&reports[0]),
+        digest_lines(&reports[1]),
+        "digests must not depend on the thread count"
+    );
+    assert_eq!(
+        deterministic_prom_lines(&prom_texts[0]),
+        deterministic_prom_lines(&prom_texts[1]),
+        "counters and sample counts must not depend on the thread count"
+    );
+}
+
+#[test]
+fn recovery_drill_streams_the_full_transition_ladder() {
+    let base = temp_base("drill");
+    let base_str = base.display().to_string();
+    let report = stdout_of(serve_sim(
+        &[
+            "--topology",
+            "pod-db",
+            "--engine",
+            "learned",
+            "--fast",
+            "--snapshots",
+            "60",
+            "--window",
+            "4",
+            "--online-ticks",
+            "80",
+            "--retrain-every",
+            "4",
+            "--promotion-patience",
+            "2",
+            "--shift-tick",
+            "10",
+            "--metrics-out",
+            &base_str,
+            "--metrics-every",
+            "10",
+        ],
+        "4",
+    ));
+    assert!(report.contains("self-healing recovery"), "missing recovery summary:\n{report}");
+
+    // Every recovery transition the run printed is mirrored as a JSONL
+    // `transition` event with the same kind, in order.
+    let jsonl = read(&PathBuf::from(format!("{base_str}.jsonl")));
+    let streamed: Vec<&str> =
+        jsonl.lines().filter(|l| l.contains("\"event\":\"transition\"")).collect();
+    for kind in ["Degraded", "RetrainStarted", "Promoted"] {
+        assert!(
+            streamed.iter().any(|l| l.contains(&format!("\"kind\":\"{kind}\""))),
+            "the drill must stream a {kind} transition:\n{jsonl}"
+        );
+    }
+    let printed = report.lines().filter(|l| l.starts_with("transition,")).count();
+    assert_eq!(streamed.len(), printed, "JSONL must mirror every printed transition");
+
+    // The final exposition covers the serve spans, the LP fallback solves
+    // and the recovery ladder — and lints clean.
+    let prom = read(&PathBuf::from(format!("{base_str}.prom")));
+    lint_exposition(&prom).unwrap_or_else(|e| panic!("exposition must lint clean: {e}"));
+    for family in [
+        "figret_serve_decision_seconds_count",
+        "figret_serve_predict_seconds_count",
+        "figret_lp_solves_total",
+        "figret_recovery_transitions_total{kind=\"degraded\"}",
+        "figret_recovery_transitions_total{kind=\"retrain_started\"}",
+        "figret_recovery_transitions_total{kind=\"promoted\"}",
+        "figret_recovery_retrains_total",
+        "figret_recovery_cusum_level",
+    ] {
+        assert!(prom.contains(family), "exposition must cover {family}:\n{prom}");
+    }
+    assert!(report.contains("span"), "the profile report must print span rows:\n{report}");
+}
+
+#[test]
+fn fleet_metrics_cover_every_phase() {
+    let base = temp_base("fleet");
+    let base_str = base.display().to_string();
+    let args = [
+        "--topology",
+        "podfab16",
+        "--engine",
+        "lp",
+        "--fast",
+        "--snapshots",
+        "10",
+        "--window",
+        "2",
+        "--max-eval",
+        "6",
+        "--shards",
+        "4",
+        "--metrics-out",
+        &base_str,
+        "--metrics-every",
+        "2",
+    ];
+    let armed = stdout_of(serve_sim(&args, "4"));
+    let disarmed = stdout_of(serve_sim(&args[..args.len() - 4], "4"));
+    assert_eq!(
+        digest_lines(&armed),
+        digest_lines(&disarmed),
+        "arming fleet metrics must not perturb the digests"
+    );
+
+    let prom = read(&PathBuf::from(format!("{base_str}.prom")));
+    lint_exposition(&prom).unwrap_or_else(|e| panic!("exposition must lint clean: {e}"));
+    for phase in ["scatter", "propose", "admission", "finish", "merge"] {
+        assert!(
+            prom.contains(&format!("figret_fleet_phase_seconds_count{{phase=\"{phase}\"}}")),
+            "exposition must cover fleet phase '{phase}':\n{prom}"
+        );
+    }
+    let jsonl = read(&PathBuf::from(format!("{base_str}.jsonl")));
+    assert!(
+        jsonl.lines().any(|l| l.contains("figret_fleet_phase_seconds")),
+        "fleet snapshots must reach the JSONL stream"
+    );
+}
+
+#[test]
+fn metrics_flags_are_validated_as_usage_errors() {
+    let out = serve_sim(&["--metrics-every", "0"], "1");
+    assert_eq!(out.status.code(), Some(2), "--metrics-every 0 must be a usage error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--metrics-every"), "unexpected error: {err}");
+    assert!(err.contains("USAGE"), "a usage error must print the usage text: {err}");
+
+    let out = serve_sim(&["--metrics-out", "/nonexistent-figret-dir/deeper/run"], "1");
+    assert_eq!(out.status.code(), Some(2), "an unwritable --metrics-out must be a usage error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--metrics-out"), "unexpected error: {err}");
+    assert!(err.contains("USAGE"), "a usage error must print the usage text: {err}");
+}

@@ -47,6 +47,8 @@
 //! gives up — silently fall back to a cold solve, so warm starting never
 //! changes the result, only the work.
 
+use std::time::Instant;
+
 use crate::problem::{Direction, LinearProgram, Relation};
 use crate::solution::{LpError, Solution, SolveStats};
 use crate::sparse::{ColumnView, CsrMatrix};
@@ -724,6 +726,13 @@ impl<'a> Simplex<'a> {
     /// is only sound for seeds (cold-path reinversions hitting singularity
     /// are genuine numerical breakdown and keep the hard error).
     fn refactorize_with(&mut self, repair: bool) -> Result<(), LpError> {
+        let started = Instant::now();
+        let result = self.refactorize_with_inner(repair);
+        self.stats.factor_seconds += started.elapsed().as_secs_f64();
+        result
+    }
+
+    fn refactorize_with_inner(&mut self, repair: bool) -> Result<(), LpError> {
         let m = self.form.num_rows();
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by_key(|&pos| (self.form.view.col_nnz(self.basis[pos]), self.basis[pos]));
@@ -1191,9 +1200,14 @@ fn solve_on_form_with_pricing(
             // The seed is usually primal infeasible after a value swap; dual
             // pivots repair it (replacing phase 1).  Any trouble — repair
             // gives up, iteration trouble, numerics — falls back to cold.
-            if matches!(simplex.dual_repair(&costs, true), Ok(true)) {
+            let repair_started = Instant::now();
+            let repaired = simplex.dual_repair(&costs, true);
+            simplex.stats.phase1_seconds += repair_started.elapsed().as_secs_f64();
+            if matches!(repaired, Ok(true)) {
                 let mut pivots = 0usize;
+                let phase2_started = Instant::now();
                 let outcome = simplex.optimize(&costs, form.art_start, max_iterations, &mut pivots);
+                simplex.stats.phase2_seconds += phase2_started.elapsed().as_secs_f64();
                 simplex.stats.phase2_iterations = pivots;
                 simplex.stats.iterations =
                     simplex.stats.phase1_iterations + simplex.stats.phase2_iterations;
@@ -1232,9 +1246,14 @@ fn solve_on_form_with_pricing(
             // crash point that is still widely infeasible (e.g. binding
             // sensitivity-bound rows the min-max variable cannot lift) is
             // cheaper to hand to the two-phase method than to grind on.
-            if matches!(simplex.dual_repair(&costs, true), Ok(true)) {
+            let repair_started = Instant::now();
+            let repaired = simplex.dual_repair(&costs, true);
+            simplex.stats.phase1_seconds += repair_started.elapsed().as_secs_f64();
+            if matches!(repaired, Ok(true)) {
                 let mut pivots = 0usize;
+                let phase2_started = Instant::now();
                 let outcome = simplex.optimize(&costs, form.art_start, max_iterations, &mut pivots);
+                simplex.stats.phase2_seconds += phase2_started.elapsed().as_secs_f64();
                 simplex.stats.phase2_iterations = pivots;
                 simplex.stats.iterations =
                     simplex.stats.phase1_iterations + simplex.stats.phase2_iterations;
@@ -1274,6 +1293,7 @@ fn solve_on_form_with_pricing(
         // the per-iteration sweep savings.  Phase 2 re-enables the list.
         simplex.partial_pricing = false;
         let mut pivots = 0usize;
+        let phase1_started = Instant::now();
         let outcome =
             simplex.optimize(&phase1_costs, form.total_cols, max_iterations, &mut pivots)?;
         simplex.partial_pricing = partial_pricing;
@@ -1287,10 +1307,13 @@ fn solve_on_form_with_pricing(
             return Err(LpError::Infeasible);
         }
         simplex.drive_out_artificials();
+        simplex.stats.phase1_seconds += phase1_started.elapsed().as_secs_f64();
     }
     // ---- Phase 2: minimize the original objective. ----
     let mut pivots = 0usize;
+    let phase2_started = Instant::now();
     let outcome = simplex.optimize(&costs, form.art_start, max_iterations, &mut pivots)?;
+    simplex.stats.phase2_seconds += phase2_started.elapsed().as_secs_f64();
     simplex.stats.phase2_iterations = pivots;
     if matches!(outcome, Outcome::Unbounded) {
         return Err(LpError::Unbounded);

@@ -20,6 +20,16 @@ pub struct SolveStats {
     pub warm_started: bool,
     /// Optimal value of the phase-1 objective (sum of artificials).
     pub phase1_objective: f64,
+    /// Wall-clock seconds spent in phase-1 work (artificial elimination and
+    /// warm-start dual repair).  A measured quantity: excluded from every
+    /// determinism comparison, reported only through telemetry.
+    pub phase1_seconds: f64,
+    /// Wall-clock seconds spent optimizing the original objective
+    /// (phase 2).  Measured, never digested.
+    pub phase2_seconds: f64,
+    /// Wall-clock seconds spent rebuilding the basis factorization
+    /// (a sub-span of the phase timings above, not additional to them).
+    pub factor_seconds: f64,
 }
 
 impl SolveStats {
@@ -30,6 +40,9 @@ impl SolveStats {
         self.phase2_iterations += other.phase2_iterations;
         self.refactorizations += other.refactorizations;
         self.phase1_objective += other.phase1_objective;
+        self.phase1_seconds += other.phase1_seconds;
+        self.phase2_seconds += other.phase2_seconds;
+        self.factor_seconds += other.factor_seconds;
     }
 }
 
@@ -105,21 +118,26 @@ mod tests {
             phase1_iterations: 1,
             phase2_iterations: 2,
             refactorizations: 1,
-            warm_started: false,
-            phase1_objective: 0.0,
+            phase1_seconds: 0.5,
+            ..Default::default()
         };
         let b = SolveStats {
             iterations: 5,
-            phase1_iterations: 0,
             phase2_iterations: 5,
             refactorizations: 2,
             warm_started: true,
-            phase1_objective: 0.0,
+            phase1_seconds: 0.25,
+            phase2_seconds: 1.0,
+            factor_seconds: 0.125,
+            ..Default::default()
         };
         a.absorb(&b);
         assert_eq!(a.iterations, 8);
         assert_eq!(a.phase1_iterations, 1);
         assert_eq!(a.phase2_iterations, 7);
         assert_eq!(a.refactorizations, 3);
+        assert!((a.phase1_seconds - 0.75).abs() < 1e-12);
+        assert!((a.phase2_seconds - 1.0).abs() < 1e-12);
+        assert!((a.factor_seconds - 0.125).abs() < 1e-12);
     }
 }

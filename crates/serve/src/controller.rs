@@ -49,10 +49,13 @@ use figret_solvers::{MluTemplate, SeriesStats};
 use figret_te::{max_link_utilization_pairs_scratch, split_ratio_churn, PathSet, TeConfig};
 use figret_traffic::{ActivePairs, DemandMatrix, SparseDemand};
 
+use figret_telemetry::{Registry, Stopwatch};
+
 use crate::log::{Action, DecisionSource, HoldReason, TickRecord, Transition};
 use crate::policy::ReconfigPolicy;
 use crate::predictor::OnlinePredictor;
 use crate::recovery::{RecoveryConfig, RecoveryManager, RecoveryStats};
+use crate::telemetry::ServeTelemetry;
 
 /// The result of one controller tick: the deterministic record plus the
 /// measured decision latency.
@@ -159,6 +162,11 @@ pub struct ServeController {
     /// 0 for the originally installed model; the challenger generation
     /// after each promotion.
     model_generation: u64,
+    /// Out-of-band metrics (DESIGN.md §10); `None` records nothing and
+    /// takes no extra `Instant::now()` on the hot path.  Boxed: the handle
+    /// table is cold data, and keeping the controller small matters for
+    /// the fleet's shard moves.
+    telemetry: Option<Box<ServeTelemetry>>,
 }
 
 impl std::fmt::Debug for ServeController {
@@ -230,7 +238,28 @@ impl ServeController {
             plan_was_enabled: false,
             pending_transitions: Vec::new(),
             model_generation: 0,
+            telemetry: None,
         }
+    }
+
+    /// Arms out-of-band telemetry (DESIGN.md §10): decision/predict/
+    /// candidate span histograms, action and LP-work counters, and
+    /// recovery-ladder metrics.  Metrics are never folded into the
+    /// decision digests — a run digests identically armed or disarmed.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::new(ServeTelemetry::new()));
+        }
+    }
+
+    /// The telemetry registry, when armed.
+    pub fn telemetry_registry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref().map(|t| t.registry())
+    }
+
+    /// A snapshot (clone) of the telemetry registry, when armed.
+    pub fn telemetry_snapshot(&self) -> Option<Registry> {
+        self.telemetry_registry().cloned()
     }
 
     /// Compiles the learned model into the allocation-free f32
@@ -416,13 +445,27 @@ impl ServeController {
             return None;
         }
         let start = Instant::now();
+        // Armed-only sub-spans: a disarmed controller takes no stopwatch
+        // reads beyond the one `start` above.
+        let mut spans = self.telemetry.is_some().then(Stopwatch::start);
         // Detach the scratch arena from `self` for the duration of the
         // phase so its buffers can be borrowed alongside the other fields.
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.predicted_pairs.resize(self.paths.num_pairs(), 0.0);
         let have = self.predictor.predict_pairs_into(&mut scratch.predicted_pairs);
         assert!(have, "a filled history window implies at least one observation");
+        if let Some(spans) = spans.as_mut() {
+            let lap = spans.lap();
+            self.telemetry.as_mut().expect("a live stopwatch implies telemetry").on_predict(lap);
+        }
         let source = self.candidate_into(&mut scratch);
+        if let Some(spans) = spans.as_mut() {
+            let lap = spans.lap();
+            self.telemetry
+                .as_mut()
+                .expect("a live stopwatch implies telemetry")
+                .on_candidate(source, lap);
+        }
         let deployed_mlu = max_link_utilization_pairs_scratch(
             &self.paths,
             &self.deployed,
@@ -435,6 +478,10 @@ impl ServeController {
             &scratch.predicted_pairs,
             &mut scratch.loads,
         );
+        if let Some(spans) = spans.as_mut() {
+            let lap = spans.lap();
+            self.telemetry.as_mut().expect("a live stopwatch implies telemetry").on_mlu_eval(lap);
+        }
         self.scratch = scratch;
         self.decisions += 1;
         let seconds = start.elapsed().as_secs_f64();
@@ -465,6 +512,7 @@ impl ServeController {
         );
         let tick = self.tick;
         let start = Instant::now();
+        let finish_watch = self.telemetry.is_some().then(Stopwatch::start);
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut churn = 0.0;
         if action == Action::Update {
@@ -491,6 +539,15 @@ impl ServeController {
         );
         self.scratch = scratch;
         self.recovery_after_ingest(tick, realized_mlu, action, pending);
+        if let Some(tel) = self.telemetry.as_mut() {
+            // Transitions are counted here, *before* the StepOutcome drains
+            // them, so the counters cover every ladder move of the tick
+            // (including RetrainStarted pushed by recovery above).
+            tel.on_tick(action, decision_seconds, pending.is_some(), &self.pending_transitions);
+            if let Some(watch) = finish_watch {
+                tel.on_finish(watch.peek());
+            }
+        }
         self.tick += 1;
         StepOutcome {
             record: TickRecord {
@@ -529,6 +586,10 @@ impl ServeController {
                 let error = (realized_mlu - predicted).abs() / realized_mlu.max(1e-9);
                 let recovery = self.recovery.as_mut().expect("checked above");
                 recovery.observe_error(error);
+                let level = recovery.detector_level();
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.set_cusum_level(level);
+                }
             }
             return;
         }
@@ -540,8 +601,13 @@ impl ServeController {
                 .expect("recovery requires a learned controller")
                 .config()
                 .clone();
+            let seconds_before = recovery.stats().retrain_seconds;
             if recovery.retrain(&self.paths, &incumbent) {
                 self.pending_transitions.push(Transition::RetrainStarted);
+                let round_seconds = recovery.stats().retrain_seconds - seconds_before;
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.on_retrain(round_seconds);
+                }
             }
         }
     }
@@ -648,6 +714,7 @@ impl ServeController {
             &scratch.predicted_pairs,
             &mut scratch.loads,
         );
+        let audit_watch = self.telemetry.is_some().then(Stopwatch::start);
         let history: &[Vec<f64>] = self.history.make_contiguous();
         let recovery = self.recovery.as_mut().expect("shadow implies recovery");
         let margin = recovery.config().promotion_margin;
@@ -662,6 +729,12 @@ impl ServeController {
         );
         let won = challenger_mlu <= margin * lp_mlu;
         let wins = shadow.record_audit(won);
+        if let Some(watch) = audit_watch {
+            self.telemetry
+                .as_mut()
+                .expect("a live stopwatch implies telemetry")
+                .on_shadow_audit(won, watch.peek());
+        }
         if wins >= patience {
             let shadow = recovery.take_shadow().expect("shadow presence checked above");
             recovery.note_promotion();
@@ -708,11 +781,18 @@ impl ServeController {
     }
 
     fn lp_candidate(&mut self, predicted_pairs: &[f64]) -> TeConfig {
+        let watch = self.telemetry.is_some().then(Stopwatch::start);
         let (config, stats) = self
             .template
             .solve(&self.paths, predicted_pairs)
             .expect("the serving min-MLU LP must be solvable");
         self.lp_stats.record(&stats);
+        if let Some(watch) = watch {
+            self.telemetry
+                .as_mut()
+                .expect("a live stopwatch implies telemetry")
+                .on_lp_solve(&stats, watch.peek());
+        }
         config
     }
 

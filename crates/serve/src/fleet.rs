@@ -33,6 +33,7 @@ use rayon::prelude::*;
 
 use figret_solvers::SeriesStats;
 use figret_te::{max_utilization_of_loads, PathSet};
+use figret_telemetry::{Registry, Stopwatch};
 use figret_traffic::{ShardPlan, ShardUniverse, SparseDemand};
 
 use crate::admission::{AdmissionStats, GlobalAdmission, ShardBid};
@@ -40,6 +41,7 @@ use crate::controller::{Proposal, ServeController, StepOutcome};
 use crate::log::{Action, ServeLog};
 use crate::policy::ReconfigPolicy;
 use crate::predictor::PredictorKind;
+use crate::telemetry::FleetTelemetry;
 
 /// One shard of the fleet: a controller over a restricted pair universe plus
 /// the gather scratch for its sub-columns.
@@ -78,6 +80,10 @@ pub struct FleetController {
     global_loads: Vec<f64>,
     parent_pairs: usize,
     tick: usize,
+    /// Fleet-level phase spans (DESIGN.md §10); `None` records nothing.
+    /// Shard controllers carry their own registries — a snapshot merges
+    /// them in stable shard order.
+    telemetry: Option<FleetTelemetry>,
 }
 
 impl std::fmt::Debug for FleetController {
@@ -173,7 +179,33 @@ impl FleetController {
             global_loads: vec![0.0; num_edges],
             parent_pairs: plan.parent().len(),
             tick: 0,
+            telemetry: None,
         }
+    }
+
+    /// Arms out-of-band telemetry on the fleet *and* on every shard
+    /// controller: the fleet records its five tick-phase spans, shards
+    /// record the full serving taxonomy.  Metrics are never folded into the
+    /// fleet digests — an armed run digests identically to a disarmed one.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(FleetTelemetry::new());
+        }
+        for s in &mut self.shards {
+            s.controller.enable_telemetry();
+        }
+    }
+
+    /// A merged snapshot of the fleet registry plus every shard registry,
+    /// merged in stable shard order (bit-identical at any thread count),
+    /// when telemetry is armed.
+    pub fn telemetry_snapshot(&self) -> Option<Registry> {
+        let mut merged = self.telemetry.as_ref()?.registry().clone();
+        for s in &self.shards {
+            let shard = s.controller.telemetry_registry().expect("arming covers every shard");
+            merged.merge_from(shard);
+        }
+        Some(merged)
     }
 
     /// Ingests a parent demand column (one value per parent pair, slot
@@ -208,12 +240,24 @@ impl FleetController {
             "one demand value per parent pair is required"
         );
         let tick = self.tick;
+        // Armed-only phase spans, indexing FLEET_PHASES in execution order;
+        // a disarmed fleet takes no stopwatch reads at all.
+        let mut phase_watch = self.telemetry.is_some().then(Stopwatch::start);
+        let mut phase = 0;
+        let mut lap = |tel: &mut Option<FleetTelemetry>, watch: &mut Option<Stopwatch>| {
+            if let Some(watch) = watch.as_mut() {
+                let seconds = watch.lap();
+                tel.as_mut().expect("a live stopwatch implies telemetry").on_phase(phase, seconds);
+            }
+            phase += 1;
+        };
         // Scatter: gather each shard's sub-column from the parent column.
         for s in &mut self.shards {
             let mut column = std::mem::take(&mut s.column);
             s.universe.gather_into(parent_column, &mut column);
             s.column = column;
         }
+        lap(&mut self.telemetry, &mut phase_watch);
         // Propose (data-parallel): shards move onto worker threads and come
         // back in stable order with their bids.
         let shards = std::mem::take(&mut self.shards);
@@ -224,6 +268,7 @@ impl FleetController {
                 (s, proposal)
             })
             .collect();
+        lap(&mut self.telemetry, &mut phase_watch);
         // Admit (sequential): rank the bids under the joint policy.
         let mut bids = Vec::with_capacity(proposed.len());
         for (shard, (_, proposal)) in proposed.iter().enumerate() {
@@ -233,6 +278,7 @@ impl FleetController {
         }
         let mut actions = vec![Action::Warmup; proposed.len()];
         self.admission.admit(tick, &bids, &mut actions);
+        lap(&mut self.telemetry, &mut phase_watch);
         // Finish (data-parallel): apply the granted/held actions and ingest
         // the realized sub-demands.
         let work: Vec<(FleetShard, Action)> =
@@ -244,6 +290,7 @@ impl FleetController {
                 (s, outcome)
             })
             .collect();
+        lap(&mut self.telemetry, &mut phase_watch);
         // Merge in stable shard order: logs, latencies, and the global MLU
         // from summed per-shard edge loads.
         self.global_loads.clear();
@@ -258,6 +305,10 @@ impl FleetController {
             self.shards.push(s);
         }
         let global_mlu = max_utilization_of_loads(&self.global_loads, &self.edge_capacities);
+        lap(&mut self.telemetry, &mut phase_watch);
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.on_tick();
+        }
         self.tick += 1;
         FleetTickOutcome { tick, global_mlu, actions, decision_seconds }
     }

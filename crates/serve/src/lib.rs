@@ -24,7 +24,11 @@
 //!   and deterministic online retraining of challenger models while the
 //!   controller is degraded (DESIGN.md §9);
 //! * [`shadow`] — shadow-mode challengers audited tick-by-tick against the
-//!   warm LP reference and promoted after sustained wins.
+//!   warm LP reference and promoted after sustained wins;
+//! * [`telemetry`] — out-of-band metrics wiring (DESIGN.md §10):
+//!   pre-registered counters, span histograms and gauges for the
+//!   controller, LP, recovery ladder and fleet phases, never folded into
+//!   the decision digests.
 //!
 //! Demand arrives through the [`figret_traffic::DemandStream`] trait
 //! (trace replay or the unbounded online generators), so serving scenarios
@@ -64,6 +68,7 @@ pub mod policy;
 pub mod predictor;
 pub mod recovery;
 pub mod shadow;
+pub mod telemetry;
 
 pub use admission::{AdmissionStats, GlobalAdmission, ShardBid};
 pub use controller::{Proposal, ServeController, StepOutcome};
@@ -75,3 +80,4 @@ pub use policy::{FallbackPolicy, ReconfigPolicy, UpdateBudget};
 pub use predictor::{Ewma, LastValue, OnlinePredictor, PredictorKind, SlidingMax, SlidingMean};
 pub use recovery::{CusumConfig, CusumDetector, RecoveryConfig, RecoveryManager, RecoveryStats};
 pub use shadow::ShadowModel;
+pub use telemetry::{FleetTelemetry, ServeTelemetry, FLEET_PHASES};

@@ -200,6 +200,12 @@ impl RecoveryManager {
         }
     }
 
+    /// The drift detector's current CUSUM statistic (0 right after a trip
+    /// or reset) — exported as a telemetry gauge.
+    pub fn detector_level(&self) -> f64 {
+        self.detector.level()
+    }
+
     /// Consumes the latched drift flag.
     pub fn take_drift_flag(&mut self) -> bool {
         std::mem::take(&mut self.drift_flagged)

@@ -1,0 +1,77 @@
+//! Out-of-band observability for the FIGRET serving stack (DESIGN.md §10).
+//!
+//! The serving loop's determinism contract digests only *decisions*; this
+//! crate holds everything that is *measured*: counters, gauges and
+//! fixed-log-bucket latency [`Histogram`]s collected in a [`Registry`],
+//! phase-scoped span timing via [`Stopwatch`], and two sinks — a
+//! Prometheus-style text [`exposition`] snapshot and a [`JsonlSink`] event
+//! stream.  Three rules keep telemetry from perturbing the system it
+//! observes:
+//!
+//! 1. **Out-of-band.**  Nothing in a registry is ever folded into
+//!    `ServeLog::digest()` / `decision_digest()`.  Arming telemetry must
+//!    leave both digests bit-identical at any `RAYON_NUM_THREADS`.
+//! 2. **Zero-alloc steady state.**  Metric names are interned once at
+//!    registration; the hot path touches metrics only through typed index
+//!    handles ([`CounterId`], [`GaugeId`], [`HistogramId`]) — an array
+//!    increment, no hashing, no allocation.
+//! 3. **Stable-order aggregation.**  Per-shard registries merge by metric
+//!    name in sorted order ([`Registry::merge_from`]), so a fleet snapshot
+//!    is identical whichever rayon thread finished first.
+
+#![warn(missing_docs)]
+
+mod hist;
+mod registry;
+mod sinks;
+
+pub use hist::{Histogram, BUCKETS, GROWTH};
+pub use registry::{CounterId, GaugeId, HistogramId, Registry};
+pub use sinks::{exposition, json_escape, lint_exposition, JsonObject, JsonlSink};
+
+use std::time::Instant;
+
+/// A lap timer for phase-scoped span measurement.
+///
+/// One stopwatch per tick, one [`lap`](Stopwatch::lap) call per phase
+/// boundary: each lap returns the seconds since the previous lap (or since
+/// construction), so consecutive laps partition the tick into disjoint
+/// self-time spans.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    last: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch { last: Instant::now() }
+    }
+
+    /// Seconds since the previous lap (or start), and resets the lap mark.
+    pub fn lap(&mut self) -> f64 {
+        let now = Instant::now();
+        let seconds = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        seconds
+    }
+
+    /// Seconds since the previous lap mark, without resetting it.
+    pub fn peek(&self) -> f64 {
+        self.last.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_laps_are_nonnegative_and_partition_time() {
+        let mut w = Stopwatch::start();
+        let a = w.lap();
+        let b = w.lap();
+        assert!(a >= 0.0 && b >= 0.0);
+        assert!(w.peek() >= 0.0);
+    }
+}

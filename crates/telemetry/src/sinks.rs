@@ -1,0 +1,431 @@
+//! Metric sinks: Prometheus-style text exposition and a JSONL event
+//! stream, plus the format checker CI lints exposition output with.
+//!
+//! Both sinks are *renderings* of a [`Registry`] snapshot — they never
+//! feed back into the serving loop, and the exposition is byte-stable for
+//! a given registry state (name-sorted iteration, fixed float formatting).
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::hist::Histogram;
+use crate::registry::Registry;
+
+/// Splits a metric name into `(base, labels)` — the optional `{...}`
+/// suffix carries static labels baked into the registered name.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(open) if name.ends_with('}') => (&name[..open], Some(&name[open + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_sample(out: &mut String, base: &str, suffix: &str, labels: &[&str], value: &str) {
+    out.push_str(base);
+    out.push_str(suffix);
+    let labels: Vec<&str> = labels.iter().copied().filter(|l| !l.is_empty()).collect();
+    if !labels.is_empty() {
+        out.push('{');
+        out.push_str(&labels.join(","));
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Renders a registry as Prometheus-style text exposition.
+///
+/// Counters and gauges emit one sample each; histograms emit a summary
+/// family: `quantile="0.5|0.9|0.99"` samples plus `_sum` and `_count`.
+/// A `# TYPE` line precedes the first sample of every family.
+pub fn exposition(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    let mut declare = |out: &mut String, base: &str, kind: &str| {
+        if typed.insert(base.to_string(), kind.to_string()).is_none() {
+            out.push_str(&format!("# TYPE {base} {kind}\n"));
+        }
+    };
+    for (name, value) in registry.counters() {
+        let (base, labels) = split_labels(name);
+        declare(&mut out, base, "counter");
+        push_sample(&mut out, base, "", &[labels.unwrap_or("")], &value.to_string());
+    }
+    for (name, value) in registry.gauges() {
+        let (base, labels) = split_labels(name);
+        declare(&mut out, base, "gauge");
+        push_sample(&mut out, base, "", &[labels.unwrap_or("")], &format_value(value));
+    }
+    for (name, hist) in registry.histograms() {
+        let (base, labels) = split_labels(name);
+        let labels = labels.unwrap_or("");
+        declare(&mut out, base, "summary");
+        for q in ["0.5", "0.9", "0.99"] {
+            let quantile = format!("quantile=\"{q}\"");
+            let value = format_value(hist.quantile(q.parse().expect("static quantile")));
+            push_sample(&mut out, base, "", &[labels, &quantile], &value);
+        }
+        push_sample(&mut out, base, "_sum", &[labels], &format_value(hist.sum()));
+        push_sample(&mut out, base, "_count", &[labels], &hist.count().to_string());
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_labels(body: &str) -> bool {
+    // key="value" pairs, comma separated; values may escape `\"` and `\\`.
+    let mut rest = body;
+    loop {
+        let Some(eq) = rest.find("=\"") else { return false };
+        if !valid_metric_name(&rest[..eq]) {
+            return false;
+        }
+        let mut chars = rest[eq + 2..].char_indices();
+        let mut close = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    close = Some(eq + 2 + i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { return false };
+        rest = &rest[close + 1..];
+        if rest.is_empty() {
+            return true;
+        }
+        let Some(stripped) = rest.strip_prefix(',') else { return false };
+        rest = stripped;
+    }
+}
+
+/// Validates Prometheus-style exposition text: metric-name syntax, label
+/// syntax, parseable sample values, and a `# TYPE` declaration preceding
+/// every family's first sample.  Returns the number of sample lines.
+pub fn lint_exposition(text: &str) -> Result<usize, String> {
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut parts = decl.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("line {lineno}: malformed TYPE declaration"));
+            };
+            if !valid_metric_name(name) {
+                return Err(format!("line {lineno}: invalid metric name '{name}'"));
+            }
+            if !["counter", "gauge", "summary", "histogram", "untyped"].contains(&kind) {
+                return Err(format!("line {lineno}: unknown metric type '{kind}'"));
+            }
+            if types.insert(name, kind).is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for '{name}'"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.find([' ', '\t']) {
+            Some(split) => (&line[..split], line[split..].trim()),
+            None => return Err(format!("line {lineno}: sample line without a value")),
+        };
+        if value_part.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: unparseable sample value '{value_part}'"));
+        }
+        let (name, labels) = split_labels(name_part);
+        if !valid_metric_name(name) {
+            return Err(format!("line {lineno}: invalid metric name '{name}'"));
+        }
+        if let Some(labels) = labels {
+            if !valid_labels(labels) {
+                return Err(format!("line {lineno}: malformed labels '{{{labels}}}'"));
+            }
+        }
+        // Resolve the family: `_sum`/`_count`/`_bucket` suffixes belong to
+        // a summary/histogram family of the stripped name.
+        let family = ["_sum", "_count", "_bucket"]
+            .iter()
+            .find_map(|suffix| {
+                let stripped = name.strip_suffix(suffix)?;
+                match types.get(stripped) {
+                    Some(&"summary") | Some(&"histogram") => Some(stripped),
+                    _ => None,
+                }
+            })
+            .unwrap_or(name);
+        if !types.contains_key(family) {
+            return Err(format!("line {lineno}: sample for '{name}' precedes its TYPE line"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental builder for one JSON object (the workspace vendors no
+/// serde; metric events are flat enough to hand-roll).
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut JsonObject {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut JsonObject {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field (non-finite values are encoded as `null`).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut JsonObject {
+        self.key(key);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object, array, ...).
+    pub fn field_raw(&mut self, key: &str, value: &str) -> &mut JsonObject {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+fn histogram_json(hist: &Histogram) -> String {
+    let mut o = JsonObject::new();
+    o.field_u64("count", hist.count())
+        .field_f64("sum", hist.sum())
+        .field_f64("p50", hist.quantile(0.5))
+        .field_f64("p90", hist.quantile(0.9))
+        .field_f64("p99", hist.quantile(0.99))
+        .field_f64("max", hist.max());
+    o.finish()
+}
+
+/// A line-buffered JSONL event stream.
+///
+/// Each line is one JSON object with at least `"event"` and `"tick"`
+/// fields; [`snapshot`](JsonlSink::snapshot) events embed the full
+/// registry state (counters, gauges, histogram summaries).
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the stream file.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink { out: BufWriter::new(File::create(path)?), path: path.to_path_buf() })
+    }
+
+    /// The file this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes one pre-rendered JSON line.
+    pub fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+
+    /// Writes an `"event"`-tagged object with extra string fields.
+    pub fn event(
+        &mut self,
+        event: &str,
+        tick: u64,
+        fields: &[(&str, &str)],
+    ) -> std::io::Result<()> {
+        let mut o = JsonObject::new();
+        o.field_str("event", event).field_u64("tick", tick);
+        for (key, value) in fields {
+            o.field_str(key, value);
+        }
+        self.write_line(&o.finish())
+    }
+
+    /// Writes a full registry snapshot event.
+    pub fn snapshot(&mut self, tick: u64, registry: &Registry) -> std::io::Result<()> {
+        let mut counters = JsonObject::new();
+        for (name, value) in registry.counters() {
+            counters.field_u64(name, value);
+        }
+        let mut gauges = JsonObject::new();
+        for (name, value) in registry.gauges() {
+            gauges.field_f64(name, value);
+        }
+        let mut histograms = JsonObject::new();
+        for (name, hist) in registry.histograms() {
+            histograms.field_raw(name, &histogram_json(hist));
+        }
+        let mut o = JsonObject::new();
+        o.field_str("event", "snapshot")
+            .field_u64("tick", tick)
+            .field_raw("counters", &counters.finish())
+            .field_raw("gauges", &gauges.finish())
+            .field_raw("histograms", &histograms.finish());
+        self.write_line(&o.finish())
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        let c = r.counter("figret_serve_ticks_total");
+        r.add(c, 80);
+        let c2 = r.counter("figret_fleet_phase_ticks_total{phase=\"scatter\"}");
+        r.add(c2, 4);
+        let g = r.gauge("figret_recovery_cusum_level");
+        r.set(g, 0.25);
+        let h = r.histogram("figret_serve_decision_seconds");
+        for i in 1..=100 {
+            r.observe(h, i as f64 * 1e-6);
+        }
+        let h2 = r.histogram("figret_fleet_phase_seconds{phase=\"merge\"}");
+        r.observe(h2, 3e-4);
+        r
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_linter() {
+        let text = exposition(&sample_registry());
+        let samples = lint_exposition(&text).expect("exposition must lint clean");
+        // 2 counters + 1 gauge + 2 histograms × 5 lines each.
+        assert_eq!(samples, 13);
+        assert!(text.contains("# TYPE figret_serve_decision_seconds summary"));
+        assert!(text.contains("figret_serve_decision_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("figret_fleet_phase_seconds{phase=\"merge\",quantile=\"0.99\"}"));
+        assert!(text.contains("figret_serve_decision_seconds_count 100"));
+        assert!(text.contains("figret_serve_ticks_total 80"));
+    }
+
+    #[test]
+    fn exposition_is_byte_stable() {
+        assert_eq!(exposition(&sample_registry()), exposition(&sample_registry()));
+    }
+
+    #[test]
+    fn linter_rejects_malformed_text() {
+        assert!(lint_exposition("no_type_line 1\n").is_err());
+        assert!(lint_exposition("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(lint_exposition("# TYPE x counter\nx{bad labels} 1\n").is_err());
+        assert!(lint_exposition("# TYPE 9bad counter\n").is_err());
+        assert!(lint_exposition("# TYPE x counter\n# TYPE x counter\n").is_err());
+        assert!(lint_exposition("# TYPE x wibble\n").is_err());
+        assert_eq!(lint_exposition("# TYPE x counter\nx 1\nx{l=\"v\"} 2\n"), Ok(2));
+    }
+
+    #[test]
+    fn jsonl_snapshot_lines_are_valid_json_shape() {
+        let dir = std::env::temp_dir().join("figret_telemetry_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.snapshot(7, &sample_registry()).unwrap();
+        sink.event("transition", 9, &[("kind", "Degraded")]).unwrap();
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"event\":\"snapshot\",\"tick\":7,"));
+        assert!(lines[0].contains("\"figret_serve_ticks_total\":80"));
+        assert!(lines[0].contains("\\\"scatter\\\""), "label quotes must be escaped");
+        assert!(lines[0].ends_with('}'));
+        assert_eq!(lines[1], "{\"event\":\"transition\",\"tick\":9,\"kind\":\"Degraded\"}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

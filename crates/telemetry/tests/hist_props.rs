@@ -1,0 +1,72 @@
+//! Property tests for the fixed-log-bucket histogram (ISSUE 10 satellite):
+//! quantiles are monotone in `q`, merge(a, b) is equivalent to recording
+//! all samples into one histogram, and every quantile read lands within
+//! one bucket of the exact sample quantile.
+
+use figret_telemetry::Histogram;
+use proptest::{proptest, ProptestConfig};
+
+fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = (q * (sorted.len() - 1) as f64).ceil() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        samples in proptest::collection::vec(1e-9f64..10.0, 1..200),
+        qs in proptest::collection::vec(0.0f64..1.0, 2..8),
+    ) {
+        let h = Histogram::from_samples(&samples);
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut last = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} dropped below {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_all_samples(
+        a in proptest::collection::vec(1e-8f64..1.0, 0..120),
+        b in proptest::collection::vec(1e-8f64..1.0, 0..120),
+    ) {
+        let mut merged = Histogram::from_samples(&a);
+        merged.merge(&Histogram::from_samples(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let direct = Histogram::from_samples(&all);
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.min(), direct.min());
+        assert_eq!(merged.max(), direct.max());
+        // Bucket counts are integers: quantiles must agree exactly.
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), direct.quantile(q), "q = {q}");
+        }
+        // Sums differ only by floating-point association order.
+        let tol = 1e-12 * (1.0 + direct.sum().abs());
+        assert!((merged.sum() - direct.sum()).abs() <= tol);
+    }
+
+    #[test]
+    fn quantile_is_within_one_bucket_of_exact(
+        samples in proptest::collection::vec(1e-9f64..100.0, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::from_samples(&samples);
+        let exact = exact_quantile(&samples, q);
+        let approx = h.quantile(q);
+        let eb = Histogram::bucket_index(exact);
+        let ab = Histogram::bucket_index(approx);
+        assert!(
+            ab.abs_diff(eb) <= 1,
+            "q={q}: approx {approx} (bucket {ab}) vs exact {exact} (bucket {eb})"
+        );
+    }
+}
